@@ -1,0 +1,99 @@
+use serde::{Deserialize, Serialize};
+
+/// A host-side buffer participating in a transfer.
+///
+/// Footprints in this workspace are *declared* at paper scale while real
+/// bytes (the payload) may be a scaled-down shadow. `declared_len` drives
+/// all capacity accounting and transfer timing; `payload` carries the real
+/// bytes used for functional verification. For small buffers the two
+/// coincide (`payload.len() == declared_len`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct HostBuf {
+    /// Bytes this buffer *represents* (accounting/timing).
+    pub declared_len: u64,
+    /// Real bytes carried (≤ `declared_len`).
+    pub payload: Vec<u8>,
+}
+
+impl HostBuf {
+    /// A buffer whose payload is exactly its declared content.
+    pub fn from_slice(data: &[u8]) -> Self {
+        HostBuf { declared_len: data.len() as u64, payload: data.to_vec() }
+    }
+
+    /// A payload-free buffer of `declared_len` bytes (pure accounting, used
+    /// for paper-scale footprints whose content does not matter).
+    pub fn declared(declared_len: u64) -> Self {
+        HostBuf { declared_len, payload: Vec::new() }
+    }
+
+    /// A buffer declaring `declared_len` bytes but carrying `payload` as its
+    /// materialized prefix.
+    ///
+    /// # Panics
+    /// Panics if the payload is longer than the declared length.
+    pub fn with_shadow(declared_len: u64, payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() as u64 <= declared_len,
+            "payload ({}) exceeds declared length ({declared_len})",
+            payload.len()
+        );
+        HostBuf { declared_len, payload }
+    }
+
+    /// A buffer carrying `f32` values as its exact content.
+    pub fn from_f32s(values: &[f32]) -> Self {
+        let mut payload = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        HostBuf { declared_len: payload.len() as u64, payload }
+    }
+
+    /// Interprets the payload as little-endian `f32`s.
+    pub fn as_f32s(&self) -> Vec<f32> {
+        self.payload
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Whether the payload fully materializes the declared content.
+    pub fn is_exact(&self) -> bool {
+        self.payload.len() as u64 == self.declared_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_slice_is_exact() {
+        let b = HostBuf::from_slice(&[1, 2, 3]);
+        assert_eq!(b.declared_len, 3);
+        assert!(b.is_exact());
+    }
+
+    #[test]
+    fn declared_carries_no_payload() {
+        let b = HostBuf::declared(1 << 30);
+        assert_eq!(b.declared_len, 1 << 30);
+        assert!(b.payload.is_empty());
+        assert!(!b.is_exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds declared length")]
+    fn oversized_shadow_rejected() {
+        let _ = HostBuf::with_shadow(2, vec![0; 3]);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let vals = [1.5f32, -2.25, 0.0, 1e9];
+        let b = HostBuf::from_f32s(&vals);
+        assert_eq!(b.as_f32s(), vals);
+        assert_eq!(b.declared_len, 16);
+    }
+}

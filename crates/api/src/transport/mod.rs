@@ -1,0 +1,143 @@
+//! Transports carrying the interposed call stream to the runtime daemon.
+//!
+//! The paper's prototype uses the gVirtuS socket framework: AF_UNIX sockets
+//! natively, VM-sockets under virtualization (§3). We provide three
+//! equivalents: an in-process crossbeam channel (the fast path used by tests
+//! and single-process experiments), an AF_UNIX socket (the native gVirtuS
+//! path for co-located processes), and a framed TCP socket (the VM-socket
+//! stand-in, also used for inter-node offloading).
+
+mod channel;
+mod tcp;
+#[cfg(unix)]
+mod unix;
+
+pub use channel::{channel_pair, ChannelServerConn, ChannelTransport};
+pub use tcp::{read_frame, write_frame, TcpServerConn, TcpTransport};
+#[cfg(unix)]
+pub use unix::{UnixServerConn, UnixTransport};
+
+use crate::client::CudaClient;
+use crate::error::CudaError;
+use crate::protocol::{CudaCall, CudaReply};
+use std::time::Duration;
+
+/// Client side of a connection: ships one call, waits for one reply.
+pub trait Transport: Send {
+    /// Performs one request/reply exchange. Transport failures surface as
+    /// `Err(CudaError::Disconnected)` / `Err(CudaError::Protocol)` replies.
+    fn roundtrip(&mut self, call: CudaCall) -> CudaReply;
+}
+
+/// Outcome of a non-blocking/timed receive on the server side.
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// A call arrived.
+    Call(CudaCall),
+    /// Nothing pending within the timeout — the application is in a CPU
+    /// phase (or finished). This is the signal inter-application swap keys
+    /// off (§4.5: "an application running in a CPU phase with no pending
+    /// requests may swap").
+    Idle,
+    /// The peer disconnected.
+    Closed,
+}
+
+/// Server side of a connection: the runtime's view of one application
+/// thread.
+pub trait ServerConn: Send {
+    /// Blocks for the next call; `None` when the peer disconnected.
+    fn recv(&mut self) -> Option<CudaCall>;
+
+    /// Waits up to `timeout` (real time) for the next call.
+    fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome;
+
+    /// Whether a call is already queued (used for CPU-phase detection
+    /// without consuming anything).
+    fn has_pending(&self) -> bool;
+
+    /// Sends a reply; `false` if the peer is gone.
+    fn send(&mut self, reply: CudaReply) -> bool;
+
+    /// Human-readable peer label for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// The interposition frontend: a [`CudaClient`] that forwards every call
+/// over a [`Transport`]. This is the piece that, in the paper, overrides the
+/// CUDA Runtime API inside the guest OS or unmodified application.
+pub struct FrontendClient<T: Transport> {
+    transport: T,
+    hung_up: bool,
+}
+
+impl<T: Transport> FrontendClient<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> Self {
+        FrontendClient { transport, hung_up: false }
+    }
+}
+
+impl<T: Transport> CudaClient for FrontendClient<T> {
+    fn call(&mut self, call: CudaCall) -> CudaReply {
+        if self.hung_up {
+            return Err(CudaError::Disconnected);
+        }
+        if matches!(call, CudaCall::Exit) {
+            self.hung_up = true;
+        }
+        self.transport.roundtrip(call)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::CudaClient;
+    use crate::protocol::ReplyValue;
+
+    /// Echo server used to exercise FrontendClient framing.
+    fn spawn_echo(mut conn: ChannelServerConn) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            let mut served = 0;
+            while let Some(call) = conn.recv() {
+                let done = matches!(call, CudaCall::Exit);
+                conn.send(Ok(ReplyValue::Unit));
+                served += 1;
+                if done {
+                    break;
+                }
+            }
+            served
+        })
+    }
+
+    #[test]
+    fn frontend_roundtrips_over_channel() {
+        let (transport, server) = channel_pair();
+        let handle = spawn_echo(server);
+        let mut client = FrontendClient::new(transport);
+        client.synchronize().unwrap();
+        client.set_device(3).unwrap();
+        client.exit().unwrap();
+        assert_eq!(handle.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn calls_after_exit_fail_fast() {
+        let (transport, server) = channel_pair();
+        let handle = spawn_echo(server);
+        let mut client = FrontendClient::new(transport);
+        client.exit().unwrap();
+        assert_eq!(client.synchronize(), Err(CudaError::Disconnected));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn server_disconnect_surfaces_as_error() {
+        let (transport, server) = channel_pair();
+        drop(server);
+        let mut client = FrontendClient::new(transport);
+        assert_eq!(client.synchronize(), Err(CudaError::Disconnected));
+    }
+}

@@ -1,0 +1,134 @@
+//! Wire-protocol robustness: arbitrary bytes must never panic the frame
+//! decoder, and every protocol value must survive an encode/decode
+//! round-trip.
+
+use mtgpu_api::protocol::{AllocKind, ContextImage, CudaCall, CudaReply, ImageEntry, ModuleHandle, ReplyValue};
+use mtgpu_api::transport::{read_frame, write_frame};
+use mtgpu_api::{CudaError, HostBuf};
+use mtgpu_gpusim::{DeviceAddr, KernelArg, KernelDesc, LaunchConfig, LaunchSpec, Work};
+use proptest::prelude::*;
+
+fn roundtrip_call(call: &CudaCall) {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, call).unwrap();
+    let mut cursor = std::io::Cursor::new(buf);
+    let back: CudaCall = read_frame(&mut cursor).unwrap();
+    assert_eq!(&back, call);
+}
+
+#[test]
+fn every_call_variant_roundtrips() {
+    let calls = vec![
+        CudaCall::RegisterFatBinary,
+        CudaCall::RegisterFunction {
+            module: ModuleHandle(3),
+            kernel: KernelDesc {
+                name: "k".into(),
+                uses_nested_pointers: true,
+                uses_dynamic_alloc: false,
+                read_only_args: vec![0, 2],
+            },
+        },
+        CudaCall::RegisterVar { module: ModuleHandle(3), name: "v".into(), size: 64 },
+        CudaCall::RegisterTexture { module: ModuleHandle(3), name: "t".into() },
+        CudaCall::SetApplication { app_id: 9 },
+        CudaCall::SetDevice { device: 2 },
+        CudaCall::GetDeviceCount,
+        CudaCall::GetDeviceProperties { device: 0 },
+        CudaCall::Malloc { size: 1 << 30, kind: AllocKind::Pitched },
+        CudaCall::Free { ptr: DeviceAddr(0x7f00_0000_0100) },
+        CudaCall::MemcpyH2D {
+            dst: DeviceAddr(1),
+            buf: HostBuf::with_shadow(1 << 20, vec![1, 2, 3]),
+        },
+        CudaCall::MemcpyD2H { src: DeviceAddr(1), len: 64 },
+        CudaCall::MemcpyD2D { dst: DeviceAddr(1), src: DeviceAddr(2), len: 8 },
+        CudaCall::ConfigureCall { config: LaunchConfig::default() },
+        CudaCall::Launch {
+            spec: LaunchSpec {
+                kernel: "matmul".into(),
+                config: LaunchConfig::default(),
+                args: vec![
+                    KernelArg::Ptr(DeviceAddr(7)),
+                    KernelArg::Scalar(42),
+                    KernelArg::Float(-1.25),
+                ],
+                work: Work { flops: 1e12, bytes: 4e9 },
+            },
+        },
+        CudaCall::Synchronize,
+        CudaCall::RegisterNested { parent: DeviceAddr(1), members: vec![DeviceAddr(2)] },
+        CudaCall::Checkpoint,
+        CudaCall::ExportImage,
+        CudaCall::ImportImage {
+            image: ContextImage {
+                label: "job".into(),
+                entries: vec![ImageEntry {
+                    vaddr: DeviceAddr(0x7f00_0000_0000),
+                    size: 4096,
+                    kind: AllocKind::Linear,
+                    data: vec![9; 64],
+                    nested_members: vec![DeviceAddr(0x7f00_0000_1000)],
+                    nested_parent: None,
+                }],
+            },
+        },
+        CudaCall::Offloaded,
+        CudaCall::Exit,
+    ];
+    for call in &calls {
+        roundtrip_call(call);
+    }
+}
+
+#[test]
+fn reply_variants_roundtrip() {
+    let replies: Vec<CudaReply> = vec![
+        Ok(ReplyValue::Unit),
+        Ok(ReplyValue::Module(ModuleHandle(1))),
+        Ok(ReplyValue::DeviceCount(12)),
+        Ok(ReplyValue::Ptr(DeviceAddr(0xffff))),
+        Ok(ReplyValue::Bytes(HostBuf::from_slice(&[1, 2, 3]))),
+        Ok(ReplyValue::LaunchDone { sim_nanos: 123_456_789 }),
+        Err(CudaError::MemoryAllocation),
+        Err(CudaError::LaunchFailure("boom".into())),
+        Err(CudaError::NotEligible("reason".into())),
+    ];
+    for reply in &replies {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, reply).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back: CudaReply = read_frame(&mut cursor).unwrap();
+        assert_eq!(&back, reply);
+    }
+}
+
+proptest! {
+    /// Arbitrary byte soup never panics the decoder — it errors.
+    #[test]
+    fn garbage_never_panics_decoder(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = read_frame::<CudaCall>(&mut cursor); // must not panic
+    }
+
+    /// A frame with a huge declared length fails cleanly on truncated input.
+    #[test]
+    fn truncated_frames_error(len in 5u32..1_000_000, body in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&body);
+        let mut cursor = std::io::Cursor::new(buf);
+        prop_assert!(read_frame::<CudaCall>(&mut cursor).is_err());
+    }
+
+    /// HostBuf payloads of any content survive the wire.
+    #[test]
+    fn hostbuf_payload_roundtrips(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let declared = payload.len() as u64 + 1024;
+        let call = CudaCall::MemcpyH2D {
+            dst: DeviceAddr(0x42),
+            buf: HostBuf::with_shadow(declared, payload),
+        };
+        roundtrip_call(&call);
+    }
+}

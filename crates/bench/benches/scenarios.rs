@@ -1,0 +1,84 @@
+//! Shrunken figure scenarios as Criterion benches: end-to-end batch
+//! makespans under each paper experiment's configuration, small enough to
+//! iterate. (The full-fidelity runs live in the `fig5`…`fig11` binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtgpu_bench::harness::{
+    draw_short_jobs, mixed_long_jobs, run_on_bare, run_on_runtime, ExperimentScale, NodeSetup,
+};
+use mtgpu_core::RuntimeConfig;
+use std::time::Duration;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale::quick()
+}
+
+fn bench_fig5_like(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_fig5");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("bare_4jobs_1gpu", |b| {
+        b.iter(|| {
+            run_on_bare(
+                NodeSetup::OneC2050,
+                scale().clock_scale,
+                draw_short_jobs(4, 7, scale().workload),
+            )
+        })
+    });
+    g.bench_function("runtime_4jobs_4vgpu_1gpu", |b| {
+        b.iter(|| {
+            run_on_runtime(
+                NodeSetup::OneC2050,
+                RuntimeConfig::paper_default(),
+                scale().clock_scale,
+                draw_short_jobs(4, 7, scale().workload),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7_like(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_fig7");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (label, cfg) in [
+        ("serialized", RuntimeConfig::serialized()),
+        ("sharing4", RuntimeConfig::paper_default()),
+    ] {
+        g.bench_function(format!("mml6_cpufrac1_{label}"), |b| {
+            b.iter(|| {
+                run_on_runtime(
+                    NodeSetup::ThreeGpu,
+                    cfg.clone(),
+                    scale().clock_scale,
+                    mixed_long_jobs(6, 0, 1.0, scale().workload),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig9_like(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_fig9");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (label, lb) in [("static", false), ("dynamic_binding", true)] {
+        g.bench_function(format!("mms6_unbalanced_{label}"), |b| {
+            b.iter(|| {
+                let mut cfg = RuntimeConfig::paper_default();
+                cfg.dynamic_load_balancing = lb;
+                run_on_runtime(NodeSetup::Unbalanced, cfg, scale().clock_scale, {
+                    (0..6)
+                        .map(|_| {
+                            mtgpu_workloads::AppKind::MmS.build_with(scale().workload, 1.0)
+                        })
+                        .collect()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(scenarios, bench_fig5_like, bench_fig7_like, bench_fig9_like);
+criterion_main!(scenarios);

@@ -1,0 +1,11 @@
+//! Regenerates Figure 5 of the paper. Pass `--quick` for a shrunken run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        mtgpu_bench::figures::fig5::Opts::quick()
+    } else {
+        mtgpu_bench::figures::fig5::Opts::paper()
+    };
+    mtgpu_bench::figures::fig5::run(&opts).print();
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7 of the paper. Pass `--quick` for a shrunken run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        mtgpu_bench::figures::fig7::Opts::quick()
+    } else {
+        mtgpu_bench::figures::fig7::Opts::paper()
+    };
+    mtgpu_bench::figures::fig7::run(&opts).print();
+}

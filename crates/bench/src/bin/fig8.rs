@@ -1,0 +1,11 @@
+//! Regenerates Figure 8 of the paper. Pass `--quick` for a shrunken run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        mtgpu_bench::figures::fig8::Opts::quick()
+    } else {
+        mtgpu_bench::figures::fig8::Opts::paper()
+    };
+    mtgpu_bench::figures::fig8::run(&opts).print();
+}

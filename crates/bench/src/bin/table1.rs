@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper (live-probed runtime actions/errors).
+
+fn main() {
+    mtgpu_bench::figures::table1::run().print();
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 2 of the paper. Pass `--quick` for a shrunken run.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        mtgpu_bench::figures::table2::Opts::quick()
+    } else {
+        mtgpu_bench::figures::table2::Opts::paper()
+    };
+    mtgpu_bench::figures::table2::run(&opts).print();
+}

@@ -1,0 +1,51 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+use crate::table::TableDoc;
+
+/// The output of one experiment reproduction.
+#[derive(Debug)]
+pub struct FigureReport {
+    /// Identifier, e.g. `"Figure 7"`.
+    pub id: &'static str,
+    /// What the paper reports for this experiment (for EXPERIMENTS.md).
+    pub paper_claim: &'static str,
+    /// Rendered result tables.
+    pub tables: Vec<TableDoc>,
+    /// Shape observations computed from the measured data (who wins, by
+    /// what factor) — the reproduction target.
+    pub observations: Vec<String>,
+}
+
+impl FigureReport {
+    /// Renders the report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n**Paper:** {}\n\n", self.id, self.paper_claim);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        if !self.observations.is_empty() {
+            out.push_str("**Measured shape:**\n\n");
+            for o in &self.observations {
+                out.push_str(&format!("- {o}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}

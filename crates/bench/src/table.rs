@@ -1,0 +1,97 @@
+//! Markdown table rendering for experiment output.
+
+use std::fmt::Write;
+
+/// A simple markdown table builder used by every figure binary.
+#[derive(Debug, Clone)]
+pub struct TableDoc {
+    title: String,
+    notes: Vec<String>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableDoc {
+    /// Starts a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        TableDoc { title: title.into(), notes: Vec::new(), header: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Sets the column headers.
+    pub fn header<S: Into<String>>(mut self, cols: Vec<S>) -> Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a free-text note rendered under the title.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Adds one data row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "### {}\n", self.title).unwrap();
+        for note in &self.notes {
+            writeln!(out, "{note}\n").unwrap();
+        }
+        writeln!(out, "| {} |", self.header.join(" | ")).unwrap();
+        writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"))
+            .unwrap();
+        for row in &self.rows {
+            writeln!(out, "| {} |", row.join(" | ")).unwrap();
+        }
+        out
+    }
+}
+
+/// Formats a simulated-seconds value compactly.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = TableDoc::new("Figure X").header(vec!["a", "b"]);
+        t.note("a note");
+        t.row(vec!["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Figure X"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TableDoc::new("t").header(vec!["a"]);
+        t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(432.4), "432");
+        assert_eq!(secs(43.21), "43.2");
+        assert_eq!(secs(4.321), "4.32");
+    }
+}

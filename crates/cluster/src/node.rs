@@ -1,0 +1,187 @@
+//! A cluster node: runtime daemon + TCP acceptor.
+
+use mtgpu_api::transport::{ChannelTransport, FrontendClient, TcpServerConn, TcpTransport};
+use mtgpu_core::{MetricsSnapshot, NodeRuntime, RuntimeConfig};
+use mtgpu_gpusim::{Driver, GpuSpec};
+use mtgpu_simtime::Clock;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Binds an ephemeral localhost listener (used to pre-reserve peer
+/// addresses before the nodes exist).
+pub(crate) fn reserve_listener() -> TcpListener {
+    TcpListener::bind("127.0.0.1:0").expect("bind ephemeral listener")
+}
+
+/// One compute node: devices + runtime daemon + (optionally) a TCP
+/// endpoint accepting remote frontends and offloaded connections.
+pub struct ClusterNode {
+    name: String,
+    runtime: Arc<NodeRuntime>,
+    addr: Option<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ClusterNode {
+    /// Starts a node with the given GPUs; `listen` controls whether a TCP
+    /// endpoint is opened.
+    pub fn start(
+        name: String,
+        clock: Clock,
+        specs: Vec<GpuSpec>,
+        cfg: RuntimeConfig,
+        listen: bool,
+    ) -> ClusterNode {
+        if listen {
+            Self::start_with_listener(name, clock, specs, cfg, reserve_listener())
+        } else {
+            let driver = Driver::with_devices(clock, specs);
+            let runtime = NodeRuntime::start(driver, cfg);
+            ClusterNode {
+                name,
+                runtime,
+                addr: None,
+                stop: Arc::new(AtomicBool::new(false)),
+                acceptor: None,
+            }
+        }
+    }
+
+    /// Starts a node serving on an already-bound listener.
+    pub fn start_with_listener(
+        name: String,
+        clock: Clock,
+        specs: Vec<GpuSpec>,
+        cfg: RuntimeConfig,
+        listener: TcpListener,
+    ) -> ClusterNode {
+        let driver = Driver::with_devices(clock, specs);
+        let runtime = NodeRuntime::start(driver, cfg);
+        let addr = listener.local_addr().expect("listener address");
+        listener.set_nonblocking(true).expect("nonblocking listener");
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_rt = Arc::clone(&runtime);
+        let accept_stop = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name(format!("{name}-accept"))
+            .spawn(move || {
+                while !accept_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if let Ok(conn) = TcpServerConn::from_stream(stream) {
+                                accept_rt.connect(Box::new(conn));
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn acceptor");
+        ClusterNode { name, runtime, addr: Some(addr), stop, acceptor: Some(acceptor) }
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// TCP endpoint, if listening.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// The node's runtime.
+    pub fn runtime(&self) -> &Arc<NodeRuntime> {
+        &self.runtime
+    }
+
+    /// Runtime metric snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.runtime.metrics()
+    }
+
+    /// An in-process client (application running locally on this node).
+    pub fn client(&self) -> FrontendClient<ChannelTransport> {
+        self.runtime.local_client()
+    }
+
+    /// A client that bypasses the mtgpu runtime and talks straight to this
+    /// node's CUDA driver — the "TORQUE natively on the bare CUDA runtime"
+    /// comparator of §5.4. Subject to all the bare-runtime limits
+    /// (≤8 contexts, hard OOM on over-commit, static binding).
+    pub fn bare_client(&self) -> mtgpu_api::BareClient {
+        mtgpu_api::BareClient::new(std::sync::Arc::clone(self.runtime.driver()))
+    }
+
+    /// A TCP client (application or VM frontend reaching the node over the
+    /// network).
+    pub fn tcp_client(&self) -> std::io::Result<FrontendClient<TcpTransport>> {
+        let addr = self.addr.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "node not listening")
+        })?;
+        Ok(FrontendClient::new(TcpTransport::connect(addr)?))
+    }
+
+    /// Physical GPUs on the node (what a GPU-aware scheduler sees).
+    pub fn gpu_count(&self) -> usize {
+        self.runtime.driver().device_count()
+    }
+
+    /// Stops the acceptor and the runtime.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.runtime.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtgpu_api::CudaClient;
+
+    #[test]
+    fn tcp_frontend_reaches_node_runtime() {
+        let node = ClusterNode::start(
+            "n0".into(),
+            Clock::with_scale(1e-7),
+            vec![GpuSpec::test_small()],
+            RuntimeConfig::paper_default(),
+            true,
+        );
+        let mut client = node.tcp_client().unwrap();
+        // 1 device × 4 vGPUs visible through the socket.
+        assert_eq!(client.get_device_count().unwrap(), 4);
+        let ptr = client.malloc(1024).unwrap();
+        client
+            .memcpy_h2d(ptr, mtgpu_api::HostBuf::from_slice(&[3u8; 128]))
+            .unwrap();
+        let back = client.memcpy_d2h(ptr, 128).unwrap();
+        assert_eq!(back.payload, vec![3u8; 128]);
+        client.exit().unwrap();
+        node.shutdown();
+    }
+
+    #[test]
+    fn non_listening_node_has_no_endpoint() {
+        let node = ClusterNode::start(
+            "n0".into(),
+            Clock::with_scale(1e-7),
+            vec![GpuSpec::test_small()],
+            RuntimeConfig::paper_default(),
+            false,
+        );
+        assert!(node.addr().is_none());
+        assert!(node.tcp_client().is_err());
+        node.shutdown();
+    }
+}

@@ -1,0 +1,285 @@
+//! Incremental batch queue: the `qsub`/`qstat` face of the TORQUE
+//! substrate (§2: "one classical way to schedule batch jobs on HPC clusters
+//! is via PBS cluster resource managers such as TORQUE").
+//!
+//! Unlike [`crate::Torque::run`], which measures one synchronous batch, the
+//! [`JobQueue`] accepts submissions over time, dispatches them round-robin
+//! (optionally gated on free GPUs), tracks per-job state, and lets callers
+//! wait for individual jobs — the shape a long-lived head node has.
+
+use crate::node::ClusterNode;
+use crate::sem::Semaphore;
+use crate::torque::GpuVisibility;
+use mtgpu_simtime::{Clock, Stopwatch};
+use mtgpu_workloads::{register_workload, Workload, WorkloadReport};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Lifecycle of a job, as `qstat` would report it.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Waiting at the head node (GPU-aware mode gates dispatch).
+    Queued,
+    /// Dispatched to a compute node and executing.
+    Running { node: usize },
+    /// Finished; the report includes verification status and elapsed time.
+    Done(WorkloadReport),
+    /// Failed with an error.
+    Failed(String),
+}
+
+impl JobState {
+    /// Whether the job reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_))
+    }
+}
+
+struct QueueState {
+    jobs: HashMap<JobId, JobState>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A long-lived head-node queue over a set of compute nodes.
+pub struct JobQueue {
+    nodes: Arc<Vec<ClusterNode>>,
+    clock: Clock,
+    gates: Vec<Arc<Semaphore>>,
+    visibility: GpuVisibility,
+    next_id: AtomicU64,
+    rr: AtomicU64,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    /// Creates a queue over `nodes`. With [`GpuVisibility::Aware`], at most
+    /// one job per physical GPU runs per node at a time; with
+    /// [`GpuVisibility::Hidden`] every job dispatches immediately and the
+    /// node runtimes arbitrate.
+    pub fn new(nodes: Vec<ClusterNode>, clock: Clock, visibility: GpuVisibility) -> Arc<Self> {
+        assert!(!nodes.is_empty(), "queue needs at least one node");
+        let gates = nodes
+            .iter()
+            .map(|n| {
+                Arc::new(match visibility {
+                    GpuVisibility::Hidden => Semaphore::new(usize::MAX / 2),
+                    GpuVisibility::Aware => Semaphore::new(n.gpu_count()),
+                })
+            })
+            .collect();
+        Arc::new(JobQueue {
+            nodes: Arc::new(nodes),
+            clock,
+            gates,
+            visibility,
+            next_id: AtomicU64::new(1),
+            rr: AtomicU64::new(0),
+            state: Mutex::new(QueueState { jobs: HashMap::new(), handles: Vec::new() }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Submits a job (`qsub`); returns immediately with its id.
+    pub fn submit(self: &Arc<Self>, job: Box<dyn Workload>) -> JobId {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.state.lock().jobs.insert(id, JobState::Queued);
+        let node_idx = (self.rr.fetch_add(1, Ordering::Relaxed) as usize) % self.nodes.len();
+        let queue = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("qsub-{id}"))
+            .spawn(move || queue.run_job(id, node_idx, job))
+            .expect("spawn job thread");
+        self.state.lock().handles.push(handle);
+        id
+    }
+
+    fn run_job(self: &Arc<Self>, id: JobId, node_idx: usize, job: Box<dyn Workload>) {
+        // GPU-aware gate: hold the job at the head node until a GPU frees.
+        self.gates[node_idx].acquire();
+        self.set_state(id, JobState::Running { node: node_idx });
+        let mut client: Box<dyn mtgpu_api::CudaClient> =
+            Box::new(self.nodes[node_idx].client());
+        let watch = Stopwatch::start(&self.clock);
+        let result = (|| {
+            register_workload(client.as_mut(), job.as_ref())?;
+            let mut report = job.run(client.as_mut(), &self.clock)?;
+            client.exit()?;
+            report.elapsed = watch.elapsed();
+            Ok::<_, mtgpu_api::CudaError>(report)
+        })();
+        self.gates[node_idx].release();
+        match result {
+            Ok(report) => self.set_state(id, JobState::Done(report)),
+            Err(e) => self.set_state(id, JobState::Failed(e.to_string())),
+        }
+    }
+
+    fn set_state(&self, id: JobId, state: JobState) {
+        self.state.lock().jobs.insert(id, state);
+        self.cv.notify_all();
+    }
+
+    /// `qstat`: the job's current state (`None` for unknown ids).
+    pub fn status(&self, id: JobId) -> Option<JobState> {
+        self.state.lock().jobs.get(&id).cloned()
+    }
+
+    /// All jobs and their states, sorted by id.
+    pub fn qstat(&self) -> Vec<(JobId, JobState)> {
+        let st = self.state.lock();
+        let mut jobs: Vec<_> = st.jobs.iter().map(|(&id, s)| (id, s.clone())).collect();
+        jobs.sort_by_key(|&(id, _)| id);
+        jobs
+    }
+
+    /// Blocks until `id` reaches a terminal state and returns it.
+    pub fn wait(&self, id: JobId) -> JobState {
+        let mut st = self.state.lock();
+        loop {
+            match st.jobs.get(&id) {
+                Some(s) if s.is_terminal() => return s.clone(),
+                Some(_) => self.cv.wait(&mut st),
+                None => panic!("unknown {id}"),
+            }
+        }
+    }
+
+    /// Blocks until every submitted job is terminal; returns total batch
+    /// time since the queue was created is not meaningful here, so only the
+    /// states are returned.
+    pub fn wait_all(&self) -> Vec<(JobId, JobState)> {
+        let mut st = self.state.lock();
+        while st.jobs.values().any(|s| !s.is_terminal()) {
+            self.cv.wait(&mut st);
+        }
+        drop(st);
+        self.qstat()
+    }
+
+    /// Jobs still queued (the §4.7 backlog a GPU-aware head node watches).
+    pub fn queued_count(&self) -> usize {
+        self.state
+            .lock()
+            .jobs
+            .values()
+            .filter(|s| matches!(s, JobState::Queued))
+            .count()
+    }
+
+    /// The queue's GPU-visibility mode.
+    pub fn visibility(&self) -> GpuVisibility {
+        self.visibility
+    }
+
+    /// Simulated time elapsed since `watch`-style measurements; exposed for
+    /// harnesses that time submissions externally.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Joins all job threads and shuts the nodes down. Call after
+    /// [`JobQueue::wait_all`].
+    pub fn shutdown(self: Arc<Self>) {
+        let handles = std::mem::take(&mut self.state.lock().handles);
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Ok(queue) = Arc::try_unwrap(self) {
+            if let Ok(nodes) = Arc::try_unwrap(queue.nodes) {
+                for node in nodes {
+                    node.shutdown();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtgpu_core::RuntimeConfig;
+    use mtgpu_gpusim::GpuSpec;
+    use mtgpu_workloads::calib::Scale;
+    use mtgpu_workloads::{install_kernel_library, AppKind};
+
+    fn queue(visibility: GpuVisibility) -> Arc<JobQueue> {
+        install_kernel_library();
+        let clock = Clock::with_scale(1e-6);
+        let node = ClusterNode::start(
+            "n0".into(),
+            clock.clone(),
+            vec![GpuSpec::test_small()],
+            RuntimeConfig::paper_default(),
+            false,
+        );
+        JobQueue::new(vec![node], clock, visibility)
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let q = queue(GpuVisibility::Hidden);
+        let id = q.submit(AppKind::Va.build(Scale::TINY));
+        match q.wait(id) {
+            JobState::Done(report) => {
+                assert!(report.verified);
+                assert_eq!(report.name, "VA");
+            }
+            other => panic!("unexpected terminal state {other:?}"),
+        }
+        q.shutdown();
+    }
+
+    #[test]
+    fn qstat_tracks_many_jobs_to_completion() {
+        let q = queue(GpuVisibility::Hidden);
+        let ids: Vec<JobId> =
+            (0..6).map(|_| q.submit(AppKind::Hs.build(Scale::TINY))).collect();
+        let final_states = q.wait_all();
+        assert_eq!(final_states.len(), 6);
+        for id in ids {
+            assert!(matches!(q.status(id), Some(JobState::Done(_))), "{id} not done");
+        }
+        assert_eq!(q.queued_count(), 0);
+        q.shutdown();
+    }
+
+    #[test]
+    fn aware_mode_gates_on_gpu_count() {
+        // One GPU: with Aware visibility at most one job runs at a time, so
+        // with a long job in flight the second stays Queued.
+        let q = queue(GpuVisibility::Aware);
+        let slow = q.submit(AppKind::MmL.build_with(Scale { time: 2e-3, mem: 1e-5 }, 0.0));
+        // Wait until the first job actually occupies the GPU.
+        while matches!(q.status(slow), Some(JobState::Queued)) {
+            std::thread::yield_now();
+        }
+        let second = q.submit(AppKind::Va.build(Scale::TINY));
+        assert!(
+            matches!(q.status(second), Some(JobState::Queued)),
+            "second job must queue behind the single GPU"
+        );
+        q.wait_all();
+        assert!(matches!(q.status(second), Some(JobState::Done(_))));
+        q.shutdown();
+    }
+
+    #[test]
+    fn unknown_job_id_is_none() {
+        let q = queue(GpuVisibility::Hidden);
+        assert!(q.status(JobId(999)).is_none());
+        q.shutdown();
+    }
+}

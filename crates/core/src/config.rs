@@ -1,0 +1,144 @@
+//! Runtime configuration knobs.
+
+use mtgpu_simtime::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which scheduling algorithm the dispatcher uses (§4.3: "the dispatcher can
+/// be configured to use different scheduling algorithms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SchedulerPolicy {
+    /// First-come-first-served, round-robin across devices, keeping the
+    /// number of active vGPUs uniform — the policy used throughout §5.
+    #[default]
+    FcfsRoundRobin,
+    /// Shortest-job-first on the pending launch's declared work.
+    ShortestJobFirst,
+    /// Credit-based fair scheduling: waiting contexts with the most credits
+    /// go first; each grant spends a credit, refilled when all are exhausted.
+    CreditBased,
+}
+
+/// Configuration of the node runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Virtual GPUs spawned per physical device (the sharing degree, §4.4).
+    /// The paper settles on 4 as "a good compromise" (§5.3.2).
+    pub vgpus_per_device: u32,
+    /// Defer host-to-device transfers until the data is needed by a kernel
+    /// (§4.5). Eager mode writes through to the device once bound, enabling
+    /// compute/transfer overlap at the price of higher swap cost.
+    pub defer_transfers: bool,
+    /// Enable intra-application swap (§4.5).
+    pub intra_app_swap: bool,
+    /// Enable inter-application swap (§4.5). When off, memory pressure is
+    /// resolved only by unbind-and-retry.
+    pub inter_app_swap: bool,
+    /// Coalesce repeated copies into one bulk upload per page-table entry
+    /// (§4.5 "multiple data copy operations ... single, bulk transfer").
+    pub coalesce_transfers: bool,
+    /// Scheduling policy.
+    pub scheduler: SchedulerPolicy,
+    /// Migrate idle contexts from slower to faster devices when the fast
+    /// device has free vGPUs and nothing is waiting (§5.3.4).
+    pub dynamic_load_balancing: bool,
+    /// Take an automatic checkpoint after any kernel whose simulated
+    /// duration meets this threshold (§4.6). `None` disables.
+    pub auto_checkpoint_after: Option<SimDuration>,
+    /// Backlog (bound + waiting contexts) beyond which new connections are
+    /// offloaded to peer nodes (§4.7). `None` disables offloading.
+    pub offload_threshold: Option<usize>,
+    /// Peer runtime daemons (TCP addresses) eligible for offloading.
+    pub offload_peers: Vec<String>,
+    /// Real-time tick used by service loops to notice revocation, failure
+    /// and idleness. Lower = more responsive, more wakeups.
+    pub service_tick: Duration,
+    /// Cap on total swap-area bytes per node; `None` = unbounded. Exceeding
+    /// it produces the Table 1 "Swap memory cannot be allocated" error.
+    pub swap_capacity: Option<u64>,
+    /// Cap on live page-table entries per context; exceeding it produces the
+    /// Table 1 "A virtual address cannot be assigned" error.
+    pub max_ptes_per_context: usize,
+    /// How often the health/migration monitor scans, real time.
+    pub monitor_interval: Duration,
+    /// Events retained by the runtime's trace ring buffer (0 disables
+    /// tracing).
+    pub trace_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            vgpus_per_device: 4,
+            defer_transfers: true,
+            intra_app_swap: true,
+            inter_app_swap: true,
+            coalesce_transfers: true,
+            scheduler: SchedulerPolicy::FcfsRoundRobin,
+            dynamic_load_balancing: false,
+            auto_checkpoint_after: None,
+            offload_threshold: None,
+            offload_peers: Vec::new(),
+            service_tick: Duration::from_millis(2),
+            swap_capacity: None,
+            max_ptes_per_context: 1 << 20,
+            monitor_interval: Duration::from_millis(5),
+            trace_capacity: 4096,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The paper's experimental configuration: 4 vGPUs per device, deferral
+    /// on, both swap kinds enabled, FCFS round-robin.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Serialized execution: 1 vGPU per device (the paper's "no sharing"
+    /// baseline in Figs. 7–11).
+    pub fn serialized() -> Self {
+        RuntimeConfig { vgpus_per_device: 1, ..Self::default() }
+    }
+
+    /// Builder-style override of the vGPU count.
+    pub fn with_vgpus(mut self, n: u32) -> Self {
+        self.vgpus_per_device = n;
+        self
+    }
+
+    /// Builder-style override of the scheduler policy.
+    pub fn with_scheduler(mut self, p: SchedulerPolicy) -> Self {
+        self.scheduler = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RuntimeConfig::paper_default();
+        assert_eq!(c.vgpus_per_device, 4);
+        assert!(c.defer_transfers);
+        assert!(c.intra_app_swap);
+        assert!(c.inter_app_swap);
+        assert_eq!(c.scheduler, SchedulerPolicy::FcfsRoundRobin);
+    }
+
+    #[test]
+    fn serialized_uses_one_vgpu() {
+        assert_eq!(RuntimeConfig::serialized().vgpus_per_device, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = RuntimeConfig::default()
+            .with_vgpus(8)
+            .with_scheduler(SchedulerPolicy::ShortestJobFirst);
+        assert_eq!(c.vgpus_per_device, 8);
+        assert_eq!(c.scheduler, SchedulerPolicy::ShortestJobFirst);
+    }
+}

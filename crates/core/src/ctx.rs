@@ -1,0 +1,220 @@
+//! Application contexts: one per connected application thread.
+
+use mtgpu_api::CudaError;
+use mtgpu_gpusim::kernel::RegisteredKernel;
+use mtgpu_gpusim::{DeviceId, Gpu, GpuContextId, LaunchConfig};
+use parking_lot::{Mutex, MutexGuard};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of an application context (one per application thread /
+/// connection), unique within a node runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CtxId(pub u64);
+
+impl std::fmt::Display for CtxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// Identifier of a virtual GPU: device slot plus vGPU index on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VGpuId {
+    pub device: DeviceId,
+    pub index: u32,
+}
+
+impl std::fmt::Display for VGpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}.{}", self.device.0, self.index)
+    }
+}
+
+/// A context's current binding to a virtual GPU (and thereby to a physical
+/// device and the vGPU's persistent CUDA context).
+#[derive(Clone)]
+pub struct Binding {
+    pub vgpu: VGpuId,
+    pub gpu: Arc<Gpu>,
+    pub gpu_ctx: GpuContextId,
+}
+
+impl std::fmt::Debug for Binding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Binding").field("vgpu", &self.vgpu).finish()
+    }
+}
+
+/// Mutable metadata of a context (short-held lock).
+#[derive(Default)]
+pub struct CtxInner {
+    /// Kernels registered by this application thread.
+    pub kernels: HashMap<String, RegisteredKernel>,
+    /// Modules registered so far (handles are 1-based per context).
+    pub modules: u64,
+    /// Staged `cudaConfigureCall` configuration awaiting its `cudaLaunch`.
+    pub staged_config: Option<LaunchConfig>,
+    /// Current vGPU binding, if any.
+    pub binding: Option<Binding>,
+    /// Set by a swapper/migrator/fault-handler: the binding it sees has been
+    /// revoked and its device state swapped out.
+    pub revoked: bool,
+    /// Terminal failure, if the context could not be recovered.
+    pub failed: Option<CudaError>,
+    /// Whether this application is eligible for sharing and dynamic
+    /// scheduling (false once a kernel with device-side `malloc` is
+    /// registered, §1).
+    pub ineligible_reason: Option<String>,
+    /// Scheduling credits (credit-based policy).
+    pub credits: u32,
+    /// FCFS ticket kept across re-armed acquisition timeouts so a context's
+    /// queue position survives the slice-based waiting in the launch path.
+    pub wait_ticket: Option<u64>,
+    /// CUDA 4.0 application identifier (§4.8): threads of one application
+    /// must be bound to the same device so they could share data.
+    pub app_id: Option<u64>,
+    /// Profiling hint: the job's estimated total GPU work in FLOPs, used by
+    /// the shortest-job-first policy (§2).
+    pub est_job_flops: Option<f64>,
+}
+
+/// Per-context counters.
+#[derive(Debug, Default)]
+pub struct CtxStats {
+    pub launches: AtomicU64,
+    pub times_swapped_out: AtomicU64,
+    pub times_migrated: AtomicU64,
+    pub kernel_busy_nanos: AtomicU64,
+}
+
+/// One application thread's context (the paper's `Context` structure, §4.6:
+/// connection link, last call info, error code — plus our locks).
+pub struct AppContext {
+    pub id: CtxId,
+    /// Arrival sequence number (FCFS ordering).
+    pub seq: u64,
+    /// Diagnostic label (job name).
+    pub label: String,
+    /// Long-held lock serializing all servicing of this context. The owner
+    /// handler thread takes it around each call; swappers/migrators take it
+    /// opportunistically (`try_lock`) — success implies the context is in a
+    /// CPU phase with no call in flight (§4.5's victim condition).
+    service: Mutex<()>,
+    /// Short-held metadata lock.
+    inner: Mutex<CtxInner>,
+    /// Counters.
+    pub stats: CtxStats,
+}
+
+impl AppContext {
+    /// Creates a context with default credits.
+    pub fn new(id: CtxId, seq: u64, label: String) -> Arc<Self> {
+        Arc::new(AppContext {
+            id,
+            seq,
+            label,
+            service: Mutex::new(()),
+            inner: Mutex::new(CtxInner { credits: 4, ..CtxInner::default() }),
+            stats: CtxStats::default(),
+        })
+    }
+
+    /// Acquires the service lock (the owning handler thread, blocking).
+    pub fn service_lock(&self) -> MutexGuard<'_, ()> {
+        self.service.lock()
+    }
+
+    /// Tries to acquire the service lock (swapper/migrator path): `None`
+    /// means the context is mid-call and must not be disturbed.
+    pub fn try_service_lock(&self) -> Option<MutexGuard<'_, ()>> {
+        self.service.try_lock()
+    }
+
+    /// Access to the metadata.
+    pub fn inner(&self) -> MutexGuard<'_, CtxInner> {
+        self.inner.lock()
+    }
+
+    /// The current binding, if any.
+    pub fn binding(&self) -> Option<Binding> {
+        self.inner.lock().binding.clone()
+    }
+
+    /// Marks the context terminally failed.
+    pub fn mark_failed(&self, err: CudaError) {
+        self.inner.lock().failed = Some(err);
+    }
+
+    /// Registers a kernel; flips eligibility if it uses device-side
+    /// allocation (§1: such applications are excluded from sharing and
+    /// dynamic scheduling).
+    pub fn register_kernel(&self, kernel: RegisteredKernel) {
+        let mut inner = self.inner.lock();
+        if kernel.desc.uses_dynamic_alloc {
+            inner.ineligible_reason =
+                Some(format!("kernel `{}` performs dynamic device allocation", kernel.desc.name));
+        }
+        inner.kernels.insert(kernel.desc.name.clone(), kernel);
+    }
+
+    /// Whether the context may participate in sharing/dynamic scheduling.
+    pub fn is_eligible(&self) -> bool {
+        self.inner.lock().ineligible_reason.is_none()
+    }
+
+    /// Records kernel busy time.
+    pub fn add_kernel_time(&self, nanos: u64) {
+        self.stats.kernel_busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for AppContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppContext")
+            .field("id", &self.id)
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtgpu_gpusim::KernelDesc;
+
+    #[test]
+    fn try_service_lock_reflects_business() {
+        let ctx = AppContext::new(CtxId(1), 0, "t".into());
+        {
+            let _guard = ctx.service_lock();
+            assert!(ctx.try_service_lock().is_none(), "locked ⇒ busy");
+        }
+        assert!(ctx.try_service_lock().is_some(), "unlocked ⇒ idle");
+    }
+
+    #[test]
+    fn dynamic_alloc_kernel_disqualifies() {
+        let ctx = AppContext::new(CtxId(1), 0, "t".into());
+        assert!(ctx.is_eligible());
+        ctx.register_kernel(RegisteredKernel {
+            desc: KernelDesc {
+                name: "devmalloc".into(),
+                uses_nested_pointers: false,
+                uses_dynamic_alloc: true,
+                read_only_args: Vec::new(),
+            },
+            payload: None,
+        });
+        assert!(!ctx.is_eligible());
+    }
+
+    #[test]
+    fn failure_is_sticky() {
+        let ctx = AppContext::new(CtxId(1), 0, "t".into());
+        ctx.mark_failed(CudaError::DeviceUnavailable);
+        assert_eq!(ctx.inner().failed, Some(CudaError::DeviceUnavailable));
+    }
+}

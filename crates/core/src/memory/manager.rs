@@ -1,0 +1,997 @@
+//! The memory manager: virtual memory for GPUs (§4.5).
+//!
+//! Applications never see device addresses — `malloc` returns *virtual*
+//! addresses minted here, and data lives in the host-side swap area, moving
+//! to a device only on demand (at kernel-launch time under transfer
+//! deferral). The manager implements the full Table 1 action matrix, the
+//! Figure 4 flag state machine, intra- and inter-application swap,
+//! bulk-transfer coalescing, bad-operation detection, nested-structure
+//! consistency, checkpointing, and device-loss recovery.
+//!
+//! # Locking contract
+//!
+//! Every method taking a [`CtxId`] assumes the caller holds that context's
+//! *service lock* ([`crate::ctx::AppContext::service_lock`]): a context's
+//! memory state is only ever mutated by one thread at a time (its handler,
+//! or a swapper/migrator that won its `try_lock`). The manager's internal
+//! mutex is short-held and never spans a simulated-time device operation —
+//! transfers are planned under the lock, executed outside it, and committed
+//! under it again.
+
+use crate::ctx::{Binding, CtxId};
+use crate::memory::page_table::{PageTable, PageTableEntry, SwapSlab};
+use crate::memory::swap::SwapArea;
+use crate::metrics::RuntimeMetrics;
+use mtgpu_api::protocol::AllocKind;
+use mtgpu_api::{CudaError, CudaResult, HostBuf};
+use mtgpu_gpusim::device::DEFAULT_MATERIALIZE_CAP;
+use mtgpu_gpusim::{DeviceAddr, KernelArg};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Base of the virtual address space handed to applications. High enough to
+/// never collide with device-salted physical addresses.
+const VADDR_BASE: u64 = 0x7f00_0000_0000;
+/// Virtual allocation alignment (matches the device allocator).
+const VALIGN: u64 = 256;
+
+/// Result of trying to make a launch's working set resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Materialize {
+    /// Everything resident and uploaded; launch may proceed.
+    Ready,
+    /// Even after intra-application swapping, `0.0 +` this many bytes could
+    /// not be allocated on the device. The caller escalates (inter-app swap
+    /// or unbind-and-retry).
+    NeedBytes(u64),
+}
+
+/// Why a context's device state is being evicted (metric attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapReason {
+    /// Evicted as the victim of another application's memory need (§4.5).
+    InterAppVictim,
+    /// Unbound voluntarily (requeue after failed materialization).
+    Unbind,
+    /// Migrating to a different device (§5.3.4).
+    Migration,
+    /// Device failed or was removed.
+    DeviceLoss,
+}
+
+/// Outcome of device-loss recovery for one context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// All device-resident data had a consistent swap copy; the context can
+    /// transparently rebind elsewhere.
+    Recovered,
+    /// Some data existed only on the lost device (dirty, never
+    /// checkpointed): the context cannot be transparently resumed.
+    LostDirtyData,
+}
+
+struct MmState {
+    tables: HashMap<CtxId, PageTable>,
+    swap: SwapArea,
+    next_vaddr: u64,
+}
+
+/// Memory-manager configuration slice (copied from
+/// [`crate::config::RuntimeConfig`]).
+#[derive(Debug, Clone)]
+pub struct MemoryConfig {
+    pub defer_transfers: bool,
+    pub coalesce_transfers: bool,
+    pub intra_app_swap: bool,
+    pub max_ptes_per_context: usize,
+    pub swap_capacity: Option<u64>,
+    pub materialize_cap: u64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            defer_transfers: true,
+            coalesce_transfers: true,
+            intra_app_swap: true,
+            max_ptes_per_context: 1 << 20,
+            swap_capacity: None,
+            materialize_cap: DEFAULT_MATERIALIZE_CAP,
+        }
+    }
+}
+
+/// The node-wide memory manager.
+pub struct MemoryManager {
+    cfg: MemoryConfig,
+    metrics: Arc<RuntimeMetrics>,
+    state: Mutex<MmState>,
+}
+
+impl MemoryManager {
+    /// Creates a manager.
+    pub fn new(cfg: MemoryConfig, metrics: Arc<RuntimeMetrics>) -> Self {
+        let swap = SwapArea::new(cfg.swap_capacity);
+        MemoryManager {
+            cfg,
+            metrics,
+            state: Mutex::new(MmState {
+                tables: HashMap::new(),
+                swap,
+                next_vaddr: VADDR_BASE,
+            }),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// Registers a fresh context.
+    pub fn register_ctx(&self, ctx: CtxId) {
+        self.state.lock().tables.insert(ctx, PageTable::new());
+    }
+
+    /// Removes a context, releasing its swap reservation and (when bound)
+    /// its device allocations.
+    pub fn remove_ctx(&self, ctx: CtxId, binding: Option<&Binding>) {
+        let frees: Vec<(DeviceAddr, u64)> = {
+            let mut st = self.state.lock();
+            let Some(table) = st.tables.remove(&ctx) else { return };
+            let mut frees = Vec::new();
+            let mut swap_bytes = 0;
+            for e in table.iter() {
+                swap_bytes += e.size;
+                if let Some(d) = e.device_ptr {
+                    frees.push((d, e.size));
+                }
+            }
+            st.swap.release(swap_bytes);
+            frees
+        };
+        if let Some(b) = binding {
+            for (d, _) in frees {
+                let _ = b.gpu.free(b.gpu_ctx, d);
+            }
+        }
+    }
+
+    /// `cudaMalloc` (Table 1): create PTE, allocate swap. No device action.
+    pub fn malloc(&self, ctx: CtxId, size: u64, kind: AllocKind) -> CudaResult<DeviceAddr> {
+        if size == 0 {
+            return Err(CudaError::InvalidValue);
+        }
+        let mut st = self.state.lock();
+        let max_ptes = self.cfg.max_ptes_per_context;
+        let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+        if table.len() >= max_ptes {
+            return Err(CudaError::VirtualAddressExhausted);
+        }
+        st.swap.reserve(size)?;
+        let vaddr = DeviceAddr(st.next_vaddr);
+        st.next_vaddr += (size + VALIGN - 1) & !(VALIGN - 1);
+        let slab = SwapSlab::new(size, self.cfg.materialize_cap);
+        let table = st.tables.get_mut(&ctx).expect("table vanished");
+        table.insert(PageTableEntry {
+            vaddr,
+            size,
+            device_ptr: None,
+            flags: crate::memory::page_table::Flags::INITIAL,
+            kind,
+            slab,
+            nested_members: Vec::new(),
+            nested_parent: None,
+        });
+        Ok(vaddr)
+    }
+
+    /// `cudaFree` (Table 1): check PTE, de-allocate swap, free device copy
+    /// if resident.
+    pub fn free(&self, ctx: CtxId, vaddr: DeviceAddr, binding: Option<&Binding>) -> CudaResult<()> {
+        let entry = {
+            let mut st = self.state.lock();
+            let table = st.tables.get_mut(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+            let entry = table.remove(vaddr).ok_or(CudaError::InvalidDevicePointer)?;
+            st.swap.release(entry.size);
+            entry
+        };
+        if let Some(dptr) = entry.device_ptr {
+            let b = binding.ok_or(CudaError::SwapDeallocation)?;
+            b.gpu.free(b.gpu_ctx, dptr).map_err(CudaError::from_gpu)?;
+        }
+        Ok(())
+    }
+
+    /// `cudaMemcpy` host→device (Table 1): check PTE, move data to swap.
+    /// Under deferral no device action occurs; in eager mode the region is
+    /// written through when the entry is already resident.
+    pub fn copy_h2d(
+        &self,
+        ctx: CtxId,
+        dst: DeviceAddr,
+        buf: &HostBuf,
+        binding: Option<&Binding>,
+    ) -> CudaResult<()> {
+        if buf.declared_len == 0 {
+            return Err(CudaError::InvalidValue);
+        }
+        // Phase 0: if the entry is dirty on device (a kernel wrote it and
+        // no checkpoint followed), synchronize the slab first — a *partial*
+        // host write must merge into the kernel's output, not clobber the
+        // untouched region with the stale pre-kernel slab at the next bulk
+        // upload. (Figure 4's flags are per-entry; this keeps the swap tier
+        // authoritative at byte granularity.)
+        let sync_plan = {
+            let st = self.state.lock();
+            let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+            let (base, _) = table.resolve(dst).ok_or(CudaError::InvalidDevicePointer)?;
+            let entry = table.get(base).expect("resolved entry vanished");
+            (entry.flags.to_swap && entry.flags.allocated)
+                .then(|| (base, entry.device_ptr.expect("allocated without ptr"), entry.size))
+        };
+        if let Some((base, dptr, size)) = sync_plan {
+            let b = binding.ok_or(CudaError::InvalidDevicePointer)?;
+            let bytes = b.gpu.memcpy_d2h(b.gpu_ctx, dptr, size).map_err(CudaError::from_gpu)?;
+            let mut st = self.state.lock();
+            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                entry.slab.write(0, &bytes);
+                entry.flags = entry.flags.on_copy_dh();
+            }
+        }
+        // Phase 1: validate, update slab + flags under the lock.
+        let eager_plan = {
+            let mut st = self.state.lock();
+            let table = st.tables.get_mut(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+            let (base, offset) = table
+                .resolve(dst)
+                .ok_or(CudaError::InvalidDevicePointer)?;
+            let entry = table.get_mut(base).expect("resolved entry vanished");
+            if offset + buf.declared_len > entry.size {
+                RuntimeMetrics::bump(&self.metrics.bad_ops_rejected);
+                return Err(CudaError::SizeMismatch);
+            }
+            if entry.flags.to_dev && self.cfg.coalesce_transfers {
+                // A previous copy into this entry has not been uploaded yet:
+                // this one merges into the same future bulk transfer.
+                RuntimeMetrics::bump(&self.metrics.coalesced_copies);
+            }
+            entry.slab.write(offset, &buf.payload);
+            entry.flags = entry.flags.on_copy_hd();
+            if !self.cfg.defer_transfers && entry.flags.allocated {
+                entry.device_ptr.map(|d| (d, entry.size, entry.slab.data.clone()))
+            } else {
+                None
+            }
+        };
+        // Phase 2 (eager mode only): write through to the device.
+        if let (Some((dptr, size, data)), Some(b)) = (eager_plan, binding) {
+            b.gpu
+                .memcpy_h2d(b.gpu_ctx, dptr, size, &data)
+                .map_err(CudaError::from_gpu)?;
+            let mut st = self.state.lock();
+            if let Some(entry) =
+                st.tables.get_mut(&ctx).and_then(|t| t.resolve(dst).map(|(b, _)| b)).and_then(
+                    |base| st.tables.get_mut(&ctx).unwrap().get_mut(base),
+                )
+            {
+                entry.flags.to_dev = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// `cudaMemcpy` device→host (Table 1): check PTE; if the device holds
+    /// the only copy, synchronize the slab first; serve from swap.
+    pub fn copy_d2h(
+        &self,
+        ctx: CtxId,
+        src: DeviceAddr,
+        len: u64,
+        binding: Option<&Binding>,
+    ) -> CudaResult<HostBuf> {
+        if len == 0 {
+            return Err(CudaError::InvalidValue);
+        }
+        // Phase 1: plan.
+        let (base, offset, sync_plan) = {
+            let st = self.state.lock();
+            let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+            let (base, offset) =
+                table.resolve(src).ok_or(CudaError::InvalidDevicePointer)?;
+            let entry = table.get(base).expect("resolved entry vanished");
+            if offset + len > entry.size {
+                RuntimeMetrics::bump(&self.metrics.bad_ops_rejected);
+                return Err(CudaError::OutOfBounds);
+            }
+            let sync = (entry.flags.to_swap && entry.flags.allocated)
+                .then(|| (entry.device_ptr.expect("allocated without ptr"), entry.size));
+            (base, offset, sync)
+        };
+        // Phase 2: synchronize the whole entry from device if dirty.
+        if let Some((dptr, size)) = sync_plan {
+            let b = binding.ok_or(CudaError::InvalidDevicePointer)?;
+            let bytes = b.gpu.memcpy_d2h(b.gpu_ctx, dptr, size).map_err(CudaError::from_gpu)?;
+            let mut st = self.state.lock();
+            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                entry.slab.write(0, &bytes);
+                entry.flags = entry.flags.on_copy_dh();
+            }
+        }
+        // Phase 3: serve from the slab.
+        let st = self.state.lock();
+        let entry = st
+            .tables
+            .get(&ctx)
+            .and_then(|t| t.get(base))
+            .ok_or(CudaError::InvalidDevicePointer)?;
+        Ok(HostBuf::with_shadow(len, entry.slab.read(offset, len)))
+    }
+
+    /// `cudaMemcpy` device→device: routed through the swap tier (both
+    /// entries' authoritative copies), preserving flags semantics.
+    pub fn copy_d2d(
+        &self,
+        ctx: CtxId,
+        dst: DeviceAddr,
+        src: DeviceAddr,
+        len: u64,
+        binding: Option<&Binding>,
+    ) -> CudaResult<()> {
+        let data = self.copy_d2h(ctx, src, len, binding)?;
+        self.copy_h2d(ctx, dst, &data, binding)
+    }
+
+    /// Registers a nested structure (§1): `parent` holds device pointers to
+    /// `members`; the manager keeps them consistent by extending launch
+    /// materialization and swaps to the whole closure.
+    pub fn register_nested(
+        &self,
+        ctx: CtxId,
+        parent: DeviceAddr,
+        members: Vec<DeviceAddr>,
+    ) -> CudaResult<()> {
+        let mut st = self.state.lock();
+        let table = st.tables.get_mut(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+        let parent_base = table
+            .resolve(parent)
+            .map(|(b, _)| b)
+            .ok_or(CudaError::InvalidDevicePointer)?;
+        let mut member_bases = Vec::with_capacity(members.len());
+        for m in &members {
+            let base =
+                table.resolve(*m).map(|(b, _)| b).ok_or(CudaError::InvalidDevicePointer)?;
+            member_bases.push(base);
+        }
+        for &mb in &member_bases {
+            table.get_mut(mb).expect("member vanished").nested_parent = Some(parent_base);
+        }
+        table.get_mut(parent_base).expect("parent vanished").nested_members = member_bases;
+        Ok(())
+    }
+
+    /// Resolves a launch's pointer arguments to PTE bases and extends the
+    /// set with registered nested members (transitively).
+    pub fn launch_closure(&self, ctx: CtxId, args: &[KernelArg]) -> CudaResult<Vec<DeviceAddr>> {
+        let st = self.state.lock();
+        let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+        let mut closure: Vec<DeviceAddr> = Vec::new();
+        let mut stack: Vec<DeviceAddr> = Vec::new();
+        for arg in args {
+            if let KernelArg::Ptr(p) = arg {
+                let base =
+                    table.resolve(*p).map(|(b, _)| b).ok_or(CudaError::InvalidDevicePointer)?;
+                stack.push(base);
+            }
+        }
+        while let Some(base) = stack.pop() {
+            if closure.contains(&base) {
+                continue;
+            }
+            closure.push(base);
+            let entry = table.get(base).ok_or(CudaError::InvalidDevicePointer)?;
+            stack.extend(entry.nested_members.iter().copied());
+        }
+        Ok(closure)
+    }
+
+    /// Makes every entry in `bases` device-resident and uploaded on the
+    /// bound device, applying **intra-application swap** on memory pressure
+    /// (§4.5). Returns [`Materialize::NeedBytes`] if the device cannot hold
+    /// the working set even after evicting everything else this context
+    /// owns.
+    pub fn materialize(
+        &self,
+        ctx: CtxId,
+        bases: &[DeviceAddr],
+        binding: &Binding,
+    ) -> CudaResult<Materialize> {
+        loop {
+            // Find the next piece of work under the lock.
+            enum Step {
+                Alloc { base: DeviceAddr, size: u64 },
+                Upload { base: DeviceAddr, dptr: DeviceAddr, size: u64, data: Vec<u8> },
+                Done,
+            }
+            let step = {
+                let st = self.state.lock();
+                let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+                let mut step = Step::Done;
+                for &base in bases {
+                    let entry = table.get(base).ok_or(CudaError::InvalidDevicePointer)?;
+                    if !entry.flags.allocated {
+                        step = Step::Alloc { base, size: entry.size };
+                        break;
+                    }
+                    if entry.flags.to_dev {
+                        step = Step::Upload {
+                            base,
+                            dptr: entry.device_ptr.expect("allocated without ptr"),
+                            size: entry.size,
+                            data: entry.slab.data.clone(),
+                        };
+                        break;
+                    }
+                }
+                step
+            };
+            match step {
+                Step::Done => return Ok(Materialize::Ready),
+                Step::Alloc { base, size } => {
+                    match binding.gpu.malloc(binding.gpu_ctx, size) {
+                        Ok(dptr) => {
+                            let mut st = self.state.lock();
+                            if let Some(entry) =
+                                st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base))
+                            {
+                                entry.device_ptr = Some(dptr);
+                                entry.flags.allocated = true;
+                            } else {
+                                // Entry freed concurrently is impossible under
+                                // the service lock; release the orphan.
+                                let _ = binding.gpu.free(binding.gpu_ctx, dptr);
+                            }
+                        }
+                        Err(mtgpu_gpusim::GpuError::OutOfMemory) => {
+                            if !self.cfg.intra_app_swap
+                                || !self.evict_one_own_entry(ctx, bases, binding)?
+                            {
+                                return Ok(Materialize::NeedBytes(size));
+                            }
+                        }
+                        Err(e) => return Err(CudaError::from_gpu(e)),
+                    }
+                }
+                Step::Upload { base, dptr, size, data } => {
+                    binding
+                        .gpu
+                        .memcpy_h2d(binding.gpu_ctx, dptr, size, &data)
+                        .map_err(CudaError::from_gpu)?;
+                    RuntimeMetrics::bump(&self.metrics.bulk_uploads);
+                    let mut st = self.state.lock();
+                    if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                        entry.flags.to_dev = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evicts one of `ctx`'s own resident entries that is *not* part of the
+    /// working set. Returns `false` when there is nothing left to evict.
+    fn evict_one_own_entry(
+        &self,
+        ctx: CtxId,
+        protected: &[DeviceAddr],
+        binding: &Binding,
+    ) -> CudaResult<bool> {
+        let plan = {
+            let st = self.state.lock();
+            let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+            table
+                .iter()
+                .filter(|e| e.flags.allocated && !protected.contains(&e.vaddr))
+                // Evict the largest non-working-set entry first: frees the
+                // most contiguous space per swap operation.
+                .max_by_key(|e| e.size)
+                .map(|e| (e.vaddr, e.device_ptr.expect("allocated without ptr"), e.size, e.flags.to_swap))
+        };
+        let Some((base, dptr, size, dirty)) = plan else {
+            return Ok(false);
+        };
+        let synced = if dirty {
+            Some(
+                binding
+                    .gpu
+                    .memcpy_d2h(binding.gpu_ctx, dptr, size)
+                    .map_err(CudaError::from_gpu)?,
+            )
+        } else {
+            None
+        };
+        binding.gpu.free(binding.gpu_ctx, dptr).map_err(CudaError::from_gpu)?;
+        RuntimeMetrics::bump(&self.metrics.intra_app_swaps);
+        RuntimeMetrics::add(&self.metrics.swap_bytes, size);
+        let mut st = self.state.lock();
+        if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+            if let Some(bytes) = synced {
+                entry.slab.write(0, &bytes);
+            }
+            entry.device_ptr = None;
+            entry.flags = entry.flags.on_swap();
+        }
+        Ok(true)
+    }
+
+    /// Rewrites a launch's virtual pointer arguments into device pointers.
+    /// All referenced entries must be resident (call [`Self::materialize`]
+    /// first).
+    pub fn translate_args(&self, ctx: CtxId, args: &[KernelArg]) -> CudaResult<Vec<KernelArg>> {
+        let st = self.state.lock();
+        let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+        args.iter()
+            .map(|arg| match arg {
+                KernelArg::Ptr(p) => {
+                    let (base, offset) =
+                        table.resolve(*p).ok_or(CudaError::InvalidDevicePointer)?;
+                    let entry = table.get(base).expect("resolved entry vanished");
+                    let dptr = entry.device_ptr.ok_or(CudaError::InvalidDevicePointer)?;
+                    Ok(KernelArg::Ptr(DeviceAddr(dptr.0 + offset)))
+                }
+                other => Ok(*other),
+            })
+            .collect()
+    }
+
+    /// Applies the Figure 4 `launch` transition to the working set: data is
+    /// now resident and (conservatively) dirty on device.
+    pub fn mark_launched(&self, ctx: CtxId, bases: &[DeviceAddr]) {
+        let mut st = self.state.lock();
+        if let Some(table) = st.tables.get_mut(&ctx) {
+            for &base in bases {
+                if let Some(entry) = table.get_mut(base) {
+                    entry.flags = entry.flags.on_launch();
+                }
+            }
+        }
+    }
+
+    /// Swaps out **all** of a context's device-resident entries
+    /// (synchronizing dirty ones first) and frees their device memory.
+    /// This is the `Swap` internal function of Table 1 applied to the whole
+    /// context — used for inter-application victims, voluntary unbinds and
+    /// migration. Returns the bytes freed on the device.
+    pub fn swap_out_ctx(&self, ctx: CtxId, binding: &Binding, reason: SwapReason) -> CudaResult<u64> {
+        let mut freed = 0;
+        loop {
+            let plan = {
+                let st = self.state.lock();
+                st.tables.get(&ctx).and_then(|table| {
+                    table.iter().find(|e| e.flags.allocated).map(|e| {
+                        (
+                            e.vaddr,
+                            e.device_ptr.expect("allocated without ptr"),
+                            e.size,
+                            e.flags.to_swap,
+                        )
+                    })
+                })
+            };
+            let Some((base, dptr, size, dirty)) = plan else { break };
+            let synced = if dirty {
+                Some(
+                    binding
+                        .gpu
+                        .memcpy_d2h(binding.gpu_ctx, dptr, size)
+                        .map_err(CudaError::from_gpu)?,
+                )
+            } else {
+                None
+            };
+            binding.gpu.free(binding.gpu_ctx, dptr).map_err(CudaError::from_gpu)?;
+            freed += size;
+            let mut st = self.state.lock();
+            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                if let Some(bytes) = synced {
+                    entry.slab.write(0, &bytes);
+                }
+                entry.device_ptr = None;
+                entry.flags = entry.flags.on_swap();
+            }
+        }
+        if freed > 0 {
+            RuntimeMetrics::add(&self.metrics.swap_bytes, freed);
+        }
+        if reason == SwapReason::InterAppVictim {
+            RuntimeMetrics::bump(&self.metrics.inter_app_swaps);
+        }
+        Ok(freed)
+    }
+
+    /// Checkpoint (§4.6): synchronize every dirty device-resident entry to
+    /// the swap area *without* evicting it, leaving the context restartable.
+    pub fn checkpoint(&self, ctx: CtxId, binding: &Binding) -> CudaResult<()> {
+        loop {
+            let plan = {
+                let st = self.state.lock();
+                st.tables.get(&ctx).and_then(|table| {
+                    table
+                        .iter()
+                        .find(|e| e.flags.allocated && e.flags.to_swap)
+                        .map(|e| (e.vaddr, e.device_ptr.expect("allocated without ptr"), e.size))
+                })
+            };
+            let Some((base, dptr, size)) = plan else { break };
+            let bytes = binding
+                .gpu
+                .memcpy_d2h(binding.gpu_ctx, dptr, size)
+                .map_err(CudaError::from_gpu)?;
+            let mut st = self.state.lock();
+            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                entry.slab.write(0, &bytes);
+                entry.flags = entry.flags.on_copy_dh();
+            }
+        }
+        RuntimeMetrics::bump(&self.metrics.checkpoints);
+        Ok(())
+    }
+
+    /// Handles the loss of the device a context was bound to: resident
+    /// entries are reset to host-authoritative. If any entry was dirty on
+    /// the device (no checkpoint since its last kernel), the context's data
+    /// is inconsistent and it cannot transparently resume.
+    pub fn on_device_lost(&self, ctx: CtxId) -> Recovery {
+        let mut st = self.state.lock();
+        let Some(table) = st.tables.get_mut(&ctx) else {
+            return Recovery::Recovered;
+        };
+        let mut lost = false;
+        for entry in table.iter_mut() {
+            if entry.flags.allocated {
+                if entry.flags.to_swap {
+                    lost = true;
+                }
+                entry.device_ptr = None;
+                entry.flags.allocated = false;
+                entry.flags.to_swap = false;
+                entry.flags.to_dev = true;
+            }
+        }
+        if lost {
+            Recovery::LostDirtyData
+        } else {
+            Recovery::Recovered
+        }
+    }
+
+    /// The context's total declared footprint (the paper's `MemUsage`).
+    pub fn mem_usage(&self, ctx: CtxId) -> u64 {
+        self.state.lock().tables.get(&ctx).map_or(0, |t| t.mem_usage())
+    }
+
+    /// Bytes of the context currently resident on its device.
+    pub fn resident_bytes(&self, ctx: CtxId) -> u64 {
+        self.state.lock().tables.get(&ctx).map_or(0, |t| t.resident_bytes())
+    }
+
+    /// Total swap-area bytes in use.
+    pub fn swap_used(&self) -> u64 {
+        self.state.lock().swap.used()
+    }
+
+    /// Number of live PTEs for a context (diagnostics).
+    pub fn pte_count(&self, ctx: CtxId) -> usize {
+        self.state.lock().tables.get(&ctx).map_or(0, |t| t.len())
+    }
+
+    /// Checkpoints (if bound) and exports the context's complete memory
+    /// image with virtual addresses preserved (§4.6). The image is
+    /// host-authoritative: residency is not captured — restoration
+    /// re-materializes lazily at the next launch.
+    pub fn export_image(
+        &self,
+        ctx: CtxId,
+        label: &str,
+        binding: Option<&Binding>,
+    ) -> CudaResult<mtgpu_api::protocol::ContextImage> {
+        if let Some(b) = binding {
+            self.checkpoint(ctx, b)?;
+        }
+        let st = self.state.lock();
+        let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+        let entries = table
+            .iter()
+            .map(|e| mtgpu_api::protocol::ImageEntry {
+                vaddr: e.vaddr,
+                size: e.size,
+                kind: e.kind,
+                data: e.slab.data.clone(),
+                nested_members: e.nested_members.clone(),
+                nested_parent: e.nested_parent,
+            })
+            .collect();
+        Ok(mtgpu_api::protocol::ContextImage { label: label.to_string(), entries })
+    }
+
+    /// Restores an exported image into a context with an empty page table,
+    /// preserving every virtual address. Fails with
+    /// [`CudaError::InvalidValue`] if the context already has allocations,
+    /// and with [`CudaError::SwapAllocation`] if the swap area cannot hold
+    /// the image.
+    pub fn import_image(
+        &self,
+        ctx: CtxId,
+        image: mtgpu_api::protocol::ContextImage,
+    ) -> CudaResult<()> {
+        let mut st = self.state.lock();
+        let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+        if !table.is_empty() {
+            return Err(CudaError::InvalidValue);
+        }
+        st.swap.reserve(image.declared_bytes())?;
+        // Future mallocs (of any context) must not collide with the
+        // imported virtual range within this runtime.
+        let max_end = image
+            .entries
+            .iter()
+            .map(|e| e.vaddr.0 + e.size)
+            .max()
+            .unwrap_or(VADDR_BASE);
+        if st.next_vaddr < max_end {
+            st.next_vaddr = (max_end + VALIGN - 1) & !(VALIGN - 1);
+        }
+        let cap = self.cfg.materialize_cap;
+        let table = st.tables.get_mut(&ctx).expect("table vanished");
+        for e in image.entries {
+            let mut slab = SwapSlab::new(e.size, cap);
+            slab.write(0, &e.data);
+            table.insert(PageTableEntry {
+                vaddr: e.vaddr,
+                size: e.size,
+                device_ptr: None,
+                // Host-authoritative: upload before the next kernel use.
+                flags: crate::memory::page_table::Flags {
+                    allocated: false,
+                    to_dev: true,
+                    to_swap: false,
+                },
+                kind: e.kind,
+                slab,
+                nested_members: e.nested_members,
+                nested_parent: e.nested_parent,
+            });
+        }
+        Ok(())
+    }
+
+    /// Test/diagnostic hook: the flags of the entry at `vaddr`.
+    pub fn flags_of(&self, ctx: CtxId, vaddr: DeviceAddr) -> Option<crate::memory::page_table::Flags> {
+        let st = self.state.lock();
+        let table = st.tables.get(&ctx)?;
+        let (base, _) = table.resolve(vaddr)?;
+        table.get(base).map(|e| e.flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::VGpuId;
+    use mtgpu_gpusim::{DeviceId, Gpu, GpuSpec};
+    use mtgpu_simtime::Clock;
+
+    fn mm() -> MemoryManager {
+        MemoryManager::new(MemoryConfig::default(), Arc::new(RuntimeMetrics::default()))
+    }
+
+    fn gpu_binding() -> Binding {
+        let gpu = Gpu::new(GpuSpec::test_small(), Clock::with_scale(1e-7), 0);
+        let gpu_ctx = gpu.create_context().unwrap();
+        Binding { vgpu: VGpuId { device: DeviceId(0), index: 0 }, gpu, gpu_ctx }
+    }
+
+    const CTX: CtxId = CtxId(1);
+
+    #[test]
+    fn malloc_assigns_distinct_virtual_addresses() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let a = m.malloc(CTX, 100, AllocKind::Linear).unwrap();
+        let b = m.malloc(CTX, 100, AllocKind::Linear).unwrap();
+        assert_ne!(a, b);
+        assert!(a.0 >= VADDR_BASE && b.0 >= VADDR_BASE);
+        assert_eq!(m.pte_count(CTX), 2);
+        assert_eq!(m.mem_usage(CTX), 200);
+    }
+
+    #[test]
+    fn unknown_context_rejected() {
+        let m = mm();
+        assert_eq!(
+            m.malloc(CtxId(99), 64, AllocKind::Linear),
+            Err(CudaError::InvalidDevicePointer)
+        );
+    }
+
+    #[test]
+    fn materialize_uploads_once_and_translates() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let v = m.malloc(CTX, 1024, AllocKind::Linear).unwrap();
+        let buf = HostBuf::from_slice(&[3u8; 1024]);
+        m.copy_h2d(CTX, v, &buf, None).unwrap();
+        assert_eq!(m.flags_of(CTX, v).unwrap(), crate::memory::page_table::Flags {
+            allocated: false, to_dev: true, to_swap: false });
+        let closure = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
+        assert_eq!(m.materialize(CTX, &closure, &b).unwrap(), Materialize::Ready);
+        assert_eq!(b.gpu.stats().snapshot().h2d_bytes, 1024);
+        // Idempotent: a second materialize does nothing.
+        assert_eq!(m.materialize(CTX, &closure, &b).unwrap(), Materialize::Ready);
+        assert_eq!(b.gpu.stats().snapshot().h2d_bytes, 1024);
+        // Translation yields a device pointer with offset arithmetic.
+        let args = m
+            .translate_args(CTX, &[KernelArg::Ptr(DeviceAddr(v.0 + 256))])
+            .unwrap();
+        let KernelArg::Ptr(dptr) = args[0] else { panic!("not a pointer") };
+        assert_ne!(dptr.0 & 0xFFFF_0000_0000, VADDR_BASE & 0xFFFF_0000_0000);
+        // The device accepts the translated interior pointer.
+        assert!(b.gpu.memcpy_d2h(b.gpu_ctx, dptr, 16).is_ok());
+    }
+
+    #[test]
+    fn intra_app_swap_evicts_non_working_set() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let avail = b.gpu.mem_available();
+        let chunk = avail / 5 * 2;
+        let x = m.malloc(CTX, chunk, AllocKind::Linear).unwrap();
+        let y = m.malloc(CTX, chunk, AllocKind::Linear).unwrap();
+        let z = m.malloc(CTX, chunk, AllocKind::Linear).unwrap();
+        // x, y resident.
+        let c1 = m.launch_closure(CTX, &[KernelArg::Ptr(x), KernelArg::Ptr(y)]).unwrap();
+        assert_eq!(m.materialize(CTX, &c1, &b).unwrap(), Materialize::Ready);
+        m.mark_launched(CTX, &c1);
+        // y, z next: x must be evicted.
+        let c2 = m.launch_closure(CTX, &[KernelArg::Ptr(y), KernelArg::Ptr(z)]).unwrap();
+        assert_eq!(m.materialize(CTX, &c2, &b).unwrap(), Materialize::Ready);
+        assert!(!m.flags_of(CTX, x).unwrap().allocated, "x should be swapped out");
+        assert!(m.flags_of(CTX, y).unwrap().allocated);
+        assert!(m.flags_of(CTX, z).unwrap().allocated);
+    }
+
+    #[test]
+    fn materialize_reports_shortfall_when_working_set_too_big() {
+        let cfg = MemoryConfig { intra_app_swap: true, ..MemoryConfig::default() };
+        let m = MemoryManager::new(cfg, Arc::new(RuntimeMetrics::default()));
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let too_big = b.gpu.mem_available() + (1 << 20);
+        let v = m.malloc(CTX, too_big, AllocKind::Linear).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
+        match m.materialize(CTX, &c, &b).unwrap() {
+            Materialize::NeedBytes(n) => assert!(n >= too_big),
+            other => panic!("expected NeedBytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn swap_out_ctx_preserves_dirty_data() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let v = m.malloc(CTX, 512, AllocKind::Linear).unwrap();
+        m.copy_h2d(CTX, v, &HostBuf::from_slice(&[7u8; 512]), None).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        m.mark_launched(CTX, &c); // dirty on device
+        let freed = m.swap_out_ctx(CTX, &b, SwapReason::Unbind).unwrap();
+        assert_eq!(freed, 512);
+        assert_eq!(m.resident_bytes(CTX), 0);
+        // Data must have been synchronized down before the free.
+        let back = m.copy_d2h(CTX, v, 512, None).unwrap();
+        assert_eq!(back.payload, vec![7u8; 512]);
+    }
+
+    #[test]
+    fn checkpoint_clears_dirty_without_evicting() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let v = m.malloc(CTX, 256, AllocKind::Linear).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        m.mark_launched(CTX, &c);
+        assert!(m.flags_of(CTX, v).unwrap().to_swap);
+        m.checkpoint(CTX, &b).unwrap();
+        let f = m.flags_of(CTX, v).unwrap();
+        assert!(f.allocated && !f.to_swap && !f.to_dev, "T/F/F after checkpoint: {f:?}");
+    }
+
+    #[test]
+    fn device_loss_recoverable_only_when_clean() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let v = m.malloc(CTX, 256, AllocKind::Linear).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        m.mark_launched(CTX, &c);
+        // Dirty on device → lost.
+        assert_eq!(m.on_device_lost(CTX), Recovery::LostDirtyData);
+        // After the reset the entry is host-authoritative again.
+        let f = m.flags_of(CTX, v).unwrap();
+        assert!(!f.allocated && f.to_dev);
+        // A clean context recovers.
+        m.materialize(CTX, &c, &b).unwrap();
+        m.mark_launched(CTX, &c);
+        m.checkpoint(CTX, &b).unwrap();
+        assert_eq!(m.on_device_lost(CTX), Recovery::Recovered);
+    }
+
+    #[test]
+    fn nested_closure_is_transitive_and_deduplicated() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let a = m.malloc(CTX, 64, AllocKind::Linear).unwrap();
+        let b1 = m.malloc(CTX, 64, AllocKind::Linear).unwrap();
+        let b2 = m.malloc(CTX, 64, AllocKind::Linear).unwrap();
+        let c = m.malloc(CTX, 64, AllocKind::Linear).unwrap();
+        m.register_nested(CTX, a, vec![b1, b2]).unwrap();
+        m.register_nested(CTX, b1, vec![c]).unwrap();
+        let closure = m
+            .launch_closure(CTX, &[KernelArg::Ptr(a), KernelArg::Ptr(b2)])
+            .unwrap();
+        assert_eq!(closure.len(), 4, "a, b1, b2, c exactly once: {closure:?}");
+        for v in [a, b1, b2, c] {
+            assert!(closure.contains(&v));
+        }
+    }
+
+    #[test]
+    fn copy_d2d_moves_data_between_entries() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let src = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        let dst = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        m.copy_h2d(CTX, src, &HostBuf::from_slice(&[9u8; 128]), None).unwrap();
+        m.copy_d2d(CTX, dst, src, 128, None).unwrap();
+        assert_eq!(m.copy_d2h(CTX, dst, 128, None).unwrap().payload, vec![9u8; 128]);
+    }
+
+    #[test]
+    fn remove_ctx_frees_device_side() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let before = b.gpu.mem_available();
+        let v = m.malloc(CTX, 4096, AllocKind::Linear).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        assert!(b.gpu.mem_available() < before);
+        m.remove_ctx(CTX, Some(&b));
+        assert_eq!(b.gpu.mem_available(), before);
+        assert_eq!(m.swap_used(), 0);
+    }
+
+    #[test]
+    fn eager_mode_writes_through_when_resident() {
+        let cfg = MemoryConfig { defer_transfers: false, ..MemoryConfig::default() };
+        let m = MemoryManager::new(cfg, Arc::new(RuntimeMetrics::default()));
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let v = m.malloc(CTX, 256, AllocKind::Linear).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        let h2d_before = b.gpu.stats().snapshot().h2d_bytes;
+        m.copy_h2d(CTX, v, &HostBuf::from_slice(&[1u8; 256]), Some(&b)).unwrap();
+        assert!(
+            b.gpu.stats().snapshot().h2d_bytes > h2d_before,
+            "eager mode must write through to the resident copy"
+        );
+        let f = m.flags_of(CTX, v).unwrap();
+        assert!(f.allocated && !f.to_dev);
+    }
+}

@@ -1,0 +1,9 @@
+//! Virtual memory for GPUs: page table, swap area, memory manager (§4.5).
+
+pub mod manager;
+pub mod page_table;
+pub mod swap;
+
+pub use manager::{Materialize, MemoryConfig, MemoryManager, Recovery, SwapReason};
+pub use page_table::{Flags, PageTable, PageTableEntry, SwapSlab};
+pub use swap::SwapArea;

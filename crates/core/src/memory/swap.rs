@@ -1,0 +1,73 @@
+//! Swap-area accounting.
+//!
+//! The swap area is the host-memory tier of the paper's memory hierarchy
+//! (§4.5): it holds "not yet allocated or swapped-out GPU data". The actual
+//! bytes live in each entry's [`super::page_table::SwapSlab`]; this type
+//! tracks the aggregate declared footprint against an optional capacity so
+//! the Table 1 "Swap memory cannot be allocated" error can fire.
+
+use mtgpu_api::CudaError;
+
+/// Aggregate swap-area accounting for one node runtime.
+#[derive(Debug)]
+pub struct SwapArea {
+    used: u64,
+    capacity: Option<u64>,
+}
+
+impl SwapArea {
+    /// Creates an accounting region; `capacity: None` is unbounded.
+    pub fn new(capacity: Option<u64>) -> Self {
+        SwapArea { used: 0, capacity }
+    }
+
+    /// Reserves `bytes`; fails with [`CudaError::SwapAllocation`] when the
+    /// capacity would be exceeded.
+    pub fn reserve(&mut self, bytes: u64) -> Result<(), CudaError> {
+        if let Some(cap) = self.capacity {
+            if self.used.saturating_add(bytes) > cap {
+                return Err(CudaError::SwapAllocation);
+            }
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes` previously reserved.
+    pub fn release(&mut self, bytes: u64) {
+        debug_assert!(self.used >= bytes, "swap release underflow");
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_fails() {
+        let mut s = SwapArea::new(None);
+        s.reserve(u64::MAX / 2).unwrap();
+        s.reserve(u64::MAX / 2).unwrap();
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut s = SwapArea::new(Some(1000));
+        s.reserve(600).unwrap();
+        assert_eq!(s.reserve(500), Err(CudaError::SwapAllocation));
+        assert_eq!(s.used(), 600);
+        s.release(600);
+        s.reserve(1000).unwrap();
+    }
+}

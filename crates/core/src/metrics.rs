@@ -1,0 +1,120 @@
+//! Runtime-wide counters: the numbers the paper annotates its figures with
+//! (swap operations in Figs. 7–8, migrations in Fig. 9, offloads in §5.4).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters owned by the node runtime.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    /// Intra-application swap-outs (per PTE evicted), §4.5.
+    pub intra_app_swaps: AtomicU64,
+    /// Inter-application swap-outs (per victim context), §4.5.
+    pub inter_app_swaps: AtomicU64,
+    /// Bytes moved device→swap by swap operations.
+    pub swap_bytes: AtomicU64,
+    /// Contexts migrated between devices (dynamic binding), §5.3.4.
+    pub migrations: AtomicU64,
+    /// Connections relayed to another node, §4.7.
+    pub offloaded_connections: AtomicU64,
+    /// Context-to-vGPU bindings granted.
+    pub bindings: AtomicU64,
+    /// Unbinds of any kind (victim, voluntary, failure).
+    pub unbindings: AtomicU64,
+    /// Kernel launches serviced.
+    pub launches: AtomicU64,
+    /// Launches that had to unbind-and-retry for lack of memory.
+    pub launch_retries: AtomicU64,
+    /// Host→device bulk uploads performed at launch time.
+    pub bulk_uploads: AtomicU64,
+    /// Application copy calls absorbed into an already-dirty swap slab
+    /// (the "single, bulk memory transfer" optimization, §4.5).
+    pub coalesced_copies: AtomicU64,
+    /// Bad memory operations rejected before reaching the GPU (§4.5).
+    pub bad_ops_rejected: AtomicU64,
+    /// Checkpoints taken (explicit + automatic).
+    pub checkpoints: AtomicU64,
+    /// Contexts recovered after a device failure/removal.
+    pub recovered_contexts: AtomicU64,
+    /// Contexts lost to a device failure (dirty data without checkpoint).
+    pub failed_contexts: AtomicU64,
+}
+
+/// Serializable snapshot of [`RuntimeMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub intra_app_swaps: u64,
+    pub inter_app_swaps: u64,
+    pub swap_bytes: u64,
+    pub migrations: u64,
+    pub offloaded_connections: u64,
+    pub bindings: u64,
+    pub unbindings: u64,
+    pub launches: u64,
+    pub launch_retries: u64,
+    pub bulk_uploads: u64,
+    pub coalesced_copies: u64,
+    pub bad_ops_rejected: u64,
+    pub checkpoints: u64,
+    pub recovered_contexts: u64,
+    pub failed_contexts: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total swap operations, the per-bar annotation of Figs. 7–8.
+    pub fn total_swaps(&self) -> u64 {
+        self.intra_app_swaps + self.inter_app_swaps
+    }
+}
+
+impl RuntimeMetrics {
+    /// Increment a counter by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by `v`.
+    #[inline]
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            intra_app_swaps: self.intra_app_swaps.load(Ordering::Relaxed),
+            inter_app_swaps: self.inter_app_swaps.load(Ordering::Relaxed),
+            swap_bytes: self.swap_bytes.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            offloaded_connections: self.offloaded_connections.load(Ordering::Relaxed),
+            bindings: self.bindings.load(Ordering::Relaxed),
+            unbindings: self.unbindings.load(Ordering::Relaxed),
+            launches: self.launches.load(Ordering::Relaxed),
+            launch_retries: self.launch_retries.load(Ordering::Relaxed),
+            bulk_uploads: self.bulk_uploads.load(Ordering::Relaxed),
+            coalesced_copies: self.coalesced_copies.load(Ordering::Relaxed),
+            bad_ops_rejected: self.bad_ops_rejected.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            recovered_contexts: self.recovered_contexts.load(Ordering::Relaxed),
+            failed_contexts: self.failed_contexts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_totals() {
+        let m = RuntimeMetrics::default();
+        RuntimeMetrics::bump(&m.intra_app_swaps);
+        RuntimeMetrics::bump(&m.intra_app_swaps);
+        RuntimeMetrics::bump(&m.inter_app_swaps);
+        RuntimeMetrics::add(&m.swap_bytes, 1024);
+        let s = m.snapshot();
+        assert_eq!(s.total_swaps(), 3);
+        assert_eq!(s.swap_bytes, 1024);
+    }
+}

@@ -1,0 +1,168 @@
+//! The health & load-balancing monitor (§4.6, §5.3.4).
+//!
+//! A single background thread per runtime periodically:
+//!
+//! 1. **Fault handling** — detects failed/detached devices, removes their
+//!    vGPU slots, and recovers the contexts that were bound there: contexts
+//!    whose device-resident data had a consistent swap copy rebind
+//!    transparently on their next launch; contexts with unrecoverable dirty
+//!    data are marked failed (§4.6).
+//! 2. **Dynamic load balancing** — when a *faster* device has idle vGPUs
+//!    and nothing is waiting, migrates an idle context from a slower device
+//!    ("the dispatcher keeps track of fast GPUs becoming idle, and, in the
+//!    absence of pending jobs, migrates running jobs from slow to fast
+//!    GPUs", §5.3.4).
+
+use crate::ctx::CtxId;
+use crate::memory::SwapReason;
+use crate::metrics::RuntimeMetrics;
+use crate::runtime::NodeRuntime;
+use crate::sched::DeviceView;
+use crate::trace::{TraceEvent, UnbindReason};
+use mtgpu_api::CudaError;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Minimum speed advantage (effective FLOPS ratio) for a migration to be
+/// worth its data-transfer cost.
+const MIGRATION_SPEEDUP: f64 = 1.25;
+
+/// Monitor entry point; returns when the runtime shuts down.
+pub(crate) fn run(rt: Arc<NodeRuntime>) {
+    while !rt.is_shutdown() {
+        recover_failed_devices(&rt);
+        if rt.config().dynamic_load_balancing {
+            balance_once(&rt);
+        }
+        std::thread::sleep(rt.config().monitor_interval);
+    }
+}
+
+/// Detects failed or detached devices and recovers their contexts.
+pub(crate) fn recover_failed_devices(rt: &NodeRuntime) {
+    let views = rt.bindings().device_views();
+    for view in views {
+        if !view.gpu.is_failed() {
+            continue;
+        }
+        let affected = rt.bindings().remove_device(view.id);
+        rt.tracer().record(TraceEvent::DeviceLost { device: view.id });
+        rt.bindings().notify_all();
+        for ctx_id in affected {
+            recover_context(rt, ctx_id);
+        }
+    }
+}
+
+fn recover_context(rt: &NodeRuntime, ctx_id: CtxId) {
+    let Some(ctx) = rt.context(ctx_id) else { return };
+    // Block until the context's handler finishes its in-flight call (which
+    // will itself hit DeviceFailed and recover inline; this lock then sees
+    // binding already cleared).
+    let _guard = ctx.service_lock();
+    let Some(_binding) = ctx.binding() else { return };
+    ctx.inner().binding = None;
+    match rt.memory().on_device_lost(ctx_id) {
+        crate::memory::Recovery::Recovered => {
+            RuntimeMetrics::bump(&rt.metrics_ref().recovered_contexts);
+            rt.tracer().record(TraceEvent::Recovered { ctx: ctx_id });
+        }
+        crate::memory::Recovery::LostDirtyData => {
+            RuntimeMetrics::bump(&rt.metrics_ref().failed_contexts);
+            ctx.mark_failed(CudaError::DeviceUnavailable);
+            rt.tracer().record(TraceEvent::Failed { ctx: ctx_id });
+        }
+    }
+}
+
+/// One load-balancing pass: at most one migration per tick (avoids
+/// thrashing).
+pub(crate) fn balance_once(rt: &NodeRuntime) {
+    let views = rt.bindings().device_views();
+    if views.len() < 2 {
+        return;
+    }
+    // §5.3.4: migrate only in the absence of pending jobs — waiting
+    // contexts will soak up the free fast vGPUs by themselves.
+    if rt.bindings().waiting_count() > 0 {
+        return;
+    }
+    let Some(fast) = views
+        .iter()
+        .filter(|v| v.free_vgpus > 0 && !v.gpu.is_failed())
+        .max_by(|a, b| a.effective_flops.total_cmp(&b.effective_flops))
+    else {
+        return;
+    };
+    let Some(slow) = views
+        .iter()
+        .filter(|v| !v.bound.is_empty() && v.id != fast.id && !v.gpu.is_failed())
+        .min_by(|a, b| a.effective_flops.total_cmp(&b.effective_flops))
+    else {
+        return;
+    };
+    if fast.effective_flops < slow.effective_flops * MIGRATION_SPEEDUP {
+        return;
+    }
+    migrate_one(rt, slow, fast);
+}
+
+/// Migrates one idle context from `slow` to `fast`. Returns `true` on
+/// success.
+fn migrate_one(rt: &NodeRuntime, slow: &DeviceView, fast: &DeviceView) -> bool {
+    for ctx_id in &slow.bound {
+        let Some(ctx) = rt.context(*ctx_id) else { continue };
+        if !ctx.is_eligible() {
+            continue;
+        }
+        // §4.8: threads of a CUDA 4.0 application stay together; migrating
+        // one alone would split the application across devices.
+        if ctx.inner().app_id.is_some() {
+            continue;
+        }
+        // Only an idle context (CPU phase, no call in flight) can move.
+        let Some(_guard) = ctx.try_service_lock() else { continue };
+        let Some(old) = ctx.binding() else { continue };
+        if old.vgpu.device != slow.id {
+            continue;
+        }
+        // Reserve the fast slot first so we never strand the context.
+        let Some(new) = rt.bindings().try_acquire_on(*ctx_id, fast.id) else { return false };
+        match rt.memory().swap_out_ctx(*ctx_id, &old, SwapReason::Migration) {
+            Ok(bytes) => {
+                rt.bindings().release(*ctx_id, old.vgpu);
+                rt.tracer().record(TraceEvent::SwappedOut {
+                    ctx: *ctx_id,
+                    bytes,
+                    reason: SwapReason::Migration.into(),
+                });
+                rt.tracer().record(TraceEvent::Unbound {
+                    ctx: *ctx_id,
+                    vgpu: old.vgpu,
+                    reason: UnbindReason::Migration,
+                });
+                rt.tracer().record(TraceEvent::Migrated {
+                    ctx: *ctx_id,
+                    from: slow.id,
+                    to: fast.id,
+                });
+                let new_vgpu = new.vgpu;
+                ctx.inner().binding = Some(new);
+                ctx.stats.times_migrated.fetch_add(1, Ordering::Relaxed);
+                RuntimeMetrics::bump(&rt.metrics_ref().migrations);
+                rt.tracer().record(TraceEvent::Bound { ctx: *ctx_id, vgpu: new_vgpu });
+                // Data re-materializes on the fast device at the next
+                // launch (lazy restore, §4.6: "replay only memory
+                // operations required by not-yet-executed kernel calls").
+                return true;
+            }
+            Err(_) => {
+                // Old device died mid-swap: give the slot back and let the
+                // fault path clean up.
+                rt.bindings().release(*ctx_id, new.vgpu);
+                return false;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,378 @@
+//! The node runtime: the daemon that owns the connection manager,
+//! dispatcher, virtual GPUs, memory manager and monitors (Figure 3).
+
+use crate::config::RuntimeConfig;
+use crate::ctx::{AppContext, CtxId};
+use crate::memory::{MemoryConfig, MemoryManager};
+use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
+use crate::monitor;
+use crate::sched::BindingManager;
+use crate::service;
+use crate::trace::{TraceEvent, Tracer};
+use mtgpu_api::transport::{channel_pair, ChannelTransport, FrontendClient, ServerConn};
+use mtgpu_api::{CudaError, CudaReply, Transport};
+use mtgpu_gpusim::{DeviceId, Driver, GpuSpec};
+use mtgpu_simtime::Clock;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A point-in-time description of the node's load, exposed to cluster-level
+/// schedulers (§2: "the node-level runtime may expose some information to
+/// the cluster-level scheduler").
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LoadInfo {
+    /// Connected application threads.
+    pub contexts: usize,
+    /// Contexts waiting for a vGPU.
+    pub waiting: usize,
+    /// Contexts currently bound to a vGPU.
+    pub bound: usize,
+    /// vGPUs across healthy devices.
+    pub total_vgpus: usize,
+}
+
+impl LoadInfo {
+    /// The §4.7 backlog measure driving offload decisions.
+    pub fn backlog(&self) -> usize {
+        self.contexts
+    }
+}
+
+/// The per-node runtime daemon (Figure 3): replicated on every node of the
+/// cluster, it intercepts the CUDA call streams of all local applications
+/// and schedules them over the node's GPUs.
+pub struct NodeRuntime {
+    cfg: RuntimeConfig,
+    driver: Arc<Driver>,
+    clock: Clock,
+    mm: MemoryManager,
+    bm: BindingManager,
+    metrics: Arc<RuntimeMetrics>,
+    registry: Mutex<HashMap<CtxId, Arc<AppContext>>>,
+    next_ctx: AtomicU64,
+    shutdown: AtomicBool,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
+    offload_rr: AtomicU64,
+    /// Connections currently served locally, counted synchronously at
+    /// accept time (the §4.7 backlog measure must not race with handler
+    /// startup).
+    active_conns: AtomicUsize,
+    /// Local-service slots remaining before new connections are offloaded
+    /// (§4.7: "we allow the dispatcher to process pending connections only
+    /// if the number of pending contexts is below a given threshold").
+    /// `i64::MAX` when offloading is disabled.
+    local_slots: std::sync::atomic::AtomicI64,
+    tracer: Tracer,
+}
+
+impl NodeRuntime {
+    /// Starts the runtime: spawns the configured vGPUs on every attached
+    /// device and the health/migration monitor.
+    ///
+    /// # Panics
+    /// Panics if a vGPU's persistent CUDA context cannot be created (a
+    /// misconfiguration: more vGPUs than the device supports contexts).
+    pub fn start(driver: Arc<Driver>, cfg: RuntimeConfig) -> Arc<NodeRuntime> {
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let mm = MemoryManager::new(
+            MemoryConfig {
+                defer_transfers: cfg.defer_transfers,
+                coalesce_transfers: cfg.coalesce_transfers,
+                intra_app_swap: cfg.intra_app_swap,
+                max_ptes_per_context: cfg.max_ptes_per_context,
+                swap_capacity: cfg.swap_capacity,
+                ..MemoryConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let bm = BindingManager::new(cfg.scheduler, Arc::clone(&metrics));
+        let clock = driver.clock().clone();
+        let local_slots = match (cfg.offload_threshold, cfg.offload_peers.is_empty()) {
+            (Some(t), false) => t as i64,
+            _ => i64::MAX,
+        };
+        let tracer = Tracer::new(clock.clone(), cfg.trace_capacity);
+        let rt = Arc::new(NodeRuntime {
+            cfg,
+            clock,
+            mm,
+            bm,
+            metrics,
+            registry: Mutex::new(HashMap::new()),
+            next_ctx: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            handlers: Mutex::new(Vec::new()),
+            monitor: Mutex::new(None),
+            offload_rr: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+            local_slots: std::sync::atomic::AtomicI64::new(local_slots),
+            tracer,
+            driver,
+        });
+        for (id, gpu) in rt.driver.devices() {
+            rt.bm
+                .add_device(id, gpu, rt.cfg.vgpus_per_device)
+                .unwrap_or_else(|e| panic!("cannot spawn vGPUs on {id}: {e:?}"));
+        }
+        let monitor_rt = Arc::clone(&rt);
+        *rt.monitor.lock() =
+            Some(std::thread::Builder::new()
+                .name("mtgpu-monitor".into())
+                .spawn(move || monitor::run(monitor_rt))
+                .expect("spawn monitor thread"));
+        rt
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The simulation clock shared with the devices.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The device driver this runtime schedules over.
+    pub fn driver(&self) -> &Arc<Driver> {
+        &self.driver
+    }
+
+    /// The memory manager.
+    pub(crate) fn memory(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// The binding manager.
+    pub(crate) fn bindings(&self) -> &BindingManager {
+        &self.bm
+    }
+
+    /// Metric counters.
+    pub(crate) fn metrics_ref(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+
+    /// The runtime's event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// A snapshot of the traced events, oldest first.
+    pub fn trace(&self) -> Vec<crate::trace::TraceRecord> {
+        self.tracer.events()
+    }
+
+    /// Snapshot of the runtime counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current load, for cluster-level scheduling and offload decisions.
+    pub fn load(&self) -> LoadInfo {
+        LoadInfo {
+            contexts: self.active_conns.load(Ordering::SeqCst).max(self.registry.lock().len()),
+            waiting: self.bm.waiting_count(),
+            bound: self.bm.bound_count(),
+            total_vgpus: self.bm.total_vgpus(),
+        }
+    }
+
+    /// Accepts a connection: spawns a handler thread serving it. The
+    /// handler itself may turn into a relay to a peer node when the first
+    /// call arrives while the backlog exceeds the offload threshold (§4.7).
+    pub fn connect(self: &Arc<Self>, conn: Box<dyn ServerConn>) {
+        self.active_conns.fetch_add(1, Ordering::SeqCst);
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("mtgpu-conn".into())
+            .spawn(move || {
+                service::serve_connection(Arc::clone(&rt), conn);
+                rt.active_conns.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn connection handler");
+        self.handlers.lock().push(handle);
+    }
+
+    /// Tries to claim a local-service slot for a new connection; `false`
+    /// means the node is at its threshold and the connection should be
+    /// offloaded (§4.7).
+    pub(crate) fn try_keep_local(&self) -> bool {
+        self.local_slots
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| (v > 0).then(|| v - 1))
+            .is_ok()
+    }
+
+    /// Returns a previously claimed local-service slot.
+    pub(crate) fn release_local_slot(&self) {
+        self.local_slots.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Forces a slot claim for a connection that must be served locally
+    /// (offloaded-in, or no peer reachable).
+    pub(crate) fn force_keep_local(&self) {
+        self.local_slots.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Relays a connection (whose first call has already been read) to a
+    /// peer node over TCP. Returns the connection back if no peer is
+    /// reachable, so the caller serves it locally.
+    pub(crate) fn relay(
+        &self,
+        ctx: CtxId,
+        mut conn: Box<dyn ServerConn>,
+        first: mtgpu_api::CudaCall,
+    ) -> Result<(), (Box<dyn ServerConn>, mtgpu_api::CudaCall)> {
+        let idx = self.offload_rr.fetch_add(1, Ordering::Relaxed) as usize;
+        let peer = self.cfg.offload_peers[idx % self.cfg.offload_peers.len()].clone();
+        let mut transport = match mtgpu_api::transport::TcpTransport::connect(peer.as_str()) {
+            Ok(t) => t,
+            Err(_) => return Err((conn, first)),
+        };
+        RuntimeMetrics::bump(&self.metrics.offloaded_connections);
+        self.tracer.record(TraceEvent::Offloaded { ctx, peer: peer.clone() });
+        // This connection no longer consumes local capacity.
+        self.active_conns.fetch_sub(1, Ordering::SeqCst);
+        // Mark the relayed stream so the peer never re-offloads it.
+        let _ = transport.roundtrip(mtgpu_api::CudaCall::Offloaded);
+        let mut next = Some(first);
+        loop {
+            let call = match next.take() {
+                Some(c) => c,
+                None => match conn.recv() {
+                    Some(c) => c,
+                    None => break,
+                },
+            };
+            let done = matches!(call, mtgpu_api::CudaCall::Exit);
+            let reply: CudaReply = transport.roundtrip(call);
+            let sent = conn.send(reply);
+            if !sent || done {
+                break;
+            }
+        }
+        self.active_conns.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Creates an in-process client connected to this runtime — the
+    /// equivalent of an application thread linking the interposition
+    /// library on this node.
+    pub fn local_client(self: &Arc<Self>) -> FrontendClient<ChannelTransport> {
+        let (transport, server) = channel_pair();
+        self.connect(Box::new(server));
+        FrontendClient::new(transport)
+    }
+
+    /// Hot-attaches a device (dynamic upgrade, §2): registers it with the
+    /// driver and spawns vGPUs; waiting contexts bind to it immediately.
+    pub fn attach_device(&self, spec: GpuSpec) -> DeviceId {
+        let id = self.driver.attach(spec);
+        let gpu = self.driver.device(id).expect("just attached");
+        if let Err(e) = self.bm.add_device(id, gpu, self.cfg.vgpus_per_device) {
+            panic!("cannot spawn vGPUs on hot-attached {id}: {e:?}");
+        }
+        id
+    }
+
+    /// Hot-detaches a device (dynamic downgrade, §2). Contexts bound to it
+    /// are recovered by the fault monitor exactly as for a failure.
+    pub fn detach_device(&self, id: DeviceId) {
+        let _ = self.driver.detach(id);
+        // The monitor notices the failed device and recovers its contexts;
+        // nudge waiters so nobody sleeps through the event.
+        self.bm.notify_all();
+    }
+
+    /// Registers a new application context (one per connection).
+    pub(crate) fn new_context(&self, label: String) -> Arc<AppContext> {
+        let id = CtxId(self.next_ctx.fetch_add(1, Ordering::Relaxed));
+        let ctx = AppContext::new(id, id.0, label.clone());
+        self.mm.register_ctx(id);
+        self.registry.lock().insert(id, Arc::clone(&ctx));
+        self.tracer.record(TraceEvent::ContextCreated { ctx: id, label });
+        ctx
+    }
+
+    /// Looks up a context.
+    pub(crate) fn context(&self, id: CtxId) -> Option<Arc<AppContext>> {
+        self.registry.lock().get(&id).cloned()
+    }
+
+    /// Unregisters a finished context.
+    pub(crate) fn drop_context(&self, id: CtxId) {
+        self.registry.lock().remove(&id);
+        self.tracer.record(TraceEvent::ContextFinished { ctx: id });
+    }
+
+    /// Releases a context that never served a call (its connection was
+    /// relayed to a peer before any work happened).
+    pub(crate) fn drop_context_of(&self, ctx: &Arc<AppContext>) {
+        self.mm.remove_ctx(ctx.id, None);
+        self.registry.lock().remove(&ctx.id);
+    }
+
+    /// Blocks until every connection has drained or `timeout` passes.
+    /// Returns `true` if the runtime went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.registry.lock().is_empty() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.registry.lock().is_empty()
+    }
+
+    /// Requests shutdown and joins all handler and monitor threads.
+    /// Connections still open get `Disconnected`-style terminations as
+    /// their peers drop.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.bm.notify_all();
+        if let Some(m) = self.monitor.lock().take() {
+            let _ = m.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.bm.notify_all();
+        if let Some(m) = self.monitor.lock().take() {
+            let _ = m.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("devices", &self.driver.device_count())
+            .field("contexts", &self.registry.lock().len())
+            .finish()
+    }
+}
+
+/// Convenience: map an error when a reply is needed in offload paths.
+#[allow(dead_code)]
+fn disconnected() -> CudaError {
+    CudaError::Disconnected
+}

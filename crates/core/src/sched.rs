@@ -1,0 +1,810 @@
+//! Virtual-GPU slots and the binding manager (§4.3–§4.4).
+//!
+//! A *virtual GPU* is a share of a physical device with its own persistent
+//! CUDA context, created at system startup ("virtual-GPUs are statically
+//! bound to physical GPUs through a `cudaSetDevice` invoked at system
+//! startup", §4.4). Each vGPU services one application context at a time;
+//! limiting the vGPU count caps the contexts the CUDA runtime must sustain,
+//! which is how the runtime stays stable under hundreds of applications.
+//!
+//! The [`BindingManager`] is the dispatcher's scheduling core: it tracks
+//! free vGPUs per device, parks contexts that cannot bind (the paper's
+//! *waiting contexts* list), and grants bindings according to the
+//! configured [`SchedulerPolicy`] — FCFS round-robin with vGPU-count load
+//! balancing (the policy of §5), shortest-job-first, or credit-based.
+
+use crate::config::SchedulerPolicy;
+use crate::ctx::{AppContext, Binding, CtxId, VGpuId};
+use crate::metrics::RuntimeMetrics;
+use mtgpu_gpusim::{DeviceId, Gpu, GpuContextId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One virtual GPU slot.
+#[derive(Clone)]
+pub struct VGpu {
+    pub id: VGpuId,
+    pub gpu: Arc<Gpu>,
+    /// The vGPU's persistent CUDA context.
+    pub gpu_ctx: GpuContextId,
+}
+
+struct DeviceSlots {
+    gpu: Arc<Gpu>,
+    vgpus: Vec<VGpu>,
+    free: Vec<u32>,
+    bound: HashMap<u32, (CtxId, Option<u64>)>,
+}
+
+impl DeviceSlots {
+    fn bound_count(&self) -> usize {
+        self.bound.len()
+    }
+}
+
+struct WaitEntry {
+    ctx: Arc<AppContext>,
+    /// FIFO ticket.
+    enq_seq: u64,
+    /// Declared work of the launch that needs the binding (SJF key).
+    pending_work: f64,
+    /// Declared memory footprint (placement heuristic).
+    mem_usage: u64,
+    /// CUDA 4.0 application id (§4.8): constrains placement to the device
+    /// already hosting the application's other threads.
+    app_id: Option<u64>,
+    /// Set when a grant has been made for this entry.
+    granted: Option<Binding>,
+}
+
+struct BmState {
+    devices: HashMap<DeviceId, DeviceSlots>,
+    waiting: Vec<WaitEntry>,
+    next_seq: u64,
+    rr_cursor: usize,
+    /// CUDA 4.0 application → (device, bound thread count) affinity map.
+    app_devices: HashMap<u64, (DeviceId, usize)>,
+}
+
+/// Read-only snapshot of one device's scheduling state.
+#[derive(Debug, Clone)]
+pub struct DeviceView {
+    pub id: DeviceId,
+    pub gpu: Arc<Gpu>,
+    pub total_vgpus: usize,
+    pub free_vgpus: usize,
+    pub bound: Vec<CtxId>,
+    pub effective_flops: f64,
+    pub mem_available: u64,
+}
+
+/// Errors adding a device's vGPUs.
+#[derive(Debug)]
+pub enum AddDeviceError {
+    /// Creating a vGPU's persistent context failed (device dead or full).
+    ContextCreation(mtgpu_gpusim::GpuError),
+}
+
+/// The dispatcher's binding/scheduling core.
+pub struct BindingManager {
+    policy: SchedulerPolicy,
+    metrics: Arc<RuntimeMetrics>,
+    state: Mutex<BmState>,
+    cv: Condvar,
+}
+
+impl BindingManager {
+    /// Creates an empty manager.
+    pub fn new(policy: SchedulerPolicy, metrics: Arc<RuntimeMetrics>) -> Self {
+        BindingManager {
+            policy,
+            metrics,
+            state: Mutex::new(BmState {
+                devices: HashMap::new(),
+                waiting: Vec::new(),
+                next_seq: 0,
+                rr_cursor: 0,
+                app_devices: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a device and spawns `count` vGPUs on it, creating each
+    /// vGPU's persistent CUDA context.
+    pub fn add_device(
+        &self,
+        id: DeviceId,
+        gpu: Arc<Gpu>,
+        count: u32,
+    ) -> Result<(), AddDeviceError> {
+        let mut vgpus = Vec::with_capacity(count as usize);
+        for index in 0..count {
+            let gpu_ctx = gpu.create_context().map_err(AddDeviceError::ContextCreation)?;
+            vgpus.push(VGpu { id: VGpuId { device: id, index }, gpu: Arc::clone(&gpu), gpu_ctx });
+        }
+        let mut st = self.state.lock();
+        st.devices.insert(
+            id,
+            DeviceSlots {
+                gpu,
+                free: (0..count).collect(),
+                bound: HashMap::new(),
+                vgpus,
+            },
+        );
+        drop(st);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Removes a device (failure or hot detach), returning the contexts
+    /// that were bound to it. Their device state must be recovered by the
+    /// caller via the memory manager.
+    pub fn remove_device(&self, id: DeviceId) -> Vec<CtxId> {
+        let mut st = self.state.lock();
+        match st.devices.remove(&id) {
+            Some(slots) => {
+                for (_, app) in slots.bound.values() {
+                    if let Some(app) = app {
+                        Self::app_release(&mut st.app_devices, *app);
+                    }
+                }
+                slots.bound.values().map(|&(c, _)| c).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn app_release(map: &mut HashMap<u64, (DeviceId, usize)>, app: u64) {
+        if let Some((_, count)) = map.get_mut(&app) {
+            *count -= 1;
+            if *count == 0 {
+                map.remove(&app);
+            }
+        }
+    }
+
+    /// Whether a device is registered.
+    pub fn has_device(&self, id: DeviceId) -> bool {
+        self.state.lock().devices.contains_key(&id)
+    }
+
+    /// Blocks until a vGPU is granted to `ctx` (per policy) or `timeout`
+    /// expires. The granted binding is also written into the context's
+    /// metadata by the caller.
+    pub fn acquire(
+        &self,
+        ctx: &Arc<AppContext>,
+        pending_work: f64,
+        mem_usage: u64,
+        timeout: Duration,
+    ) -> Option<Binding> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        // Keep the context's original FCFS position across re-armed waits.
+        let enq_seq = {
+            let mut inner = ctx.inner();
+            match inner.wait_ticket {
+                Some(t) => t,
+                None => {
+                    let t = st.next_seq;
+                    st.next_seq += 1;
+                    inner.wait_ticket = Some(t);
+                    t
+                }
+            }
+        };
+        let app_id = ctx.inner().app_id;
+        st.waiting.push(WaitEntry {
+            ctx: Arc::clone(ctx),
+            enq_seq,
+            pending_work,
+            mem_usage,
+            app_id,
+            granted: None,
+        });
+        loop {
+            Self::drain_grants(&mut st, self.policy, &self.metrics);
+            if let Some(pos) =
+                st.waiting.iter().position(|w| w.ctx.id == ctx.id && w.granted.is_some())
+            {
+                let entry = st.waiting.remove(pos);
+                drop(st);
+                ctx.inner().wait_ticket = None;
+                // Someone may still be grantable.
+                self.cv.notify_all();
+                return entry.granted;
+            }
+            let timed_out = self.cv.wait_until(&mut st, deadline).timed_out();
+            if timed_out {
+                if let Some(pos) = st.waiting.iter().position(|w| w.ctx.id == ctx.id) {
+                    let entry = st.waiting.remove(pos);
+                    if entry.granted.is_some() {
+                        // Granted at the buzzer: take it.
+                        drop(st);
+                        ctx.inner().wait_ticket = None;
+                        self.cv.notify_all();
+                        return entry.granted;
+                    }
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Grants free vGPUs to waiting entries, policy order, until slots or
+    /// placeable waiters run out. An entry with CUDA 4.0 application
+    /// affinity is only placeable on its application's device; other
+    /// waiters are not blocked behind it.
+    fn drain_grants(st: &mut BmState, policy: SchedulerPolicy, metrics: &RuntimeMetrics) {
+        'outer: loop {
+            if !st.devices.values().any(|d| !d.free.is_empty() && !d.gpu.is_failed()) {
+                return;
+            }
+            for idx in Self::ordered_waiters(st, policy) {
+                let mem_usage = st.waiting[idx].mem_usage;
+                let app_id = st.waiting[idx].app_id;
+                let affinity = app_id.and_then(|a| st.app_devices.get(&a).map(|&(d, _)| d));
+                let dev_id = match affinity {
+                    Some(dev) => {
+                        let free = st
+                            .devices
+                            .get(&dev)
+                            .is_some_and(|d| !d.free.is_empty() && !d.gpu.is_failed());
+                        if free {
+                            Some(dev)
+                        } else {
+                            // The application's device is full or gone:
+                            // this thread waits (re-placement happens once
+                            // the affinity count drops to zero).
+                            if !st.devices.contains_key(&dev) {
+                                // Device removed entirely: drop the stale
+                                // affinity so the app can regroup elsewhere.
+                                st.app_devices.remove(&app_id.expect("affinity without app"));
+                            }
+                            None
+                        }
+                    }
+                    None => Self::pick_device(st, mem_usage),
+                };
+                let Some(dev_id) = dev_id else { continue };
+                let slots = st.devices.get_mut(&dev_id).expect("picked device vanished");
+                let vgpu_idx = slots.free.pop().expect("picked device had no free slot");
+                let vgpu = slots.vgpus[vgpu_idx as usize].clone();
+                let entry = &mut st.waiting[idx];
+                slots.bound.insert(vgpu_idx, (entry.ctx.id, app_id));
+                entry.granted =
+                    Some(Binding { vgpu: vgpu.id, gpu: vgpu.gpu, gpu_ctx: vgpu.gpu_ctx });
+                if policy == SchedulerPolicy::CreditBased {
+                    let mut inner = entry.ctx.inner();
+                    inner.credits = inner.credits.saturating_sub(1);
+                }
+                if let Some(app) = app_id {
+                    st.app_devices.entry(app).or_insert((dev_id, 0)).1 += 1;
+                }
+                RuntimeMetrics::bump(&metrics.bindings);
+                continue 'outer;
+            }
+            return;
+        }
+    }
+
+    /// Waiting-entry indices without a grant, in policy order.
+    fn ordered_waiters(st: &mut BmState, policy: SchedulerPolicy) -> Vec<usize> {
+        let mut candidates: Vec<usize> = st
+            .waiting
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.granted.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        match policy {
+            SchedulerPolicy::FcfsRoundRobin => {
+                candidates.sort_by_key(|&i| st.waiting[i].enq_seq);
+            }
+            SchedulerPolicy::ShortestJobFirst => {
+                candidates.sort_by(|&a, &b| {
+                    st.waiting[a]
+                        .pending_work
+                        .total_cmp(&st.waiting[b].pending_work)
+                        .then(st.waiting[a].enq_seq.cmp(&st.waiting[b].enq_seq))
+                });
+            }
+            SchedulerPolicy::CreditBased => {
+                if !candidates.is_empty()
+                    && candidates.iter().all(|&i| st.waiting[i].ctx.inner().credits == 0)
+                {
+                    for &i in &candidates {
+                        st.waiting[i].ctx.inner().credits = 4;
+                    }
+                }
+                candidates.sort_by_key(|&i| {
+                    (u32::MAX - st.waiting[i].ctx.inner().credits, st.waiting[i].enq_seq)
+                });
+            }
+        }
+        candidates
+    }
+
+    /// Chooses the device for a grant among healthy devices with a free
+    /// vGPU: lowest capability-weighted load first — `(bound+1) / relative
+    /// speed`, the §2 principle of "maximizing the overall processor
+    /// utilization while favoring the use of more powerful cores" — then
+    /// preferring devices whose free memory fits the context, round-robin
+    /// tiebreak.
+    fn pick_device(st: &mut BmState, mem_usage: u64) -> Option<DeviceId> {
+        let mut ids: Vec<DeviceId> = st
+            .devices
+            .iter()
+            .filter(|(_, d)| !d.free.is_empty() && !d.gpu.is_failed())
+            .map(|(&id, _)| id)
+            .collect();
+        if ids.is_empty() {
+            return None;
+        }
+        ids.sort_by_key(|id| id.0);
+        let rr = st.rr_cursor;
+        st.rr_cursor = st.rr_cursor.wrapping_add(1);
+        // Evaluate the placement key exactly once per device:
+        // `mem_available()` reads live device state that other threads may
+        // change between passes.
+        let max_flops = ids
+            .iter()
+            .map(|id| st.devices[id].gpu.spec().effective_flops())
+            .fold(f64::MIN, f64::max);
+        let keyed: Vec<(DeviceId, f64, bool)> = ids
+            .into_iter()
+            .map(|id| {
+                let d = &st.devices[&id];
+                let fits = d.gpu.mem_available() >= mem_usage;
+                let speed = d.gpu.spec().effective_flops() / max_flops;
+                let load = (d.bound_count() + 1) as f64 / speed;
+                (id, load, fits)
+            })
+            .collect();
+        let min_load =
+            keyed.iter().map(|&(_, l, _)| l).fold(f64::INFINITY, f64::min);
+        // Among near-equal loads (within 5%), prefer memory fit, then rotate.
+        let tied: Vec<DeviceId> = {
+            let close: Vec<&(DeviceId, f64, bool)> =
+                keyed.iter().filter(|&&(_, l, _)| l <= min_load * 1.05).collect();
+            let any_fits = close.iter().any(|&&(_, _, f)| f);
+            close
+                .into_iter()
+                .filter(|&&(_, _, f)| f == any_fits)
+                .map(|&(id, _, _)| id)
+                .collect()
+        };
+        Some(tied[rr % tied.len()])
+    }
+
+    /// Releases the vGPU bound to `ctx_id`. Safe to call from the owner
+    /// handler, a swapper or the fault path.
+    pub fn release(&self, ctx_id: CtxId, vgpu: VGpuId) {
+        let mut st = self.state.lock();
+        if let Some(slots) = st.devices.get_mut(&vgpu.device) {
+            match slots.bound.remove(&vgpu.index) {
+                Some((owner, app)) if owner == ctx_id => {
+                    slots.free.push(vgpu.index);
+                    if let Some(app) = app {
+                        Self::app_release(&mut st.app_devices, app);
+                    }
+                }
+                other => {
+                    debug_assert!(other.is_none(), "release of unbound vGPU {vgpu}");
+                }
+            }
+        }
+        drop(st);
+        RuntimeMetrics::bump(&self.metrics.unbindings);
+        self.cv.notify_all();
+    }
+
+    /// Immediately grants a free vGPU on `device` to `ctx_id`, bypassing the
+    /// waiting queue — the migration path (§5.3.4), only legal when nothing
+    /// is waiting (checked here).
+    pub fn try_acquire_on(&self, ctx_id: CtxId, device: DeviceId) -> Option<Binding> {
+        let mut st = self.state.lock();
+        if st.waiting.iter().any(|w| w.granted.is_none()) {
+            return None;
+        }
+        let slots = st.devices.get_mut(&device)?;
+        if slots.gpu.is_failed() {
+            return None;
+        }
+        let vgpu_idx = slots.free.pop()?;
+        slots.bound.insert(vgpu_idx, (ctx_id, None));
+        let vgpu = slots.vgpus[vgpu_idx as usize].clone();
+        RuntimeMetrics::bump(&self.metrics.bindings);
+        Some(Binding { vgpu: vgpu.id, gpu: vgpu.gpu, gpu_ctx: vgpu.gpu_ctx })
+    }
+
+    /// Contexts currently bound to `device`.
+    pub fn bound_on(&self, device: DeviceId) -> Vec<CtxId> {
+        self.state
+            .lock()
+            .devices
+            .get(&device)
+            .map(|d| d.bound.values().map(|&(c, _)| c).collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of every registered device.
+    pub fn device_views(&self) -> Vec<DeviceView> {
+        let st = self.state.lock();
+        let mut views: Vec<DeviceView> = st
+            .devices
+            .iter()
+            .map(|(&id, d)| DeviceView {
+                id,
+                gpu: Arc::clone(&d.gpu),
+                total_vgpus: d.vgpus.len(),
+                free_vgpus: d.free.len(),
+                bound: d.bound.values().map(|&(c, _)| c).collect(),
+                effective_flops: d.gpu.spec().effective_flops(),
+                mem_available: d.gpu.mem_available(),
+            })
+            .collect();
+        views.sort_by_key(|v| v.id.0);
+        views
+    }
+
+    /// Number of contexts waiting for a binding.
+    pub fn waiting_count(&self) -> usize {
+        self.state.lock().waiting.iter().filter(|w| w.granted.is_none()).count()
+    }
+
+    /// Number of contexts currently bound.
+    pub fn bound_count(&self) -> usize {
+        self.state.lock().devices.values().map(|d| d.bound_count()).sum()
+    }
+
+    /// Total vGPUs across healthy devices — what `cudaGetDeviceCount`
+    /// reports to applications (§4.3).
+    pub fn total_vgpus(&self) -> usize {
+        self.state
+            .lock()
+            .devices
+            .values()
+            .filter(|d| !d.gpu.is_failed())
+            .map(|d| d.vgpus.len())
+            .sum()
+    }
+
+    /// The spec of the physical device backing virtual device `index`
+    /// (vGPUs enumerated device-major).
+    pub fn vgpu_spec(&self, index: u32) -> Option<mtgpu_gpusim::GpuSpec> {
+        let st = self.state.lock();
+        let mut ids: Vec<&DeviceId> = st.devices.keys().collect();
+        ids.sort();
+        let mut remaining = index as usize;
+        for id in ids {
+            let d = &st.devices[id];
+            if remaining < d.vgpus.len() {
+                return Some(d.gpu.spec().clone());
+            }
+            remaining -= d.vgpus.len();
+        }
+        None
+    }
+
+    /// Wakes every parked waiter (used on shutdown and device events).
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtgpu_gpusim::GpuSpec;
+    use mtgpu_simtime::Clock;
+
+    fn setup(n_devices: u32, vgpus: u32) -> (Arc<BindingManager>, Vec<Arc<Gpu>>) {
+        let clock = Clock::with_scale(1e-7);
+        let bm = Arc::new(BindingManager::new(
+            SchedulerPolicy::FcfsRoundRobin,
+            Arc::new(RuntimeMetrics::default()),
+        ));
+        let mut gpus = Vec::new();
+        for i in 0..n_devices {
+            let gpu = Gpu::new(GpuSpec::test_small(), clock.clone(), i);
+            bm.add_device(DeviceId(i), Arc::clone(&gpu), vgpus).unwrap();
+            gpus.push(gpu);
+        }
+        (bm, gpus)
+    }
+
+    fn ctx(id: u64) -> Arc<AppContext> {
+        AppContext::new(CtxId(id), id, format!("j{id}"))
+    }
+
+    #[test]
+    fn grants_up_to_capacity_then_blocks() {
+        let (bm, _) = setup(1, 2);
+        let a = ctx(1);
+        let b = ctx(2);
+        let c = ctx(3);
+        let ba = bm.acquire(&a, 1.0, 0, Duration::from_millis(200)).unwrap();
+        let bb = bm.acquire(&b, 1.0, 0, Duration::from_millis(200)).unwrap();
+        assert_ne!(ba.vgpu, bb.vgpu);
+        assert_eq!(bm.bound_count(), 2);
+        // Third context times out.
+        assert!(bm.acquire(&c, 1.0, 0, Duration::from_millis(30)).is_none());
+        // Releasing one slot lets it in.
+        bm.release(a.id, ba.vgpu);
+        let bc = bm.acquire(&c, 1.0, 0, Duration::from_millis(200)).unwrap();
+        assert_eq!(bc.vgpu, ba.vgpu);
+    }
+
+    #[test]
+    fn release_wakes_blocked_waiter() {
+        let (bm, _) = setup(1, 1);
+        let a = ctx(1);
+        let b = ctx(2);
+        let ba = bm.acquire(&a, 1.0, 0, Duration::from_secs(1)).unwrap();
+        let bm2 = Arc::clone(&bm);
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || {
+            bm2.acquire(&b2, 1.0, 0, Duration::from_secs(5)).is_some()
+        });
+        while bm.waiting_count() == 0 {
+            std::hint::spin_loop();
+        }
+        bm.release(a.id, ba.vgpu);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn load_balances_across_devices() {
+        let (bm, _) = setup(3, 4);
+        let mut per_device = HashMap::new();
+        for i in 0..6 {
+            let c = ctx(i);
+            let b = bm.acquire(&c, 1.0, 0, Duration::from_millis(200)).unwrap();
+            *per_device.entry(b.vgpu.device).or_insert(0) += 1;
+        }
+        // 6 jobs over 3 devices → 2 each under vGPU-uniform balancing.
+        assert_eq!(per_device.len(), 3);
+        assert!(per_device.values().all(|&n| n == 2), "{per_device:?}");
+    }
+
+    #[test]
+    fn sjf_prefers_short_jobs() {
+        let clock = Clock::with_scale(1e-7);
+        let bm = Arc::new(BindingManager::new(
+            SchedulerPolicy::ShortestJobFirst,
+            Arc::new(RuntimeMetrics::default()),
+        ));
+        let gpu = Gpu::new(GpuSpec::test_small(), clock, 0);
+        bm.add_device(DeviceId(0), gpu, 1).unwrap();
+        let holder = ctx(0);
+        let hb = bm.acquire(&holder, 1.0, 0, Duration::from_millis(200)).unwrap();
+        // Park a long job, then a short job.
+        let long = ctx(1);
+        let short = ctx(2);
+        let bm_l = Arc::clone(&bm);
+        let long2 = Arc::clone(&long);
+        let t_long = std::thread::spawn(move || {
+            bm_l.acquire(&long2, 1e12, 0, Duration::from_secs(5)).map(|b| b.vgpu)
+        });
+        while bm.waiting_count() < 1 {
+            std::hint::spin_loop();
+        }
+        let bm_s = Arc::clone(&bm);
+        let short2 = Arc::clone(&short);
+        let t_short = std::thread::spawn(move || {
+            bm_s.acquire(&short2, 1e3, 0, Duration::from_secs(5)).map(|b| b.vgpu)
+        });
+        while bm.waiting_count() < 2 {
+            std::hint::spin_loop();
+        }
+        // Free the slot: the SHORT job must get it first.
+        bm.release(holder.id, hb.vgpu);
+        let short_got = t_short.join().unwrap();
+        assert!(short_got.is_some());
+        // Long is still waiting; give it the slot to finish the test.
+        bm.release(short.id, short_got.unwrap());
+        assert!(t_long.join().unwrap().is_some());
+    }
+
+    #[test]
+    fn failed_device_not_granted() {
+        let (bm, gpus) = setup(2, 1);
+        gpus[0].fail();
+        for i in 0..1 {
+            let c = ctx(i);
+            let b = bm.acquire(&c, 1.0, 0, Duration::from_millis(200)).unwrap();
+            assert_eq!(b.vgpu.device, DeviceId(1));
+        }
+    }
+
+    #[test]
+    fn remove_device_reports_bound_ctxs() {
+        let (bm, _) = setup(1, 2);
+        let a = ctx(1);
+        let _ba = bm.acquire(&a, 1.0, 0, Duration::from_millis(200)).unwrap();
+        let affected = bm.remove_device(DeviceId(0));
+        assert_eq!(affected, vec![a.id]);
+        assert!(!bm.has_device(DeviceId(0)));
+        assert_eq!(bm.total_vgpus(), 0);
+    }
+
+    #[test]
+    fn try_acquire_on_respects_waiting_queue() {
+        let (bm, _) = setup(1, 1);
+        let a = ctx(1);
+        let _ba = bm.acquire(&a, 1.0, 0, Duration::from_millis(200)).unwrap();
+        // Park a waiter.
+        let bm2 = Arc::clone(&bm);
+        let w = ctx(2);
+        let w2 = Arc::clone(&w);
+        let t =
+            std::thread::spawn(move || bm2.acquire(&w2, 1.0, 0, Duration::from_millis(300)));
+        while bm.waiting_count() == 0 {
+            std::hint::spin_loop();
+        }
+        // Migration must refuse while a context is waiting.
+        assert!(bm.try_acquire_on(CtxId(9), DeviceId(0)).is_none());
+        let _ = t.join().unwrap();
+    }
+
+    #[test]
+    fn vgpu_enumeration_reports_virtual_count() {
+        let (bm, _) = setup(2, 4);
+        assert_eq!(bm.total_vgpus(), 8);
+        assert!(bm.vgpu_spec(0).is_some());
+        assert!(bm.vgpu_spec(7).is_some());
+        assert!(bm.vgpu_spec(8).is_none());
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::config::SchedulerPolicy;
+    use mtgpu_gpusim::GpuSpec;
+    use mtgpu_simtime::Clock;
+
+    fn bm_with(policy: SchedulerPolicy) -> Arc<BindingManager> {
+        let bm = Arc::new(BindingManager::new(policy, Arc::new(RuntimeMetrics::default())));
+        let gpu = Gpu::new(GpuSpec::test_small(), Clock::with_scale(1e-7), 0);
+        bm.add_device(DeviceId(0), gpu, 1).unwrap();
+        bm
+    }
+
+    fn ctx(id: u64) -> Arc<AppContext> {
+        AppContext::new(CtxId(id), id, format!("p{id}"))
+    }
+
+    /// Parks `n` waiters behind a holder and returns them with their join
+    /// handles, in arrival order.
+    fn park_waiters(
+        bm: &Arc<BindingManager>,
+        ids: &[u64],
+    ) -> Vec<std::thread::JoinHandle<Option<Binding>>> {
+        let mut handles = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let bm2 = Arc::clone(bm);
+            let c = ctx(id);
+            handles.push(std::thread::spawn(move || {
+                bm2.acquire(&c, id as f64, 0, Duration::from_secs(5))
+            }));
+            while bm.waiting_count() < i + 1 {
+                std::hint::spin_loop();
+            }
+        }
+        handles
+    }
+
+    #[test]
+    fn credit_based_depletes_and_refills() {
+        let bm = bm_with(SchedulerPolicy::CreditBased);
+        // Serial grants: each acquire succeeds immediately and burns one
+        // credit of the context.
+        let c = ctx(1);
+        for expected in [3u32, 2, 1] {
+            let b = bm.acquire(&c, 1.0, 0, Duration::from_millis(200)).unwrap();
+            assert_eq!(c.inner().credits, expected);
+            bm.release(c.id, b.vgpu);
+        }
+        // Fourth grant exhausts; a fifth refills (sole candidate) and works.
+        let b = bm.acquire(&c, 1.0, 0, Duration::from_millis(200)).unwrap();
+        assert_eq!(c.inner().credits, 0);
+        bm.release(c.id, b.vgpu);
+        let b = bm.acquire(&c, 1.0, 0, Duration::from_millis(200)).unwrap();
+        assert_eq!(c.inner().credits, 3, "refill happened");
+        bm.release(c.id, b.vgpu);
+    }
+
+    #[test]
+    fn cuda4_affinity_constrains_placement() {
+        let bm = Arc::new(BindingManager::new(
+            SchedulerPolicy::FcfsRoundRobin,
+            Arc::new(RuntimeMetrics::default()),
+        ));
+        let clock = Clock::with_scale(1e-7);
+        for i in 0..2 {
+            bm.add_device(
+                DeviceId(i),
+                Gpu::new(GpuSpec::test_small(), clock.clone(), i),
+                3,
+            )
+            .unwrap();
+        }
+        // Thread 1 of app 7 binds somewhere.
+        let a = ctx(1);
+        a.inner().app_id = Some(7);
+        let ba = bm.acquire(&a, 1.0, 0, Duration::from_millis(200)).unwrap();
+        // Threads 2 and 3 of the same app must land on the same device even
+        // though load balancing would spread them.
+        for id in [2u64, 3] {
+            let c = ctx(id);
+            c.inner().app_id = Some(7);
+            let b = bm.acquire(&c, 1.0, 0, Duration::from_millis(500)).unwrap();
+            assert_eq!(b.vgpu.device, ba.vgpu.device, "app thread {id} strayed");
+            // Keep it bound so the affinity stays pinned.
+            std::mem::forget(b);
+        }
+    }
+
+    #[test]
+    fn cuda4_affinity_waits_rather_than_splits() {
+        let bm = Arc::new(BindingManager::new(
+            SchedulerPolicy::FcfsRoundRobin,
+            Arc::new(RuntimeMetrics::default()),
+        ));
+        let clock = Clock::with_scale(1e-7);
+        for i in 0..2 {
+            bm.add_device(
+                DeviceId(i),
+                Gpu::new(GpuSpec::test_small(), clock.clone(), i),
+                1,
+            )
+            .unwrap();
+        }
+        let a = ctx(1);
+        a.inner().app_id = Some(9);
+        let ba = bm.acquire(&a, 1.0, 0, Duration::from_millis(200)).unwrap();
+        // A sibling cannot bind (its device has no free vGPU) even though
+        // the other device is idle — and an unrelated context can overtake
+        // it onto the idle device.
+        let sibling = ctx(2);
+        sibling.inner().app_id = Some(9);
+        let bm2 = Arc::clone(&bm);
+        let sib2 = Arc::clone(&sibling);
+        let sib_wait =
+            std::thread::spawn(move || bm2.acquire(&sib2, 1.0, 0, Duration::from_secs(5)));
+        while bm.waiting_count() == 0 {
+            std::hint::spin_loop();
+        }
+        let other = ctx(3);
+        let bo = bm.acquire(&other, 1.0, 0, Duration::from_millis(500)).unwrap();
+        assert_ne!(bo.vgpu.device, ba.vgpu.device, "unrelated ctx takes the idle device");
+        // Releasing the first app thread lets the sibling in on that device.
+        bm.release(a.id, ba.vgpu);
+        let bs = sib_wait.join().unwrap().unwrap();
+        assert_eq!(bs.vgpu.device, ba.vgpu.device);
+        bm.release(other.id, bo.vgpu);
+        bm.release(sibling.id, bs.vgpu);
+    }
+
+    #[test]
+    fn fcfs_order_preserved_under_parked_waiters() {
+        let bm = bm_with(SchedulerPolicy::FcfsRoundRobin);
+        let holder = ctx(0);
+        let hb = bm.acquire(&holder, 1.0, 0, Duration::from_millis(200)).unwrap();
+        let handles = park_waiters(&bm, &[10, 11, 12]);
+        // Free the slot three times; waiters must be served in ARRIVAL
+        // order: joining handle[i] before releasing its slot only
+        // terminates if waiter i was indeed served next.
+        bm.release(holder.id, hb.vgpu);
+        for (h, id) in handles.into_iter().zip([10u64, 11, 12]) {
+            let b = h.join().unwrap().expect("waiter starved: FIFO violated");
+            bm.release(CtxId(id), b.vgpu);
+        }
+    }
+}

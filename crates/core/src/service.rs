@@ -1,0 +1,478 @@
+//! Per-connection service: the dispatcher's call handling (§4.3) and the
+//! launch path with its memory-pressure escalation ladder (§4.5).
+//!
+//! Each accepted connection is served by one handler thread (the paper's
+//! "each dispatcher thread processes a different connection"). Calls are
+//! handled as Table 1 specifies:
+//!
+//! 1. registration functions are absorbed before any binding exists;
+//! 2. device-management functions are serviced and overridden to hide the
+//!    node's hardware (`cudaSetDevice` ignored, `cudaGetDeviceCount`
+//!    reports *virtual* GPUs);
+//! 3. memory operations go through the memory manager in terms of virtual
+//!    addresses, with no CUDA action under deferral;
+//! 4. the first kernel launch triggers application-to-vGPU binding — the
+//!    *delayed binding* that makes informed scheduling possible.
+//!
+//! On launch-time memory pressure the escalation is: intra-application swap
+//! (inside [`crate::memory::MemoryManager::materialize`]) → inter-application swap of an
+//! idle victim on the same device → unbind-and-retry.
+
+use crate::ctx::{AppContext, Binding, CtxId};
+use crate::memory::{Materialize, Recovery, SwapReason};
+use crate::metrics::RuntimeMetrics;
+use crate::runtime::NodeRuntime;
+use crate::trace::{TraceEvent, UnbindReason};
+use mtgpu_api::protocol::{CudaCall, CudaReply, ModuleHandle, ReplyValue};
+use mtgpu_api::transport::{RecvOutcome, ServerConn};
+use mtgpu_api::CudaError;
+use mtgpu_gpusim::kernel::{library, RegisteredKernel};
+use mtgpu_gpusim::{GpuError, LaunchSpec};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Timeout for one binding-acquisition attempt; the launch loop re-arms it
+/// until shutdown, so this only bounds reaction latency.
+const ACQUIRE_SLICE: Duration = Duration::from_millis(50);
+/// Real-time backoff after an unbind-and-retry, so a starved large job does
+/// not thrash the device while others finish.
+const RETRY_BACKOFF: Duration = Duration::from_millis(2);
+
+/// Serves one connection to completion. Runs on its own handler thread.
+///
+/// The offload decision (§4.7) is made when the first call arrives: if the
+/// local backlog exceeds the threshold and the connection was not itself
+/// relayed from a peer (no [`CudaCall::Offloaded`] marker), the handler
+/// turns into a relay toward a peer node.
+pub(crate) fn serve_connection(rt: Arc<NodeRuntime>, mut conn: Box<dyn ServerConn>) {
+    let mut first_call = true;
+    let mut arrived_offloaded = false;
+    let mut holds_slot = false;
+    let ctx = rt.new_context(conn.peer());
+    loop {
+        match conn.recv_timeout(rt.config().service_tick) {
+            RecvOutcome::Closed => break,
+            RecvOutcome::Idle => {
+                if rt.is_shutdown() {
+                    break;
+                }
+            }
+            RecvOutcome::Call(call) => {
+                if matches!(call, CudaCall::Offloaded) {
+                    // A peer relayed this connection to us: serve it
+                    // unconditionally (never re-offload).
+                    arrived_offloaded = true;
+                    first_call = false;
+                    if !conn.send(Ok(ReplyValue::Unit)) {
+                        break;
+                    }
+                    continue;
+                }
+                if first_call {
+                    first_call = false;
+                    if !arrived_offloaded && !rt.try_keep_local() {
+                        match rt.relay(ctx.id, conn, call) {
+                            Ok(()) => {
+                                // The relay ran the connection to completion.
+                                rt.drop_context_of(&ctx);
+                                return;
+                            }
+                            Err((returned_conn, returned_call)) => {
+                                // No peer reachable: serve locally anyway.
+                                rt.force_keep_local();
+                                holds_slot = true;
+                                conn = returned_conn;
+                                let is_exit = matches!(returned_call, CudaCall::Exit);
+                                let reply = {
+                                    let _guard = ctx.service_lock();
+                                    handle_call(&rt, &ctx, returned_call)
+                                };
+                                if !conn.send(reply) || is_exit {
+                                    break;
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    holds_slot = !arrived_offloaded;
+                }
+                let is_exit = matches!(call, CudaCall::Exit);
+                let reply = {
+                    let _guard = ctx.service_lock();
+                    handle_call(&rt, &ctx, call)
+                };
+                if !conn.send(reply) || is_exit {
+                    break;
+                }
+            }
+        }
+    }
+    if holds_slot {
+        rt.release_local_slot();
+    }
+    teardown(&rt, &ctx);
+}
+
+/// Releases everything a finished/disconnected context holds.
+fn teardown(rt: &NodeRuntime, ctx: &Arc<AppContext>) {
+    let _guard = ctx.service_lock();
+    let binding = {
+        let mut inner = ctx.inner();
+        inner.binding.take()
+    };
+    rt.memory().remove_ctx(ctx.id, binding.as_ref());
+    if let Some(b) = binding {
+        rt.bindings().release(ctx.id, b.vgpu);
+    }
+    rt.drop_context(ctx.id);
+}
+
+/// Dispatches one call. The caller holds the context's service lock.
+pub(crate) fn handle_call(rt: &NodeRuntime, ctx: &Arc<AppContext>, call: CudaCall) -> CudaReply {
+    match call {
+        CudaCall::RegisterFatBinary => {
+            let mut inner = ctx.inner();
+            inner.modules += 1;
+            Ok(ReplyValue::Module(ModuleHandle(inner.modules)))
+        }
+        CudaCall::RegisterFunction { kernel, .. } => {
+            // Resolve the functional payload from the backend's library
+            // (the fat binary's machine code).
+            let payload = library::lookup(&kernel.name).and_then(|k| k.payload);
+            ctx.register_kernel(RegisteredKernel { desc: kernel, payload });
+            Ok(ReplyValue::Unit)
+        }
+        CudaCall::RegisterVar { .. } | CudaCall::RegisterTexture { .. } => Ok(ReplyValue::Unit),
+        CudaCall::HintJobLength { flops } => {
+            ctx.inner().est_job_flops = Some(flops);
+            Ok(ReplyValue::Unit)
+        }
+        // §4.8: record the application id so this thread is co-located
+        // with its application's other threads.
+        CudaCall::SetApplication { app_id } => {
+            ctx.inner().app_id = Some(app_id);
+            Ok(ReplyValue::Unit)
+        }
+        // §4.3: "some device management functions are ignored by our runtime
+        // (e.g. cudaSetDevice)" — binding is the runtime's decision.
+        CudaCall::SetDevice { .. } => Ok(ReplyValue::Unit),
+        // "...or overridden (cudaGetDeviceCount will return the number of
+        // virtual, not physical, GPUs)".
+        CudaCall::GetDeviceCount => {
+            Ok(ReplyValue::DeviceCount(rt.bindings().total_vgpus() as u32))
+        }
+        CudaCall::GetDeviceProperties { device } => rt
+            .bindings()
+            .vgpu_spec(device)
+            .map(|spec| ReplyValue::Properties(Box::new(spec)))
+            .ok_or(CudaError::InvalidDevice),
+        CudaCall::Malloc { size, kind } => {
+            rt.memory().malloc(ctx.id, size, kind).map(ReplyValue::Ptr)
+        }
+        CudaCall::Free { ptr } => {
+            let binding = ctx.binding();
+            rt.memory().free(ctx.id, ptr, binding.as_ref()).map(|()| ReplyValue::Unit)
+        }
+        CudaCall::MemcpyH2D { dst, buf } => {
+            let binding = ctx.binding();
+            rt.memory().copy_h2d(ctx.id, dst, &buf, binding.as_ref()).map(|()| ReplyValue::Unit)
+        }
+        CudaCall::MemcpyD2H { src, len } => {
+            with_device_retry(rt, ctx, |rt, ctx, binding| {
+                rt.memory().copy_d2h(ctx.id, src, len, binding.as_ref())
+            })
+            .map(ReplyValue::Bytes)
+        }
+        CudaCall::MemcpyD2D { dst, src, len } => {
+            with_device_retry(rt, ctx, |rt, ctx, binding| {
+                rt.memory().copy_d2d(ctx.id, dst, src, len, binding.as_ref())
+            })
+            .map(|()| ReplyValue::Unit)
+        }
+        CudaCall::ConfigureCall { config } => {
+            ctx.inner().staged_config = Some(config);
+            Ok(ReplyValue::Unit)
+        }
+        CudaCall::Launch { spec } => handle_launch(rt, ctx, spec),
+        CudaCall::Synchronize => Ok(ReplyValue::Unit),
+        CudaCall::RegisterNested { parent, members } => {
+            rt.memory().register_nested(ctx.id, parent, members).map(|()| ReplyValue::Unit)
+        }
+        CudaCall::Checkpoint => {
+            if let Some(binding) = ctx.binding() {
+                rt.memory().checkpoint(ctx.id, &binding)?;
+            }
+            rt.tracer().record(TraceEvent::Checkpointed { ctx: ctx.id, explicit: true });
+            // Unbound contexts are already host-consistent.
+            Ok(ReplyValue::Unit)
+        }
+        CudaCall::ExportImage => {
+            let binding = ctx.binding();
+            let image = rt
+                .memory()
+                .export_image(ctx.id, &ctx.label, binding.as_ref())?;
+            rt.tracer().record(TraceEvent::Checkpointed { ctx: ctx.id, explicit: true });
+            Ok(ReplyValue::Image(Box::new(image)))
+        }
+        CudaCall::ImportImage { image } => {
+            rt.memory().import_image(ctx.id, image).map(|()| ReplyValue::Unit)
+        }
+        CudaCall::Offloaded => Ok(ReplyValue::Unit),
+        CudaCall::Exit => Ok(ReplyValue::Unit),
+    }
+}
+
+/// Runs a device-touching memory operation, transparently recovering from
+/// device loss when the context's data permits it.
+fn with_device_retry<T>(
+    rt: &NodeRuntime,
+    ctx: &Arc<AppContext>,
+    op: impl Fn(&NodeRuntime, &Arc<AppContext>, &Option<Binding>) -> Result<T, CudaError>,
+) -> Result<T, CudaError> {
+    if let Some(err) = ctx.inner().failed.clone() {
+        return Err(err);
+    }
+    loop {
+        let binding = ctx.binding();
+        match op(rt, ctx, &binding) {
+            Err(CudaError::DeviceUnavailable) if binding.is_some() => {
+                recover_from_device_loss(rt, ctx, binding.unwrap())?;
+                // Retry: the data is host-resident now, or we've failed.
+            }
+            other => return other,
+        }
+    }
+}
+
+/// The delayed-binding launch path.
+fn handle_launch(rt: &NodeRuntime, ctx: &Arc<AppContext>, spec: LaunchSpec) -> CudaReply {
+    if let Some(err) = ctx.inner().failed.clone() {
+        return Err(err);
+    }
+    // Table 1 "Launch": check valid PTEs (and extend to nested closures).
+    let closure = rt.memory().launch_closure(ctx.id, &spec.args)?;
+    // §4.5 fine-grained handling: only entries reachable through read-write
+    // arguments become dirty after the launch; with no annotations every
+    // pointer argument is conservatively read-write (Figure 4's default).
+    let written = {
+        let ro = &ctx
+            .inner()
+            .kernels
+            .get(&spec.kernel)
+            .map(|k| k.desc.read_only_args.clone())
+            .unwrap_or_default();
+        if ro.is_empty() {
+            closure.clone()
+        } else {
+            let written_args: Vec<mtgpu_gpusim::KernelArg> = spec
+                .args
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !ro.contains(&(i as u32)))
+                .map(|(_, a)| *a)
+                .collect();
+            rt.memory().launch_closure(ctx.id, &written_args)?
+        }
+    };
+    let kernel = ctx
+        .inner()
+        .kernels
+        .get(&spec.kernel)
+        .cloned()
+        .ok_or_else(|| CudaError::InvalidDeviceFunction(spec.kernel.clone()))?;
+    // Consume the staged cudaConfigureCall, if the app used the split form.
+    let _ = ctx.inner().staged_config.take();
+
+    loop {
+        // 1. Ensure a binding (delayed until this very first launch).
+        let binding = match ctx.binding() {
+            Some(b) => b,
+            None => {
+                let mem = rt.memory().mem_usage(ctx.id);
+                // SJF key: the profiled job length when hinted, else the
+                // pending launch's own work.
+                let sjf_work = ctx.inner().est_job_flops.unwrap_or(spec.work.flops);
+                match rt.bindings().acquire(ctx, sjf_work, mem, ACQUIRE_SLICE) {
+                    Some(b) => {
+                        ctx.inner().binding = Some(b.clone());
+                        rt.tracer()
+                            .record(TraceEvent::Bound { ctx: ctx.id, vgpu: b.vgpu });
+                        b
+                    }
+                    None => {
+                        if rt.is_shutdown() {
+                            return Err(CudaError::Disconnected);
+                        }
+                        continue;
+                    }
+                }
+            }
+        };
+        // 2. Make the working set resident (intra-app swap happens inside).
+        match rt.memory().materialize(ctx.id, &closure, &binding) {
+            Ok(Materialize::Ready) => {}
+            Ok(Materialize::NeedBytes(need)) => {
+                // 3a. Inter-application swap: ask an idle co-tenant to give
+                // up the device (§4.5).
+                if rt.config().inter_app_swap
+                    && ctx.is_eligible()
+                    && try_inter_app_swap(rt, ctx.id, &binding, need)
+                {
+                    continue;
+                }
+                // 3b. No application honoured the request: unbind and retry
+                // later (§4.5).
+                unbind_self(rt, ctx, &binding, SwapReason::Unbind)?;
+                RuntimeMetrics::bump(&rt.metrics_ref().launch_retries);
+                std::thread::sleep(RETRY_BACKOFF);
+                continue;
+            }
+            Err(CudaError::DeviceUnavailable) => {
+                recover_from_device_loss(rt, ctx, binding)?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        // 4. Translate virtual pointers and launch.
+        let args = rt.memory().translate_args(ctx.id, &spec.args)?;
+        let dev_spec = LaunchSpec { args, ..spec.clone() };
+        match binding.gpu.launch(binding.gpu_ctx, &kernel, &dev_spec) {
+            Ok(dur) => {
+                rt.memory().mark_launched(ctx.id, &written);
+                ctx.stats.launches.fetch_add(1, Ordering::Relaxed);
+                ctx.add_kernel_time(dur.as_nanos());
+                RuntimeMetrics::bump(&rt.metrics_ref().launches);
+                // §4.6: automatic checkpoint after long-running kernels.
+                if let Some(threshold) = rt.config().auto_checkpoint_after {
+                    if dur >= threshold {
+                        rt.memory().checkpoint(ctx.id, &binding)?;
+                        rt.tracer()
+                            .record(TraceEvent::Checkpointed { ctx: ctx.id, explicit: false });
+                    }
+                }
+                return Ok(ReplyValue::LaunchDone { sim_nanos: dur.as_nanos() });
+            }
+            Err(GpuError::DeviceFailed) => {
+                recover_from_device_loss(rt, ctx, binding)?;
+                continue;
+            }
+            Err(e) => return Err(CudaError::from_gpu(e)),
+        }
+    }
+}
+
+/// Swaps out this context's device state and releases its vGPU.
+fn unbind_self(
+    rt: &NodeRuntime,
+    ctx: &Arc<AppContext>,
+    binding: &Binding,
+    reason: SwapReason,
+) -> Result<(), CudaError> {
+    match rt.memory().swap_out_ctx(ctx.id, binding, reason) {
+        Ok(bytes) => rt.tracer().record(TraceEvent::SwappedOut {
+            ctx: ctx.id,
+            bytes,
+            reason: reason.into(),
+        }),
+        Err(CudaError::DeviceUnavailable) => {}
+        Err(e) => return Err(e),
+    }
+    ctx.inner().binding = None;
+    rt.bindings().release(ctx.id, binding.vgpu);
+    rt.tracer().record(TraceEvent::Unbound {
+        ctx: ctx.id,
+        vgpu: binding.vgpu,
+        reason: UnbindReason::Retry,
+    });
+    Ok(())
+}
+
+/// Device-loss recovery: reset the context's memory to host-authoritative
+/// and drop the dead binding. Fails the context if dirty data was lost.
+fn recover_from_device_loss(
+    rt: &NodeRuntime,
+    ctx: &Arc<AppContext>,
+    binding: Binding,
+) -> Result<(), CudaError> {
+    let recovery = rt.memory().on_device_lost(ctx.id);
+    ctx.inner().binding = None;
+    // Release only if the device (and thus the slot) is still registered;
+    // the fault monitor removes dead devices wholesale.
+    if rt.bindings().has_device(binding.vgpu.device) {
+        rt.bindings().release(ctx.id, binding.vgpu);
+    }
+    rt.tracer().record(TraceEvent::DeviceLost { device: binding.vgpu.device });
+    match recovery {
+        Recovery::Recovered => {
+            RuntimeMetrics::bump(&rt.metrics_ref().recovered_contexts);
+            rt.tracer().record(TraceEvent::Recovered { ctx: ctx.id });
+            Ok(())
+        }
+        Recovery::LostDirtyData => {
+            RuntimeMetrics::bump(&rt.metrics_ref().failed_contexts);
+            ctx.mark_failed(CudaError::DeviceUnavailable);
+            rt.tracer().record(TraceEvent::Failed { ctx: ctx.id });
+            Err(CudaError::DeviceUnavailable)
+        }
+    }
+}
+
+/// Attempts an inter-application swap on `binding.vgpu.device`: find one
+/// idle co-tenant whose resident footprint covers the shortfall, swap it
+/// out wholesale and release its vGPU (§4.5). Returns `true` if memory was
+/// freed.
+fn try_inter_app_swap(
+    rt: &NodeRuntime,
+    requester: CtxId,
+    binding: &Binding,
+    need: u64,
+) -> bool {
+    let mut candidates: Vec<(CtxId, u64)> = rt
+        .bindings()
+        .bound_on(binding.vgpu.device)
+        .into_iter()
+        .filter(|&id| id != requester)
+        .map(|id| (id, rt.memory().resident_bytes(id)))
+        .filter(|&(_, resident)| resident >= need)
+        .collect();
+    // Smallest sufficient victim: evict the least data that unblocks us.
+    candidates.sort_by_key(|&(_, resident)| resident);
+    for (victim_id, _) in candidates {
+        let Some(victim) = rt.context(victim_id) else { continue };
+        if !victim.is_eligible() {
+            continue;
+        }
+        // "The application may or may not accept the request": busy contexts
+        // (mid-call / mid-kernel) refuse; idle ones accept.
+        let Some(_guard) = victim.try_service_lock() else { continue };
+        // Re-validate under the lock: still bound to this device, still big
+        // enough.
+        let Some(vb) = victim.binding() else { continue };
+        if vb.vgpu.device != binding.vgpu.device
+            || rt.memory().resident_bytes(victim_id) < need
+        {
+            continue;
+        }
+        match rt.memory().swap_out_ctx(victim_id, &vb, SwapReason::InterAppVictim) {
+            Ok(bytes) => {
+                victim.inner().binding = None;
+                victim.stats.times_swapped_out.fetch_add(1, Ordering::Relaxed);
+                rt.bindings().release(victim_id, vb.vgpu);
+                rt.tracer().record(TraceEvent::SwappedOut {
+                    ctx: victim_id,
+                    bytes,
+                    reason: SwapReason::InterAppVictim.into(),
+                });
+                rt.tracer().record(TraceEvent::Unbound {
+                    ctx: victim_id,
+                    vgpu: vb.vgpu,
+                    reason: UnbindReason::Victim,
+                });
+                return true;
+            }
+            Err(_) => continue,
+        }
+    }
+    false
+}

@@ -1,0 +1,249 @@
+//! First-fit block allocator for device memory.
+//!
+//! The paper notes (§4.5) that "because of possible memory fragmentation on
+//! GPU, the runtime may need to use the return code of the GPU memory
+//! allocation function" — i.e. capacity accounting alone is not sufficient.
+//! This allocator reproduces that behaviour: freeing out of order leaves
+//! holes, and a request can fail for lack of a contiguous block even when the
+//! total free capacity would suffice.
+
+use crate::error::GpuError;
+use crate::Result;
+
+/// Allocation alignment, matching CUDA's 256-byte texture alignment.
+pub const ALIGN: u64 = 256;
+
+fn align_up(v: u64) -> u64 {
+    (v + ALIGN - 1) & !(ALIGN - 1)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeBlock {
+    base: u64,
+    len: u64,
+}
+
+/// A first-fit allocator over the address range `[0, capacity)`.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    capacity: u64,
+    /// Free blocks sorted by base address; adjacent blocks are coalesced.
+    free: Vec<FreeBlock>,
+    /// Live allocations as `(base, len)` sorted by base.
+    live: Vec<(u64, u64)>,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator managing `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        BlockAllocator {
+            capacity,
+            free: vec![FreeBlock { base: 0, len: capacity }],
+            live: Vec::new(),
+        }
+    }
+
+    /// Total managed capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Total free bytes (possibly fragmented).
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|b| b.len).sum()
+    }
+
+    /// Bytes currently allocated (including alignment padding).
+    pub fn used_bytes(&self) -> u64 {
+        self.capacity - self.free_bytes()
+    }
+
+    /// Size of the largest contiguous free block.
+    pub fn largest_free_block(&self) -> u64 {
+        self.free.iter().map(|b| b.len).max().unwrap_or(0)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// External fragmentation ratio in `[0, 1]`: 1 − largest-free/total-free.
+    /// Zero when memory is unfragmented or full.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_bytes();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_block() as f64 / free as f64
+    }
+
+    /// Allocates `len` bytes (rounded up to [`ALIGN`]); returns the base
+    /// address. Fails with [`GpuError::OutOfMemory`] when no contiguous block
+    /// fits, and [`GpuError::InvalidValue`] for zero-length requests.
+    pub fn alloc(&mut self, len: u64) -> Result<u64> {
+        if len == 0 {
+            return Err(GpuError::InvalidValue);
+        }
+        let len = align_up(len);
+        let idx = self
+            .free
+            .iter()
+            .position(|b| b.len >= len)
+            .ok_or(GpuError::OutOfMemory)?;
+        let block = self.free[idx];
+        let base = block.base;
+        if block.len == len {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = FreeBlock { base: block.base + len, len: block.len - len };
+        }
+        let pos = self.live.partition_point(|&(b, _)| b < base);
+        self.live.insert(pos, (base, len));
+        Ok(base)
+    }
+
+    /// Releases the allocation starting at `base`.
+    pub fn free(&mut self, base: u64) -> Result<()> {
+        let pos = self
+            .live
+            .binary_search_by_key(&base, |&(b, _)| b)
+            .map_err(|_| GpuError::InvalidAddress)?;
+        let (_, len) = self.live.remove(pos);
+        self.insert_free(FreeBlock { base, len });
+        Ok(())
+    }
+
+    /// Returns `(base, len)` of the live allocation containing `addr`, if any.
+    pub fn find_containing(&self, addr: u64) -> Option<(u64, u64)> {
+        let pos = self.live.partition_point(|&(b, _)| b <= addr);
+        if pos == 0 {
+            return None;
+        }
+        let (base, len) = self.live[pos - 1];
+        (addr < base + len).then_some((base, len))
+    }
+
+    fn insert_free(&mut self, block: FreeBlock) {
+        let pos = self.free.partition_point(|b| b.base < block.base);
+        self.free.insert(pos, block);
+        // Coalesce with successor, then predecessor.
+        if pos + 1 < self.free.len()
+            && self.free[pos].base + self.free[pos].len == self.free[pos + 1].base
+        {
+            self.free[pos].len += self.free[pos + 1].len;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].base + self.free[pos - 1].len == self.free[pos].base {
+            self.free[pos - 1].len += self.free[pos].len;
+            self.free.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut a = BlockAllocator::new(1 << 20);
+        let p = a.alloc(1000).unwrap();
+        assert_eq!(p % ALIGN, 0);
+        assert_eq!(a.used_bytes(), align_up(1000));
+        a.free(p).unwrap();
+        assert_eq!(a.used_bytes(), 0);
+        assert_eq!(a.free_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut a = BlockAllocator::new(1 << 20);
+        assert_eq!(a.alloc(0), Err(GpuError::InvalidValue));
+    }
+
+    #[test]
+    fn exhaustion_returns_oom() {
+        let mut a = BlockAllocator::new(1024);
+        let _p = a.alloc(1024).unwrap();
+        assert_eq!(a.alloc(1), Err(GpuError::OutOfMemory));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = BlockAllocator::new(1 << 20);
+        let p = a.alloc(512).unwrap();
+        a.free(p).unwrap();
+        assert_eq!(a.free(p), Err(GpuError::InvalidAddress));
+    }
+
+    #[test]
+    fn free_of_unknown_address_rejected() {
+        let mut a = BlockAllocator::new(1 << 20);
+        assert_eq!(a.free(12345), Err(GpuError::InvalidAddress));
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_alloc() {
+        // Three 1KiB blocks fill memory; freeing the middle one leaves a hole
+        // that cannot satisfy a 2KiB request even though 1KiB+slack is free.
+        let mut a = BlockAllocator::new(3 * 1024);
+        let p0 = a.alloc(1024).unwrap();
+        let p1 = a.alloc(1024).unwrap();
+        let p2 = a.alloc(1024).unwrap();
+        a.free(p1).unwrap();
+        assert_eq!(a.free_bytes(), 1024);
+        assert_eq!(a.alloc(2048), Err(GpuError::OutOfMemory));
+        // Freeing a neighbour coalesces and the allocation succeeds.
+        a.free(p0).unwrap();
+        assert_eq!(a.largest_free_block(), 2048);
+        assert!(a.alloc(2048).is_ok());
+        a.free(p2).unwrap();
+    }
+
+    #[test]
+    fn coalescing_restores_single_block() {
+        let mut a = BlockAllocator::new(4096);
+        let ptrs: Vec<u64> = (0..4).map(|_| a.alloc(1024).unwrap()).collect();
+        // Free in a scrambled order; the free list must still coalesce fully.
+        for &p in &[ptrs[2], ptrs[0], ptrs[3], ptrs[1]] {
+            a.free(p).unwrap();
+        }
+        assert_eq!(a.largest_free_block(), 4096);
+        assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn find_containing_resolves_interior_addresses() {
+        let mut a = BlockAllocator::new(1 << 16);
+        let p = a.alloc(4096).unwrap();
+        assert_eq!(a.find_containing(p), Some((p, 4096)));
+        assert_eq!(a.find_containing(p + 4095), Some((p, 4096)));
+        assert_eq!(a.find_containing(p + 4096), None);
+    }
+
+    #[test]
+    fn first_fit_reuses_earliest_hole() {
+        let mut a = BlockAllocator::new(8192);
+        let p0 = a.alloc(1024).unwrap();
+        let _p1 = a.alloc(1024).unwrap();
+        a.free(p0).unwrap();
+        let p2 = a.alloc(512).unwrap();
+        assert_eq!(p2, p0, "first-fit must reuse the first hole");
+    }
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut a = BlockAllocator::new(1 << 16);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for i in 0..32 {
+            if let Ok(p) = a.alloc(((i % 7) + 1) * 300) {
+                let len = align_up(((i % 7) + 1) * 300);
+                for &(b, l) in &live {
+                    assert!(p + len <= b || b + l <= p, "overlap at {p:#x}");
+                }
+                live.push((p, len));
+            }
+        }
+    }
+}

@@ -1,0 +1,740 @@
+//! The GPU device: memory, contexts, engines, failure.
+
+use crate::alloc::BlockAllocator;
+use crate::engine::{EngineBank, FifoEngine};
+use crate::error::GpuError;
+use crate::kernel::{KernelExec, LaunchSpec, RegisteredKernel};
+use crate::spec::GpuSpec;
+use crate::stats::DeviceStats;
+use crate::Result;
+use mtgpu_simtime::{Clock, SimDuration};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed launch overhead per kernel (driver + hardware dispatch), sim time.
+pub const LAUNCH_OVERHEAD: SimDuration = SimDuration::from_micros(10);
+/// Cost of spawning a CUDA context on a device, sim time.
+pub const CTX_CREATE_TIME: SimDuration = SimDuration::from_millis(40);
+/// Fixed per-transfer setup latency, sim time.
+pub const COPY_OVERHEAD: SimDuration = SimDuration::from_micros(8);
+/// Default cap on materialized shadow-buffer bytes per allocation. Declared
+/// sizes above the cap are accounted (capacity, timing) but only a prefix of
+/// real bytes is stored.
+pub const DEFAULT_MATERIALIZE_CAP: u64 = 16 * 1024 * 1024;
+
+/// An address in a device's memory space. Under the mtgpu runtime
+/// applications never see these — only the memory manager does.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DeviceAddr(pub u64);
+
+impl std::fmt::Display for DeviceAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Identifier of a CUDA context living on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GpuContextId(pub u64);
+
+#[derive(Debug)]
+struct Allocation {
+    declared: u64,
+    /// Materialized prefix of the allocation's content, grown lazily on
+    /// write/kernel access up to `max_len` so host RAM stays proportional
+    /// to the bytes actually touched (paper-scale footprints are declared,
+    /// not stored).
+    data: Vec<u8>,
+    /// `min(declared, materialize_cap)`.
+    max_len: u64,
+    owner: GpuContextId,
+}
+
+impl Allocation {
+    /// Grows the materialized prefix (zero-filled) to cover `end`, clamped
+    /// to `max_len`.
+    fn ensure_len(&mut self, end: u64) {
+        let target = end.min(self.max_len) as usize;
+        if self.data.len() < target {
+            self.data.resize(target, 0);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ContextInfo {
+    /// Base address of the context's reserved arena.
+    reserved_base: Option<u64>,
+}
+
+struct DeviceState {
+    allocator: BlockAllocator,
+    allocs: BTreeMap<u64, Allocation>,
+    contexts: HashMap<GpuContextId, ContextInfo>,
+}
+
+/// A simulated GPU device.
+///
+/// All methods are callable concurrently from any thread; kernels serialize
+/// FIFO on the compute engine, transfers on the copy-engine bank, and memory
+/// operations under a short-held state lock — the same coarse concurrency
+/// the CUDA 3.2 stack exposes.
+pub struct Gpu {
+    spec: GpuSpec,
+    clock: Clock,
+    /// Distinguishes this device's address space from other devices'.
+    addr_salt: u64,
+    compute: FifoEngine,
+    copy: EngineBank,
+    state: Mutex<DeviceState>,
+    stats: DeviceStats,
+    failed: AtomicBool,
+    next_ctx: AtomicU64,
+    materialize_cap: u64,
+}
+
+impl Gpu {
+    /// Creates a device with the given spec on a shared clock. `ordinal`
+    /// salts the address space so addresses from distinct devices never
+    /// collide numerically.
+    pub fn new(spec: GpuSpec, clock: Clock, ordinal: u32) -> Arc<Gpu> {
+        Arc::new(Gpu {
+            addr_salt: (ordinal as u64 + 1) << 40,
+            compute: FifoEngine::new(clock.clone()),
+            copy: EngineBank::new(clock.clone(), spec.copy_engines),
+            state: Mutex::new(DeviceState {
+                allocator: BlockAllocator::new(spec.mem_bytes),
+                allocs: BTreeMap::new(),
+                contexts: HashMap::new(),
+            }),
+            stats: DeviceStats::default(),
+            failed: AtomicBool::new(false),
+            next_ctx: AtomicU64::new(1),
+            materialize_cap: DEFAULT_MATERIALIZE_CAP,
+            spec,
+            clock,
+        })
+    }
+
+    /// The device's static description.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// The clock this device runs on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Total simulated time the compute engine has been busy.
+    pub fn compute_busy_time(&self) -> SimDuration {
+        self.compute.busy_time()
+    }
+
+    /// Kernels queued or executing right now.
+    pub fn compute_queue_depth(&self) -> u64 {
+        self.compute.queue_depth()
+    }
+
+    /// Free device memory in bytes (possibly fragmented).
+    pub fn mem_available(&self) -> u64 {
+        self.state.lock().allocator.free_bytes()
+    }
+
+    /// Device memory capacity in bytes.
+    pub fn mem_capacity(&self) -> u64 {
+        self.spec.mem_bytes
+    }
+
+    /// Number of live contexts.
+    pub fn context_count(&self) -> usize {
+        self.state.lock().contexts.len()
+    }
+
+    /// Marks the device as failed: every subsequent operation returns
+    /// [`GpuError::DeviceFailed`]. Used for fault injection and hot removal.
+    pub fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears the failure flag (a replaced/repaired device).
+    pub fn repair(&self) {
+        self.failed.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the device has failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.is_failed() {
+            Err(GpuError::DeviceFailed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Creates a CUDA context, reserving [`GpuSpec::ctx_reserved_bytes`] and
+    /// enforcing [`GpuSpec::max_contexts`]. Costs [`CTX_CREATE_TIME`].
+    pub fn create_context(&self) -> Result<GpuContextId> {
+        self.check_alive()?;
+        let id = GpuContextId(self.next_ctx.fetch_add(1, Ordering::Relaxed));
+        {
+            let mut st = self.state.lock();
+            if st.contexts.len() as u32 >= self.spec.max_contexts {
+                return Err(GpuError::TooManyContexts);
+            }
+            let reserved_base = if self.spec.ctx_reserved_bytes > 0 {
+                match st.allocator.alloc(self.spec.ctx_reserved_bytes) {
+                    Ok(base) => Some(base),
+                    Err(_) => {
+                        DeviceStats::bump(&self.stats.failed_allocs);
+                        return Err(GpuError::OutOfMemory);
+                    }
+                }
+            } else {
+                None
+            };
+            st.contexts.insert(id, ContextInfo { reserved_base });
+        }
+        DeviceStats::bump(&self.stats.contexts_created);
+        self.clock.sleep(CTX_CREATE_TIME);
+        Ok(id)
+    }
+
+    /// Destroys a context, releasing its reservation and every allocation it
+    /// still owns (CUDA frees a context's memory on destruction).
+    pub fn destroy_context(&self, ctx: GpuContextId) -> Result<()> {
+        // Destroy is allowed on a failed device: it only releases host-side
+        // bookkeeping.
+        let mut st = self.state.lock();
+        let info = st.contexts.remove(&ctx).ok_or(GpuError::InvalidContext)?;
+        if let Some(base) = info.reserved_base {
+            let _ = st.allocator.free(base);
+        }
+        let owned: Vec<u64> = st
+            .allocs
+            .iter()
+            .filter(|(_, a)| a.owner == ctx)
+            .map(|(&b, _)| b)
+            .collect();
+        for base in owned {
+            st.allocs.remove(&base);
+            let _ = st.allocator.free(base);
+        }
+        Ok(())
+    }
+
+    fn internal_base(&self, addr: DeviceAddr) -> Result<u64> {
+        addr.0.checked_sub(self.addr_salt).ok_or(GpuError::InvalidAddress)
+    }
+
+    /// Allocates `declared` bytes of device memory for `ctx`.
+    pub fn malloc(&self, ctx: GpuContextId, declared: u64) -> Result<DeviceAddr> {
+        self.check_alive()?;
+        let mut st = self.state.lock();
+        if !st.contexts.contains_key(&ctx) {
+            return Err(GpuError::InvalidContext);
+        }
+        let base = match st.allocator.alloc(declared) {
+            Ok(b) => b,
+            Err(e) => {
+                DeviceStats::bump(&self.stats.failed_allocs);
+                return Err(e);
+            }
+        };
+        st.allocs.insert(
+            base,
+            Allocation {
+                declared,
+                data: Vec::new(),
+                max_len: declared.min(self.materialize_cap),
+                owner: ctx,
+            },
+        );
+        DeviceStats::bump(&self.stats.allocs);
+        Ok(DeviceAddr(base + self.addr_salt))
+    }
+
+    /// Frees the allocation at `addr` (which must be its base address), owned
+    /// by `ctx`.
+    pub fn free(&self, ctx: GpuContextId, addr: DeviceAddr) -> Result<()> {
+        self.check_alive()?;
+        let base = self.internal_base(addr)?;
+        let mut st = self.state.lock();
+        match st.allocs.get(&base) {
+            None => return Err(GpuError::InvalidAddress),
+            Some(a) if a.owner != ctx => return Err(GpuError::InvalidAddress),
+            Some(_) => {}
+        }
+        st.allocs.remove(&base);
+        st.allocator.free(base)?;
+        DeviceStats::bump(&self.stats.frees);
+        Ok(())
+    }
+
+    /// Resolves `addr` (possibly interior) against `ctx`'s live allocations:
+    /// returns `(base, offset, allocation_declared_len)`.
+    fn resolve(
+        st: &DeviceState,
+        salt: u64,
+        ctx: Option<GpuContextId>,
+        addr: DeviceAddr,
+    ) -> Result<(u64, u64, u64)> {
+        let internal = addr.0.checked_sub(salt).ok_or(GpuError::InvalidAddress)?;
+        let (&base, alloc) = st
+            .allocs
+            .range(..=internal)
+            .next_back()
+            .ok_or(GpuError::InvalidAddress)?;
+        if internal >= base + alloc.declared {
+            return Err(GpuError::InvalidAddress);
+        }
+        if let Some(ctx) = ctx {
+            if alloc.owner != ctx {
+                // Isolation: another context's memory is invisible.
+                return Err(GpuError::InvalidAddress);
+            }
+        }
+        Ok((base, internal - base, alloc.declared))
+    }
+
+    fn copy_duration(&self, declared_len: u64) -> SimDuration {
+        COPY_OVERHEAD
+            + SimDuration::from_secs_f64(declared_len as f64 / self.spec.pcie_bytes_per_sec)
+    }
+
+    /// Host-to-device transfer: `declared_len` bytes are charged against the
+    /// PCIe model; `payload` (≤ `declared_len` real bytes) is stored at the
+    /// target offset, clamped to the materialized prefix.
+    pub fn memcpy_h2d(
+        &self,
+        ctx: GpuContextId,
+        dst: DeviceAddr,
+        declared_len: u64,
+        payload: &[u8],
+    ) -> Result<()> {
+        self.check_alive()?;
+        if declared_len == 0 || payload.len() as u64 > declared_len {
+            return Err(GpuError::InvalidValue);
+        }
+        {
+            let st = self.state.lock();
+            if !st.contexts.contains_key(&ctx) {
+                return Err(GpuError::InvalidContext);
+            }
+            let (_, offset, alloc_len) = Self::resolve(&st, self.addr_salt, Some(ctx), dst)?;
+            if offset + declared_len > alloc_len {
+                return Err(GpuError::OutOfBounds {
+                    addr: dst.0,
+                    len: declared_len,
+                    alloc_size: alloc_len,
+                });
+            }
+        }
+        self.copy.occupy(self.copy_duration(declared_len));
+        self.check_alive()?;
+        let mut st = self.state.lock();
+        let (base, offset, _) = Self::resolve(&st, self.addr_salt, Some(ctx), dst)?;
+        let alloc = st.allocs.get_mut(&base).expect("resolved allocation vanished");
+        alloc.ensure_len(offset + payload.len() as u64);
+        let start = offset as usize;
+        if start < alloc.data.len() {
+            let n = payload.len().min(alloc.data.len() - start);
+            alloc.data[start..start + n].copy_from_slice(&payload[..n]);
+        }
+        DeviceStats::add(&self.stats.h2d_bytes, declared_len);
+        Ok(())
+    }
+
+    /// Device-to-host transfer: charges `declared_len` against the PCIe
+    /// model and returns the materialized bytes available at the source
+    /// offset (up to `declared_len`).
+    pub fn memcpy_d2h(
+        &self,
+        ctx: GpuContextId,
+        src: DeviceAddr,
+        declared_len: u64,
+    ) -> Result<Vec<u8>> {
+        self.check_alive()?;
+        if declared_len == 0 {
+            return Err(GpuError::InvalidValue);
+        }
+        {
+            let st = self.state.lock();
+            if !st.contexts.contains_key(&ctx) {
+                return Err(GpuError::InvalidContext);
+            }
+            let (_, offset, alloc_len) = Self::resolve(&st, self.addr_salt, Some(ctx), src)?;
+            if offset + declared_len > alloc_len {
+                return Err(GpuError::OutOfBounds {
+                    addr: src.0,
+                    len: declared_len,
+                    alloc_size: alloc_len,
+                });
+            }
+        }
+        self.copy.occupy(self.copy_duration(declared_len));
+        self.check_alive()?;
+        let st = self.state.lock();
+        let (base, offset, _) = Self::resolve(&st, self.addr_salt, Some(ctx), src)?;
+        let alloc = st.allocs.get(&base).expect("resolved allocation vanished");
+        let start = (offset as usize).min(alloc.data.len());
+        let end = ((offset + declared_len) as usize).min(alloc.data.len());
+        DeviceStats::add(&self.stats.d2h_bytes, declared_len);
+        Ok(alloc.data[start..end].to_vec())
+    }
+
+    /// Computes the simulated execution time of `work` on this device.
+    pub fn kernel_duration(&self, work: crate::kernel::Work) -> SimDuration {
+        let compute = work.flops / self.spec.effective_flops();
+        let memory = work.bytes / self.spec.mem_bytes_per_sec;
+        LAUNCH_OVERHEAD + SimDuration::from_secs_f64(compute.max(memory))
+    }
+
+    /// Launches a kernel: validates every pointer argument against `ctx`'s
+    /// live allocations (isolation), occupies the compute engine for the
+    /// work-proportional duration, then applies the functional payload.
+    ///
+    /// Returns the simulated execution time.
+    pub fn launch(
+        &self,
+        ctx: GpuContextId,
+        kernel: &RegisteredKernel,
+        spec: &LaunchSpec,
+    ) -> Result<SimDuration> {
+        self.check_alive()?;
+        {
+            let st = self.state.lock();
+            if !st.contexts.contains_key(&ctx) {
+                return Err(GpuError::InvalidContext);
+            }
+            for ptr in spec.ptr_args() {
+                Self::resolve(&st, self.addr_salt, Some(ctx), ptr)?;
+            }
+        }
+        let dur = self.kernel_duration(spec.work);
+        let payload_result = self.compute.occupy_with(dur, || {
+            let Some(payload) = kernel.payload.as_ref() else {
+                return Ok(());
+            };
+            let mut st = self.state.lock();
+            let salt = self.addr_salt;
+            let mut resolve = |addr: DeviceAddr,
+                               len: u64,
+                               f: &mut dyn FnMut(&mut [u8])|
+             -> Result<()> {
+                let (base, offset, alloc_len) = Self::resolve(&st, salt, Some(ctx), addr)?;
+                if offset + len > alloc_len {
+                    return Err(GpuError::OutOfBounds {
+                        addr: addr.0,
+                        len,
+                        alloc_size: alloc_len,
+                    });
+                }
+                let alloc = st.allocs.get_mut(&base).expect("resolved allocation vanished");
+                alloc.ensure_len(offset + len);
+                let start = (offset as usize).min(alloc.data.len());
+                let end = ((offset + len) as usize).min(alloc.data.len());
+                f(&mut alloc.data[start..end]);
+                Ok(())
+            };
+            let mut exec = KernelExec { resolve: &mut resolve, args: &spec.args };
+            payload(&mut exec)
+        });
+        payload_result?;
+        self.check_alive()?;
+        DeviceStats::bump(&self.stats.kernels_launched);
+        Ok(dur)
+    }
+
+    /// Debug/test hook: reads the materialized bytes of an allocation without
+    /// charging transfer time and without context checks.
+    pub fn peek(&self, addr: DeviceAddr, len: u64) -> Result<Vec<u8>> {
+        let st = self.state.lock();
+        let (base, offset, _) = Self::resolve(&st, self.addr_salt, None, addr)?;
+        let alloc = st.allocs.get(&base).expect("resolved allocation vanished");
+        let start = (offset as usize).min(alloc.data.len());
+        let end = ((offset + len) as usize).min(alloc.data.len());
+        Ok(alloc.data[start..end].to_vec())
+    }
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("spec", &self.spec.name)
+            .field("failed", &self.is_failed())
+            .field("contexts", &self.context_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelArg, KernelDesc, LaunchConfig, Work};
+
+    fn test_gpu() -> Arc<Gpu> {
+        Gpu::new(GpuSpec::test_small(), Clock::with_scale(1e-6), 0)
+    }
+
+    fn plain_kernel() -> RegisteredKernel {
+        RegisteredKernel { desc: KernelDesc::plain("k"), payload: None }
+    }
+
+    fn launch_of(ptrs: &[DeviceAddr]) -> LaunchSpec {
+        LaunchSpec {
+            kernel: "k".into(),
+            config: LaunchConfig::default(),
+            args: ptrs.iter().map(|&p| KernelArg::Ptr(p)).collect(),
+            work: Work::flops(1e6),
+        }
+    }
+
+    #[test]
+    fn context_limit_enforced() {
+        let gpu = test_gpu();
+        let mut ctxs = Vec::new();
+        for _ in 0..8 {
+            ctxs.push(gpu.create_context().unwrap());
+        }
+        assert_eq!(gpu.create_context(), Err(GpuError::TooManyContexts));
+        gpu.destroy_context(ctxs.pop().unwrap()).unwrap();
+        assert!(gpu.create_context().is_ok());
+    }
+
+    #[test]
+    fn context_reservation_consumes_memory() {
+        let gpu = test_gpu();
+        let before = gpu.mem_available();
+        let ctx = gpu.create_context().unwrap();
+        let after = gpu.mem_available();
+        assert_eq!(before - after, gpu.spec().ctx_reserved_bytes);
+        gpu.destroy_context(ctx).unwrap();
+        assert_eq!(gpu.mem_available(), before);
+    }
+
+    #[test]
+    fn malloc_write_read_roundtrip() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(ctx, 4096).unwrap();
+        let data: Vec<u8> = (0..=255).cycle().take(4096).collect();
+        gpu.memcpy_h2d(ctx, ptr, 4096, &data).unwrap();
+        let back = gpu.memcpy_d2h(ctx, ptr, 4096).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn interior_offset_copy() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(ctx, 1024).unwrap();
+        gpu.memcpy_h2d(ctx, DeviceAddr(ptr.0 + 512), 4, &[1, 2, 3, 4]).unwrap();
+        let back = gpu.memcpy_d2h(ctx, DeviceAddr(ptr.0 + 512), 4).unwrap();
+        assert_eq!(back, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_copy_detected() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(ctx, 1024).unwrap();
+        let err = gpu.memcpy_h2d(ctx, DeviceAddr(ptr.0 + 1000), 100, &[0; 100]).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfBounds { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cross_context_isolation() {
+        let gpu = test_gpu();
+        let a = gpu.create_context().unwrap();
+        let b = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(a, 1024).unwrap();
+        // Context b cannot read, write, free or launch against a's memory.
+        assert_eq!(gpu.memcpy_d2h(b, ptr, 16), Err(GpuError::InvalidAddress));
+        assert_eq!(gpu.memcpy_h2d(b, ptr, 16, &[0; 16]), Err(GpuError::InvalidAddress));
+        assert_eq!(gpu.free(b, ptr), Err(GpuError::InvalidAddress));
+        assert_eq!(
+            gpu.launch(b, &plain_kernel(), &launch_of(&[ptr])),
+            Err(GpuError::InvalidAddress)
+        );
+    }
+
+    #[test]
+    fn oom_when_capacity_exceeded() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let avail = gpu.mem_available();
+        let _big = gpu.malloc(ctx, avail - 1024).unwrap();
+        assert_eq!(gpu.malloc(ctx, 1 << 20), Err(GpuError::OutOfMemory));
+        assert_eq!(gpu.stats().snapshot().failed_allocs, 1);
+    }
+
+    #[test]
+    fn launch_validates_pointers() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let err = gpu
+            .launch(ctx, &plain_kernel(), &launch_of(&[DeviceAddr(0xdead_beef)]))
+            .unwrap_err();
+        assert_eq!(err, GpuError::InvalidAddress);
+    }
+
+    #[test]
+    fn launch_duration_scales_with_device_speed() {
+        let clock = Clock::with_scale(1e-6);
+        let fast = Gpu::new(GpuSpec::tesla_c2050(), clock.clone(), 0);
+        let slow = Gpu::new(GpuSpec::quadro_2000(), clock, 1);
+        let work = Work::flops(1e12);
+        assert!(slow.kernel_duration(work) > fast.kernel_duration(work) * 3);
+    }
+
+    #[test]
+    fn payload_kernel_computes() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(ctx, 16).unwrap();
+        gpu.memcpy_h2d(ctx, ptr, 16, &[1u8; 16]).unwrap();
+        let kernel = RegisteredKernel {
+            desc: KernelDesc::plain("inc"),
+            payload: Some(Arc::new(|exec| {
+                let addr = exec.args()[0].as_ptr().unwrap();
+                exec.with_bytes_mut(addr, 16, &mut |bytes| {
+                    for b in bytes.iter_mut() {
+                        *b += 1;
+                    }
+                })
+            })),
+        };
+        gpu.launch(ctx, &kernel, &launch_of(&[ptr])).unwrap();
+        assert_eq!(gpu.memcpy_d2h(ctx, ptr, 16).unwrap(), vec![2u8; 16]);
+        assert_eq!(gpu.stats().snapshot().kernels_launched, 1);
+    }
+
+    #[test]
+    fn failed_device_rejects_everything() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(ctx, 64).unwrap();
+        gpu.fail();
+        assert_eq!(gpu.malloc(ctx, 64), Err(GpuError::DeviceFailed));
+        assert_eq!(gpu.memcpy_h2d(ctx, ptr, 64, &[0; 64]), Err(GpuError::DeviceFailed));
+        assert_eq!(gpu.memcpy_d2h(ctx, ptr, 64), Err(GpuError::DeviceFailed));
+        assert_eq!(gpu.create_context(), Err(GpuError::DeviceFailed));
+        assert_eq!(
+            gpu.launch(ctx, &plain_kernel(), &launch_of(&[ptr])),
+            Err(GpuError::DeviceFailed)
+        );
+        // Destroy still works so the runtime can reclaim bookkeeping.
+        gpu.destroy_context(ctx).unwrap();
+        gpu.repair();
+        assert!(gpu.create_context().is_ok());
+    }
+
+    #[test]
+    fn declared_size_larger_than_materialized_cap() {
+        let clock = Clock::with_scale(1e-7);
+        let gpu = Gpu::new(GpuSpec::tesla_c2050(), clock, 0);
+        let ctx = gpu.create_context().unwrap();
+        // 800 MB declared, only the 16 MiB prefix is materialized.
+        let declared = 800u64 << 20;
+        let ptr = gpu.malloc(ctx, declared).unwrap();
+        assert!(gpu.mem_capacity() - gpu.mem_available() >= declared);
+        // Copy accounting still charges full size; payload is a prefix.
+        gpu.memcpy_h2d(ctx, ptr, declared, &[7u8; 128]).unwrap();
+        assert_eq!(gpu.memcpy_d2h(ctx, ptr, 128).unwrap(), vec![7u8; 128]);
+        assert_eq!(gpu.stats().snapshot().h2d_bytes, declared);
+        gpu.free(ctx, ptr).unwrap();
+    }
+
+    #[test]
+    fn destroy_context_reclaims_allocations() {
+        let gpu = test_gpu();
+        let before = gpu.mem_available();
+        let ctx = gpu.create_context().unwrap();
+        for _ in 0..4 {
+            gpu.malloc(ctx, 1 << 20).unwrap();
+        }
+        gpu.destroy_context(ctx).unwrap();
+        assert_eq!(gpu.mem_available(), before);
+    }
+
+    #[test]
+    fn free_base_only() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(ctx, 1024).unwrap();
+        // Freeing an interior pointer is invalid (CUDA semantics).
+        assert!(gpu.free(ctx, DeviceAddr(ptr.0 + 256)).is_err());
+        gpu.free(ctx, ptr).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use crate::kernel::{KernelArg, KernelDesc, LaunchConfig, LaunchSpec, RegisteredKernel, Work};
+    use crate::GpuSpec;
+    use mtgpu_simtime::Clock;
+
+    /// Hammer one device from many threads: allocations stay within
+    /// capacity, per-context data stays isolated, and the final state is
+    /// clean after all contexts are destroyed.
+    #[test]
+    fn concurrent_contexts_full_lifecycle() {
+        let gpu = Gpu::new(GpuSpec::test_small(), Clock::with_scale(1e-7), 0);
+        let kernel = Arc::new(RegisteredKernel {
+            desc: KernelDesc::plain("stamp"),
+            payload: Some(Arc::new(|exec: &mut crate::kernel::KernelExec<'_>| {
+                let p = exec.args()[0].as_ptr().unwrap();
+                let tag = match exec.args()[1] {
+                    KernelArg::Scalar(v) => v as u8,
+                    _ => 0,
+                };
+                exec.with_bytes_mut(p, 64, &mut |b| b.fill(tag))
+            })),
+        });
+        let before = gpu.mem_available();
+        let handles: Vec<_> = (0..6u64)
+            .map(|tag| {
+                let gpu = Arc::clone(&gpu);
+                let kernel = Arc::clone(&kernel);
+                std::thread::spawn(move || {
+                    let ctx = gpu.create_context().unwrap();
+                    for round in 0..8 {
+                        let p = gpu.malloc(ctx, 4096).unwrap();
+                        let spec = LaunchSpec {
+                            kernel: "stamp".into(),
+                            config: LaunchConfig::default(),
+                            args: vec![KernelArg::Ptr(p), KernelArg::Scalar(tag)],
+                            work: Work::flops(1e5),
+                        };
+                        gpu.launch(ctx, &kernel, &spec).unwrap();
+                        let back = gpu.memcpy_d2h(ctx, p, 64).unwrap();
+                        assert_eq!(back, vec![tag as u8; 64], "round {round} corrupted");
+                        gpu.free(ctx, p).unwrap();
+                    }
+                    gpu.destroy_context(ctx).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(gpu.mem_available(), before, "memory leaked under concurrency");
+        assert_eq!(gpu.context_count(), 0);
+        assert_eq!(gpu.stats().snapshot().kernels_launched, 48);
+    }
+}

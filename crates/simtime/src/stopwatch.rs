@@ -1,0 +1,61 @@
+use crate::{Clock, SimDuration, SimInstant};
+
+/// Measures elapsed simulated time against a [`Clock`].
+///
+/// Used by the experiment harnesses to report batch execution times in the
+/// paper's units (seconds of the 2012 testbed).
+#[derive(Clone)]
+pub struct Stopwatch {
+    clock: Clock,
+    start: SimInstant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current simulated time.
+    pub fn start(clock: &Clock) -> Self {
+        Stopwatch { clock: clock.clone(), start: clock.now() }
+    }
+
+    /// Simulated time elapsed since the stopwatch was started (or last reset).
+    pub fn elapsed(&self) -> SimDuration {
+        self.clock.now().duration_since(self.start)
+    }
+
+    /// Resets the stopwatch to the current simulated time and returns the
+    /// time elapsed up to the reset.
+    pub fn lap(&mut self) -> SimDuration {
+        let now = self.clock.now();
+        let elapsed = now.duration_since(self.start);
+        self.start = now;
+        elapsed
+    }
+
+    /// The instant the stopwatch was started (or last reset).
+    pub fn started_at(&self) -> SimInstant {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_tracks_sleep() {
+        let clock = Clock::with_scale(1e-4);
+        let sw = Stopwatch::start(&clock);
+        clock.sleep(SimDuration::from_secs(5));
+        assert!(sw.elapsed() >= SimDuration::from_secs_f64(4.5));
+    }
+
+    #[test]
+    fn lap_resets() {
+        let clock = Clock::with_scale(1e-4);
+        let mut sw = Stopwatch::start(&clock);
+        clock.sleep(SimDuration::from_secs(2));
+        let first = sw.lap();
+        assert!(first >= SimDuration::from_secs_f64(1.8));
+        // After a lap the elapsed time restarts near zero.
+        assert!(sw.elapsed() < first);
+    }
+}

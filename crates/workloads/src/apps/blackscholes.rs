@@ -1,0 +1,239 @@
+//! Black-Scholes (BS-S / BS-L): European option pricing, 256 kernel calls
+//! (CUDA SDK `BlackScholes`).
+//!
+//! * BS-S: 4M options (short-running).
+//! * BS-L: 40M options (long-running, GPU-intensive, very short CPU
+//!   phases; memory requirements below MM-L — §5.3.3).
+
+use super::common::*;
+use crate::calib::{scale_bytes, work_c2050, Scale};
+use crate::report::WorkloadReport;
+use crate::Workload;
+use mtgpu_api::{CudaClient, CudaResult, KernelArg};
+use mtgpu_gpusim::kernel::{library, KernelExec, RegisteredKernel};
+use mtgpu_gpusim::KernelDesc;
+use mtgpu_simtime::Clock;
+use std::sync::Arc;
+
+const SHADOW: usize = 256;
+const RISK_FREE: f32 = 0.02;
+const VOLATILITY: f32 = 0.30;
+
+/// The BS workload family.
+pub struct BlackScholes {
+    name: &'static str,
+    /// Declared option count (paper scale).
+    options: u64,
+    /// Kernel calls (Table 2: 256).
+    repeats: u64,
+    /// Per-kernel GPU seconds on a C2050.
+    kernel_secs: f64,
+    scale: Scale,
+}
+
+impl BlackScholes {
+    /// BS-S: 4M options, short-running (≈3.5 s).
+    pub fn small() -> Self {
+        BlackScholes {
+            name: "BS-S",
+            options: 4_000_000,
+            repeats: 256,
+            kernel_secs: 3.5 / 256.0,
+            scale: Scale::PAPER,
+        }
+    }
+
+    /// BS-L: long-running (≈40 s). The option count is calibrated so that
+    /// four concurrent BS-L tenants fit a 3 GiB C2050 alongside the vGPU
+    /// context reservations — Figure 8 of the paper reports *zero* swap
+    /// operations at the 100% BS-L mix, which pins BS-L's footprint below
+    /// a quarter of the device ("memory requirements of BS-L are below
+    /// those of MM-L", §5.3.3).
+    pub fn large() -> Self {
+        BlackScholes {
+            name: "BS-L",
+            options: 32_000_000,
+            repeats: 256,
+            kernel_secs: 40.0 / 256.0,
+            scale: Scale::PAPER,
+        }
+    }
+
+    /// Scales durations and footprints (tests).
+    pub fn scaled(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+}
+
+/// The Black-Scholes call/put prices via the cumulative normal
+/// approximation used by the CUDA SDK sample.
+fn cnd(d: f32) -> f32 {
+    const A1: f32 = 0.319_381_53;
+    const A2: f32 = -0.356_563_782;
+    const A3: f32 = 1.781_477_937;
+    const A4: f32 = -1.821_255_978;
+    const A5: f32 = 1.330_274_429;
+    let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
+    let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
+    let w = 1.0 - (-0.5 * d * d).exp() * poly / (2.0 * std::f32::consts::PI).sqrt();
+    if d < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// Host reference pricing.
+pub(crate) fn price(s: f32, x: f32, t: f32) -> (f32, f32) {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t)
+        / (VOLATILITY * sqrt_t);
+    let d2 = d1 - VOLATILITY * sqrt_t;
+    let exp_rt = (-RISK_FREE * t).exp();
+    let call = s * cnd(d1) - x * exp_rt * cnd(d2);
+    let put = x * exp_rt * cnd(-d2) - s * cnd(-d1);
+    (call, put)
+}
+
+/// Installs `bs_price`: prices the shadow options into call/put arrays.
+pub(crate) fn install() {
+    library::register(RegisteredKernel {
+        desc: KernelDesc::plain("bs_price"),
+        payload: Some(Arc::new(|exec: &mut KernelExec<'_>| {
+            let spot = ptr_arg(exec, 0, "bs_price");
+            let strike = ptr_arg(exec, 1, "bs_price");
+            let years = ptr_arg(exec, 2, "bs_price");
+            let call_out = ptr_arg(exec, 3, "bs_price");
+            let put_out = ptr_arg(exec, 4, "bs_price");
+            let n = scalar_arg(exec, 5) as usize;
+            let bytes = (n * 4) as u64;
+            let mut s = vec![0f32; n];
+            let mut x = vec![0f32; n];
+            let mut t = vec![0f32; n];
+            exec.with_f32_mut(spot, bytes, |v| s.copy_from_slice(&v[..n]))?;
+            exec.with_f32_mut(strike, bytes, |v| x.copy_from_slice(&v[..n]))?;
+            exec.with_f32_mut(years, bytes, |v| t.copy_from_slice(&v[..n]))?;
+            let priced: Vec<(f32, f32)> =
+                (0..n).map(|i| price(s[i], x[i], t[i])).collect();
+            exec.with_f32_mut(call_out, bytes, |v| {
+                for i in 0..n {
+                    v[i] = priced[i].0;
+                }
+            })?;
+            exec.with_f32_mut(put_out, bytes, |v| {
+                for i in 0..n {
+                    v[i] = priced[i].1;
+                }
+            })
+        })),
+    });
+}
+
+impl Workload for BlackScholes {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn kernels(&self) -> Vec<KernelDesc> {
+        vec![KernelDesc::plain("bs_price")]
+    }
+
+    fn estimated_flops(&self) -> Option<f64> {
+        Some(crate::calib::flops_for_c2050_secs(self.kernel_secs * self.repeats as f64 * self.scale.time))
+    }
+
+    fn run(&self, client: &mut dyn CudaClient, clock: &Clock) -> CudaResult<WorkloadReport> {
+        // "BS-L is a GPU-intensive application with very short CPU phases"
+        // (§5.3.3): only a brief host-side option-generation phase.
+        cpu_phase(clock, 0.5 * self.scale.time);
+        let mut rng = XorShift::new(0x5EED_00B5);
+        let s_host: Vec<f32> = (0..SHADOW).map(|_| rng.range_f32(5.0, 30.0)).collect();
+        let x_host: Vec<f32> = (0..SHADOW).map(|_| rng.range_f32(1.0, 100.0)).collect();
+        let t_host: Vec<f32> = (0..SHADOW).map(|_| rng.range_f32(0.25, 10.0)).collect();
+        let arr_bytes = scale_bytes(self.options * 4, &self.scale);
+        let s = upload_f32(client, arr_bytes, &s_host)?;
+        let x = upload_f32(client, arr_bytes, &x_host)?;
+        let t = upload_f32(client, arr_bytes, &t_host)?;
+        let call_out = alloc(client, arr_bytes, SHADOW as u64 * 4)?;
+        let put_out = alloc(client, arr_bytes, SHADOW as u64 * 4)?;
+        for _ in 0..self.repeats {
+            launch(
+                client,
+                "bs_price",
+                vec![
+                    KernelArg::Ptr(s),
+                    KernelArg::Ptr(x),
+                    KernelArg::Ptr(t),
+                    KernelArg::Ptr(call_out),
+                    KernelArg::Ptr(put_out),
+                    KernelArg::Scalar(SHADOW as u64),
+                ],
+                work_c2050(self.kernel_secs * self.scale.time),
+            )?;
+        }
+        let calls = download_f32(client, call_out, SHADOW)?;
+        let puts = download_f32(client, put_out, SHADOW)?;
+        for ptr in [s, x, t, call_out, put_out] {
+            client.free(ptr)?;
+        }
+        let ok = (0..SHADOW).all(|i| {
+            let (ec, ep) = price(s_host[i], x_host[i], t_host[i]);
+            approx_eq(calls[i], ec) && approx_eq(puts[i], ep)
+        });
+        Ok(if ok {
+            WorkloadReport::verified(self.name, self.repeats)
+        } else {
+            WorkloadReport::failed(self.name, self.repeats)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_matches_known_values() {
+        // Spot=100, strike=100, T=1y, r=2%, σ=30%: call ≈ 12.82, put ≈ 10.84
+        // (standard Black-Scholes tables).
+        let (call, put) = price(100.0, 100.0, 1.0);
+        assert!((call - 12.82).abs() < 0.1, "call {call}");
+        assert!((put - 10.84).abs() < 0.1, "put {put}");
+    }
+
+    #[test]
+    fn put_call_parity_holds() {
+        // C − P = S − X·e^(−rT) for any inputs.
+        for (s, x, t) in [(20.0f32, 15.0f32, 2.0f32), (8.0, 30.0, 0.5), (50.0, 50.0, 5.0)] {
+            let (c, p) = price(s, x, t);
+            let parity = s - x * (-RISK_FREE * t).exp();
+            assert!(
+                (c - p - parity).abs() < 1e-2,
+                "parity violated at S={s} X={x} T={t}: {c} - {p} != {parity}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_in_the_money_call_approaches_intrinsic() {
+        let (call, put) = price(1000.0, 1.0, 0.25);
+        assert!(call > 990.0);
+        assert!(put < 1e-3);
+    }
+
+    #[test]
+    fn bs_l_footprint_fits_four_tenants_on_c2050() {
+        // The Fig. 8 calibration invariant: 4 × BS-L + 4 vGPU reservations
+        // must fit a 3 GiB C2050 (the paper reports zero swaps at the
+        // 100% BS-L mix).
+        let spec = mtgpu_gpusim::GpuSpec::tesla_c2050();
+        let per_job = BlackScholes::large().options * 4 * 5; // 5 f32 arrays
+        let reserved = spec.ctx_reserved_bytes * 4;
+        assert!(
+            4 * per_job + reserved <= spec.mem_bytes,
+            "4 BS-L tenants must fit: 4×{per_job} + {reserved} > {}",
+            spec.mem_bytes
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Matrix Multiplication (MM-S / MM-L): the paper's long-running workload
+//! with injected CPU phases (§5.2, §5.3.3).
+//!
+//! * MM-S: 200 multiplications of 2K×2K matrices, variable CPU phases.
+//! * MM-L: 10 multiplications of 10K×10K matrices, variable CPU phases;
+//!   high memory requirements — three 10K×10K f32 matrices ≈ 1.2 GB, so
+//!   more than two concurrent jobs on a 3 GiB C2050 conflict (§5.3.3).
+//!
+//! The CPU phase after each kernel simulates "different levels of
+//! post-processing on the product" and is sized as
+//! `cpu_fraction × per-kernel GPU time`.
+
+use super::common::*;
+use crate::calib::{scale_bytes, work_c2050, Scale};
+use crate::report::WorkloadReport;
+use crate::Workload;
+use mtgpu_api::{CudaClient, CudaResult, KernelArg};
+use mtgpu_gpusim::kernel::{library, KernelExec, RegisteredKernel};
+use mtgpu_gpusim::KernelDesc;
+use mtgpu_simtime::{Clock, SimDuration};
+use std::sync::Arc;
+
+/// Shadow matrices are 16×16.
+const SHADOW_N: usize = 16;
+
+/// The MM workload family.
+pub struct MatMul {
+    name: &'static str,
+    /// Declared bytes per matrix (three are allocated).
+    matrix_bytes: u64,
+    /// Kernel calls (Table 2: MM-S 200, MM-L 10).
+    repeats: u64,
+    /// Per-kernel GPU seconds on a C2050.
+    kernel_secs: f64,
+    /// CPU phase per kernel as a fraction of the kernel's GPU time
+    /// (Fig. 7 x-axis: 0 … 2).
+    pub cpu_fraction: f64,
+    scale: Scale,
+}
+
+impl MatMul {
+    /// MM-S: 200 × 2K×2K (3 × 16 MiB), ~16 s of GPU work (30–90 s total
+    /// with injected CPU phases).
+    pub fn small(cpu_fraction: f64) -> Self {
+        MatMul {
+            name: "MM-S",
+            matrix_bytes: 2048 * 2048 * 4,
+            repeats: 200,
+            kernel_secs: 0.08,
+            cpu_fraction,
+            scale: Scale::PAPER,
+        }
+    }
+
+    /// MM-L: 10 × 10K×10K (3 × ~400 MB ⇒ ~1.2 GB/job), ~12.5 s of GPU
+    /// work (30–90 s total with injected CPU phases).
+    pub fn large(cpu_fraction: f64) -> Self {
+        MatMul {
+            name: "MM-L",
+            matrix_bytes: 10_000 * 10_000 * 4,
+            repeats: 10,
+            kernel_secs: 1.25,
+            cpu_fraction,
+            scale: Scale::PAPER,
+        }
+    }
+
+    /// Scales durations and footprints (tests).
+    pub fn scaled(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+}
+
+/// Installs `mm_matmul`: C = A×B on the 16×16 shadows.
+pub(crate) fn install() {
+    library::register(RegisteredKernel {
+        desc: KernelDesc::plain("mm_matmul"),
+        payload: Some(Arc::new(|exec: &mut KernelExec<'_>| {
+            let a = ptr_arg(exec, 0, "mm_matmul");
+            let b = ptr_arg(exec, 1, "mm_matmul");
+            let c = ptr_arg(exec, 2, "mm_matmul");
+            let n = scalar_arg(exec, 3) as usize;
+            let bytes = (n * n * 4) as u64;
+            let mut av = vec![0f32; n * n];
+            let mut bv = vec![0f32; n * n];
+            exec.with_f32_mut(a, bytes, |s| av.copy_from_slice(&s[..n * n]))?;
+            exec.with_f32_mut(b, bytes, |s| bv.copy_from_slice(&s[..n * n]))?;
+            exec.with_f32_mut(c, bytes, |s| {
+                for i in 0..n {
+                    for j in 0..n {
+                        let mut acc = 0f32;
+                        for k in 0..n {
+                            acc += av[i * n + k] * bv[k * n + j];
+                        }
+                        s[i * n + j] = acc;
+                    }
+                }
+            })
+        })),
+    });
+}
+
+fn host_matmul(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+impl Workload for MatMul {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn kernels(&self) -> Vec<KernelDesc> {
+        vec![KernelDesc::plain("mm_matmul")]
+    }
+
+    fn estimated_flops(&self) -> Option<f64> {
+        Some(crate::calib::flops_for_c2050_secs(self.kernel_secs * self.repeats as f64 * self.scale.time))
+    }
+
+    fn run(&self, client: &mut dyn CudaClient, clock: &Clock) -> CudaResult<WorkloadReport> {
+        let mut rng = XorShift::new(0x5EED_0033);
+        let a_host: Vec<f32> =
+            (0..SHADOW_N * SHADOW_N).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let b_host: Vec<f32> =
+            (0..SHADOW_N * SHADOW_N).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let declared = scale_bytes(self.matrix_bytes, &self.scale);
+        // The paper's §4.5 sequence: malloc ×3, copy_HD inputs, kernels,
+        // copy_DH result, free.
+        let a = upload_f32(client, declared, &a_host)?;
+        let b = upload_f32(client, declared, &b_host)?;
+        let c = alloc(client, declared, (SHADOW_N * SHADOW_N) as u64 * 4)?;
+        let cpu_phase = SimDuration::from_secs_f64(
+            self.kernel_secs * self.cpu_fraction * self.scale.time,
+        );
+        for _ in 0..self.repeats {
+            launch(
+                client,
+                "mm_matmul",
+                vec![
+                    KernelArg::Ptr(a),
+                    KernelArg::Ptr(b),
+                    KernelArg::Ptr(c),
+                    KernelArg::Scalar(SHADOW_N as u64),
+                ],
+                work_c2050(self.kernel_secs * self.scale.time),
+            )?;
+            // Post-processing CPU phase: the GPU is free for co-tenants.
+            if !cpu_phase.is_zero() {
+                clock.sleep(cpu_phase);
+            }
+        }
+        let result = download_f32(client, c, SHADOW_N * SHADOW_N)?;
+        for ptr in [a, b, c] {
+            client.free(ptr)?;
+        }
+        let expected = host_matmul(&a_host, &b_host, SHADOW_N);
+        let ok = approx_eq_slice(&result, &expected);
+        Ok(if ok {
+            WorkloadReport::verified(self.name, self.repeats)
+        } else {
+            WorkloadReport::failed(self.name, self.repeats)
+        })
+    }
+}

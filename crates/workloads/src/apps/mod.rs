@@ -1,0 +1,42 @@
+//! The Table 2 application implementations.
+
+pub mod backprop;
+pub mod bfs;
+pub mod blackscholes;
+pub(crate) mod common;
+pub mod hotspot;
+pub mod matmul;
+pub mod needleman;
+pub mod reduction;
+pub mod scalar_prod;
+pub mod scan;
+pub mod transpose;
+pub mod vecadd;
+
+pub use backprop::BackProp;
+pub use bfs::Bfs;
+pub use blackscholes::BlackScholes;
+pub use hotspot::HotSpot;
+pub use matmul::MatMul;
+pub use needleman::Needleman;
+pub use reduction::Reduction;
+pub use scalar_prod::ScalarProduct;
+pub use scan::Scan;
+pub use transpose::Transpose;
+pub use vecadd::VecAdd;
+
+/// Installs every application's kernel payloads into the process-global
+/// kernel library. Idempotent.
+pub fn install_all() {
+    backprop::install();
+    bfs::install();
+    blackscholes::install();
+    hotspot::install();
+    matmul::install();
+    needleman::install();
+    reduction::install();
+    scalar_prod::install();
+    scan::install();
+    transpose::install();
+    vecadd::install();
+}

@@ -1,0 +1,72 @@
+//! Table 2 benchmark applications (Rodinia / CUDA SDK equivalents).
+//!
+//! Each application issues the same CUDA call sequence its original issues —
+//! `malloc` / `copy_HD` / kernels ×N / `copy_DH` / `free` — with the
+//! kernel-call counts of the paper's Table 2 and durations calibrated so
+//! that on a Tesla C2050 the *short-running* applications take 3–5 simulated
+//! seconds and the *long-running* ones 30–90 (§5.2).
+//!
+//! Footprints are **declared** at paper scale (driving all memory-pressure
+//! behaviour) while each kernel also computes a **real result** on a small
+//! shadow buffer — real vector adds, matrix products, Black-Scholes prices,
+//! prefix sums — which the workload verifies after download. A workload
+//! that survives swapping, migration or failure recovery with a wrong
+//! answer fails its run; data integrity is checked end to end, not assumed.
+//!
+//! Applications are written against `mtgpu_api::CudaClient`, so the same
+//! binary runs on the bare CUDA baseline and on the mtgpu runtime.
+
+pub mod apps;
+pub mod calib;
+pub mod catalog;
+pub mod report;
+pub mod runner;
+
+pub use catalog::{long_pool, short_pool, AppKind};
+pub use report::WorkloadReport;
+pub use runner::{run_batch, BatchResult};
+
+use mtgpu_api::{CudaClient, CudaResult};
+use mtgpu_gpusim::KernelDesc;
+use mtgpu_simtime::Clock;
+
+/// A benchmark application.
+pub trait Workload: Send + Sync {
+    /// Table 2 program name, e.g. `"MM-L"`.
+    fn name(&self) -> &str;
+
+    /// The kernels this application's fat binary registers.
+    fn kernels(&self) -> Vec<KernelDesc>;
+
+    /// Runs the application to completion against `client`, using `clock`
+    /// for its CPU phases. Returns a report with verification status.
+    fn run(&self, client: &mut dyn CudaClient, clock: &Clock) -> CudaResult<WorkloadReport>;
+
+    /// Profiling information (§2): the job's estimated total GPU work in
+    /// FLOPs, consumed by the shortest-job-first policy. `None` = unknown.
+    fn estimated_flops(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Registers a workload's module with a client (the app binary's startup
+/// registration sequence).
+pub fn register_workload(
+    client: &mut dyn CudaClient,
+    workload: &dyn Workload,
+) -> CudaResult<()> {
+    let module = client.register_fat_binary()?;
+    for k in workload.kernels() {
+        client.register_function(module, k)?;
+    }
+    if let Some(flops) = workload.estimated_flops() {
+        client.hint_job_length(flops)?;
+    }
+    Ok(())
+}
+
+/// Installs every Table 2 kernel payload into the process-global kernel
+/// library (idempotent; call once per process before running workloads).
+pub fn install_kernel_library() {
+    apps::install_all();
+}

@@ -1,0 +1,104 @@
+//! Concurrent batch execution: the measurement harness of §5.
+//!
+//! "The metric reported in all experiments is the overall execution time
+//! for a batch of concurrent jobs (the time elapsed between the first job
+//! starts and the last job finishes)"; the average per-job time is also
+//! tracked (Figs. 10–11 report both).
+
+use crate::report::WorkloadReport;
+use crate::{register_workload, Workload};
+use mtgpu_api::{CudaClient, CudaResult};
+use mtgpu_simtime::{Clock, SimDuration, Stopwatch};
+
+/// The outcome of one concurrent batch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Time from first job start to last job finish ("Tot" in the paper).
+    pub total: SimDuration,
+    /// Mean per-job execution time ("Avg").
+    pub avg: SimDuration,
+    /// Individual job reports, in submission order.
+    pub reports: Vec<WorkloadReport>,
+    /// Jobs that returned an error instead of a report.
+    pub errors: Vec<String>,
+}
+
+impl BatchResult {
+    /// Whether every job completed and verified its result.
+    pub fn all_verified(&self) -> bool {
+        self.errors.is_empty() && self.reports.iter().all(|r| r.verified)
+    }
+}
+
+/// Runs `jobs` concurrently, one thread per job, each against its own
+/// client produced by `clients` (pre-built so the factory itself needs no
+/// synchronization). Returns batch timing in simulated seconds.
+pub fn run_batch(
+    clock: &Clock,
+    jobs: Vec<Box<dyn Workload>>,
+    clients: Vec<Box<dyn CudaClient>>,
+) -> BatchResult {
+    assert_eq!(jobs.len(), clients.len(), "one client per job");
+    let batch_watch = Stopwatch::start(clock);
+    let handles: Vec<_> = jobs
+        .into_iter()
+        .zip(clients)
+        .map(|(job, mut client)| {
+            let clock = clock.clone();
+            std::thread::spawn(move || -> (String, CudaResult<WorkloadReport>) {
+                let name = job.name().to_string();
+                let watch = Stopwatch::start(&clock);
+                let result = (|| {
+                    register_workload(client.as_mut(), job.as_ref())?;
+                    let mut report = job.run(client.as_mut(), &clock)?;
+                    client.exit()?;
+                    report.elapsed = watch.elapsed();
+                    Ok(report)
+                })();
+                (name, result)
+            })
+        })
+        .collect();
+    let mut reports = Vec::new();
+    let mut errors = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok((_, Ok(report))) => reports.push(report),
+            Ok((name, Err(e))) => errors.push(format!("{name}: {e}")),
+            Err(_) => errors.push("job thread panicked".to_string()),
+        }
+    }
+    let total = batch_watch.elapsed();
+    let avg = if reports.is_empty() {
+        SimDuration::ZERO
+    } else {
+        reports.iter().map(|r| r.elapsed).sum::<SimDuration>() / reports.len() as u64
+    };
+    BatchResult { total, avg, reports, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Scale;
+    use crate::catalog::AppKind;
+    use mtgpu_api::BareClient;
+    use mtgpu_gpusim::{Driver, GpuSpec};
+
+    #[test]
+    fn batch_runs_two_jobs_on_bare_driver() {
+        crate::install_kernel_library();
+        let clock = Clock::with_scale(1e-7);
+        let driver = Driver::with_devices(clock.clone(), vec![GpuSpec::tesla_c2050()]);
+        let jobs: Vec<Box<dyn Workload>> =
+            vec![AppKind::Va.build(Scale::TINY), AppKind::Hs.build(Scale::TINY)];
+        let clients: Vec<Box<dyn CudaClient>> = (0..2)
+            .map(|_| Box::new(BareClient::new(driver.clone())) as Box<dyn CudaClient>)
+            .collect();
+        let result = run_batch(&clock, jobs, clients);
+        assert!(result.all_verified(), "{:?}", result.errors);
+        assert_eq!(result.reports.len(), 2);
+        assert!(result.total >= result.avg);
+        assert!(!result.total.is_zero());
+    }
+}

@@ -1,0 +1,7 @@
+//! Facade crate: re-exports the mtgpu workspace public API.
+pub use mtgpu_api as api;
+pub use mtgpu_cluster as cluster;
+pub use mtgpu_core as core;
+pub use mtgpu_gpusim as gpusim;
+pub use mtgpu_simtime as simtime;
+pub use mtgpu_workloads as workloads;

@@ -1,0 +1,60 @@
+//! §1 / §5.3.1 (text): the bare CUDA runtime's concurrency limits — the
+//! failure modes that motivate the paper — and their absence under the
+//! mtgpu runtime.
+
+use mtgpu::api::{BareClient, CudaClient, CudaError};
+use mtgpu::core::{NodeRuntime, RuntimeConfig};
+use mtgpu::gpusim::{DeviceId, Driver, GpuSpec};
+use mtgpu::simtime::Clock;
+use std::sync::Arc;
+
+fn driver_c2050() -> Arc<Driver> {
+    Driver::with_devices(Clock::with_scale(1e-6), vec![GpuSpec::tesla_c2050()])
+}
+
+#[test]
+fn cuda_runtime_supports_at_most_eight_contexts() {
+    // "On a NVIDIA Tesla C2050 device we experimentally observed that the
+    // maximum number of application threads supported by the CUDA runtime
+    // ... is eight."
+    let driver = driver_c2050();
+    let mut clients: Vec<BareClient> =
+        (0..8).map(|_| BareClient::new(Arc::clone(&driver))).collect();
+    for c in &mut clients {
+        c.malloc(1024).expect("first eight contexts fit");
+    }
+    let mut ninth = BareClient::new(driver);
+    assert_eq!(ninth.malloc(1024), Err(CudaError::TooManyContexts));
+}
+
+#[test]
+fn cuda_runtime_fails_on_aggregate_overcommit() {
+    // Figure 1's scenario: each app fits alone; together they exceed the
+    // device and the bare runtime fails with an out-of-memory error.
+    let driver = driver_c2050();
+    let capacity = driver.device(DeviceId(0)).unwrap().mem_available();
+    let each = capacity * 6 / 10;
+    let mut a = BareClient::new(Arc::clone(&driver));
+    let mut b = BareClient::new(driver);
+    a.malloc(each).expect("app1 alone fits");
+    assert_eq!(b.malloc(each), Err(CudaError::MemoryAllocation));
+}
+
+#[test]
+fn mtgpu_runtime_lifts_both_limits() {
+    mtgpu::workloads::install_kernel_library();
+    let driver = driver_c2050();
+    let gpu = driver.device(DeviceId(0)).unwrap();
+    let rt = NodeRuntime::start(driver, RuntimeConfig::paper_default());
+    // 20 concurrent connections (> 8), each allocating 60% of the device
+    // (aggregate ≈ 12× capacity): virtual memory absorbs all of it.
+    let each = gpu.mem_capacity() * 6 / 10;
+    let mut clients: Vec<_> = (0..20).map(|_| rt.local_client()).collect();
+    for c in &mut clients {
+        c.malloc(each).expect("virtual allocation always succeeds");
+    }
+    for mut c in clients {
+        c.exit().unwrap();
+    }
+    rt.shutdown();
+}

@@ -1,0 +1,238 @@
+//! Property-based tests over the core data structures and invariants.
+
+use mtgpu::core::memory::{Flags, MemoryConfig, MemoryManager, PageTable, PageTableEntry, SwapSlab};
+use mtgpu::core::{CtxId, RuntimeMetrics};
+use mtgpu::gpusim::alloc::{BlockAllocator, ALIGN};
+use mtgpu::gpusim::DeviceAddr;
+use mtgpu::simtime::SimDuration;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Figure 4 state machine
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum MemEvent {
+    CopyHd,
+    Launch,
+    CopyDh,
+    Swap,
+}
+
+fn event_strategy() -> impl Strategy<Value = MemEvent> {
+    prop_oneof![
+        Just(MemEvent::CopyHd),
+        Just(MemEvent::Launch),
+        Just(MemEvent::CopyDh),
+        Just(MemEvent::Swap),
+    ]
+}
+
+fn apply(f: Flags, e: MemEvent) -> Flags {
+    match e {
+        MemEvent::CopyHd => f.on_copy_hd(),
+        MemEvent::Launch => f.on_launch(),
+        MemEvent::CopyDh => f.on_copy_dh(),
+        MemEvent::Swap => f.on_swap(),
+    }
+}
+
+proptest! {
+    /// Any event sequence keeps the flags inside Figure 4's five states.
+    #[test]
+    fn fig4_closed_over_event_sequences(events in prop::collection::vec(event_strategy(), 0..64)) {
+        let mut f = Flags::INITIAL;
+        for e in events {
+            f = apply(f, e);
+            prop_assert!(Flags::REACHABLE.contains(&f), "escaped Figure 4: {f:?}");
+        }
+    }
+
+    /// The forbidden state toCopy2Dev ∧ toCopy2Swap (data authoritative in
+    /// two places at once) is unreachable.
+    #[test]
+    fn fig4_no_double_authority(events in prop::collection::vec(event_strategy(), 0..128)) {
+        let mut f = Flags::INITIAL;
+        for e in events {
+            f = apply(f, e);
+            prop_assert!(!(f.to_dev && f.to_swap));
+            // And an unallocated entry can never hold device-only data.
+            prop_assert!(!(f.to_swap && !f.allocated));
+        }
+    }
+
+    /// A swap always leaves the entry host-authoritative and unallocated —
+    /// the invariant the fault-tolerance path relies on ("unbound ⇒ fully
+    /// host-resident").
+    #[test]
+    fn fig4_swap_always_host_authoritative(events in prop::collection::vec(event_strategy(), 0..64)) {
+        let mut f = Flags::INITIAL;
+        for e in events {
+            f = apply(f, e);
+        }
+        let swapped = f.on_swap();
+        prop_assert!(!swapped.allocated);
+        prop_assert!(!swapped.to_swap);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Device-memory allocator
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Random alloc/free interleavings never produce overlapping live
+    /// allocations, never lose capacity, and always coalesce back to a
+    /// single block once everything is freed.
+    #[test]
+    fn allocator_never_overlaps_and_conserves(
+        ops in prop::collection::vec((any::<bool>(), 1u64..100_000), 1..200)
+    ) {
+        let capacity = 1u64 << 22;
+        let mut a = BlockAllocator::new(capacity);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (is_alloc, size) in ops {
+            if is_alloc || live.is_empty() {
+                if let Ok(base) = a.alloc(size) {
+                    let len = (size + ALIGN - 1) & !(ALIGN - 1);
+                    for &(b, l) in &live {
+                        prop_assert!(base + len <= b || b + l <= base,
+                            "overlap: new [{base},{len}) with [{b},{l})");
+                    }
+                    prop_assert_eq!(base % ALIGN, 0);
+                    prop_assert!(base + len <= capacity);
+                    live.push((base, len));
+                }
+            } else {
+                let (base, _) = live.swap_remove(live.len() / 2);
+                prop_assert!(a.free(base).is_ok());
+            }
+            let used: u64 = live.iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(a.used_bytes(), used);
+        }
+        for (base, _) in live {
+            a.free(base).unwrap();
+        }
+        prop_assert_eq!(a.largest_free_block(), capacity);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Page table resolution
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Interior-address resolution agrees with a brute-force scan.
+    #[test]
+    fn page_table_resolution_matches_bruteforce(
+        sizes in prop::collection::vec(1u64..10_000, 1..40),
+        probes in prop::collection::vec(0u64..500_000, 0..64),
+    ) {
+        let mut pt = PageTable::new();
+        let mut ranges = Vec::new();
+        let mut base = 0x1000u64;
+        for size in sizes {
+            pt.insert(PageTableEntry {
+                vaddr: DeviceAddr(base),
+                size,
+                device_ptr: None,
+                flags: Flags::INITIAL,
+                kind: mtgpu::api::protocol::AllocKind::Linear,
+                slab: SwapSlab::new(size, 1 << 16),
+                nested_members: Vec::new(),
+                nested_parent: None,
+            });
+            ranges.push((base, size));
+            base += size + (base % 97); // irregular gaps
+        }
+        for probe in probes {
+            let addr = 0x1000 + probe;
+            let expected = ranges
+                .iter()
+                .find(|&&(b, s)| addr >= b && addr < b + s)
+                .map(|&(b, _)| (DeviceAddr(b), addr - b));
+            prop_assert_eq!(pt.resolve(DeviceAddr(addr)), expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory manager bookkeeping
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Swap-area accounting is exact across random malloc/free sequences,
+    /// and every byte is returned when the context is removed.
+    #[test]
+    fn mm_swap_accounting_exact(sizes in prop::collection::vec(1u64..1_000_000, 1..60)) {
+        let mm = MemoryManager::new(MemoryConfig::default(), Arc::new(RuntimeMetrics::default()));
+        let ctx = CtxId(1);
+        mm.register_ctx(ctx);
+        let mut total = 0u64;
+        let mut ptrs = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let v = mm.malloc(ctx, *size, mtgpu::api::protocol::AllocKind::Linear).unwrap();
+            total += size;
+            ptrs.push((v, *size));
+            prop_assert_eq!(mm.swap_used(), total);
+            if i % 3 == 2 {
+                let (v, s) = ptrs.swap_remove(ptrs.len() / 2);
+                mm.free(ctx, v, None).unwrap();
+                total -= s;
+                prop_assert_eq!(mm.swap_used(), total);
+            }
+        }
+        prop_assert_eq!(mm.mem_usage(ctx), total);
+        mm.remove_ctx(ctx, None);
+        prop_assert_eq!(mm.swap_used(), 0);
+    }
+
+    /// Data written through copy_h2d at arbitrary offsets reads back
+    /// identically through copy_d2h (the swap tier is a faithful store).
+    #[test]
+    fn mm_copy_roundtrip(
+        writes in prop::collection::vec((0u64..3_000, prop::collection::vec(any::<u8>(), 1..200)), 1..20)
+    ) {
+        let mm = MemoryManager::new(MemoryConfig::default(), Arc::new(RuntimeMetrics::default()));
+        let ctx = CtxId(1);
+        mm.register_ctx(ctx);
+        let size = 4096u64;
+        let v = mm.malloc(ctx, size, mtgpu::api::protocol::AllocKind::Linear).unwrap();
+        let mut reference = vec![0u8; size as usize];
+        for (offset, data) in &writes {
+            let offset = offset % (size - data.len() as u64);
+            let buf = mtgpu::api::HostBuf::from_slice(data);
+            mm.copy_h2d(ctx, DeviceAddr(v.0 + offset), &buf, None).unwrap();
+            reference[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        }
+        let back = mm.copy_d2h(ctx, v, size, None).unwrap();
+        // Shadow semantics: the read returns the lazily materialized
+        // prefix; bytes beyond it are implicitly zero.
+        let n = back.payload.len();
+        prop_assert_eq!(&back.payload[..], &reference[..n]);
+        prop_assert!(reference[n..].iter().all(|&b| b == 0),
+            "unmaterialized region must be untouched");
+    }
+}
+
+// ---------------------------------------------------------------------
+// SimDuration arithmetic
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn simduration_add_sub_roundtrip(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db) - db, da);
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn simduration_ordering_matches_nanos(a in any::<u64>(), b in any::<u64>()) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!(da.cmp(&db), a.cmp(&b));
+    }
+}
