@@ -40,10 +40,8 @@ impl BareClient {
         if let Some((gpu, ctx)) = &self.ctx {
             return Ok((Arc::clone(gpu), *ctx));
         }
-        let gpu = self
-            .driver
-            .device(DeviceId(self.selected))
-            .map_err(|_| CudaError::InvalidDevice)?;
+        let gpu =
+            self.driver.device(DeviceId(self.selected)).map_err(|_| CudaError::InvalidDevice)?;
         let ctx = gpu.create_context().map_err(CudaError::from_gpu)?;
         self.ctx = Some((Arc::clone(&gpu), ctx));
         Ok((gpu, ctx))
@@ -60,9 +58,7 @@ impl BareClient {
                 self.register_kernel(kernel);
                 Ok(ReplyValue::Unit)
             }
-            CudaCall::RegisterVar { .. } | CudaCall::RegisterTexture { .. } => {
-                Ok(ReplyValue::Unit)
-            }
+            CudaCall::RegisterVar { .. } | CudaCall::RegisterTexture { .. } => Ok(ReplyValue::Unit),
             CudaCall::SetApplication { .. } | CudaCall::HintJobLength { .. } => {
                 Ok(ReplyValue::Unit)
             }
@@ -81,10 +77,8 @@ impl BareClient {
                 Ok(ReplyValue::DeviceCount(self.driver.device_count() as u32))
             }
             CudaCall::GetDeviceProperties { device } => {
-                let gpu = self
-                    .driver
-                    .device(DeviceId(device))
-                    .map_err(|_| CudaError::InvalidDevice)?;
+                let gpu =
+                    self.driver.device(DeviceId(device)).map_err(|_| CudaError::InvalidDevice)?;
                 Ok(ReplyValue::Properties(Box::new(gpu.spec().clone())))
             }
             CudaCall::Malloc { size, .. } => {
@@ -126,9 +120,9 @@ impl BareClient {
                 // ignored so workloads run unmodified on the baseline.
                 Ok(ReplyValue::Unit)
             }
-            CudaCall::ExportImage | CudaCall::ImportImage { .. } => Err(
-                CudaError::NotEligible("checkpoint images require the mtgpu runtime".into()),
-            ),
+            CudaCall::ExportImage | CudaCall::ImportImage { .. } => {
+                Err(CudaError::NotEligible("checkpoint images require the mtgpu runtime".into()))
+            }
             CudaCall::Offloaded => Ok(ReplyValue::Unit),
             CudaCall::Exit => {
                 self.teardown();

@@ -97,11 +97,7 @@ pub trait CudaClient: Send {
     }
 
     /// mtgpu runtime API: registers a nested structure (§1).
-    fn register_nested(
-        &mut self,
-        parent: DeviceAddr,
-        members: Vec<DeviceAddr>,
-    ) -> CudaResult<()> {
+    fn register_nested(&mut self, parent: DeviceAddr, members: Vec<DeviceAddr>) -> CudaResult<()> {
         unit(self.call(CudaCall::RegisterNested { parent, members }))
     }
 
@@ -259,8 +255,7 @@ mod tests {
 
     #[test]
     fn error_replies_propagate() {
-        let mut c =
-            Scripted { replies: vec![Err(CudaError::MemoryAllocation)], calls: vec![] };
+        let mut c = Scripted { replies: vec![Err(CudaError::MemoryAllocation)], calls: vec![] };
         assert_eq!(c.malloc(64), Err(CudaError::MemoryAllocation));
     }
 }

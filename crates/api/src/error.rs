@@ -121,10 +121,7 @@ mod tests {
     #[test]
     fn gpu_error_mapping() {
         assert_eq!(CudaError::from_gpu(GpuError::OutOfMemory), CudaError::MemoryAllocation);
-        assert_eq!(
-            CudaError::from_gpu(GpuError::InvalidAddress),
-            CudaError::InvalidDevicePointer
-        );
+        assert_eq!(CudaError::from_gpu(GpuError::InvalidAddress), CudaError::InvalidDevicePointer);
         assert_eq!(
             CudaError::from_gpu(GpuError::OutOfBounds { addr: 0, len: 1, alloc_size: 0 }),
             CudaError::OutOfBounds

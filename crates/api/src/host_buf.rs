@@ -52,10 +52,7 @@ impl HostBuf {
 
     /// Interprets the payload as little-endian `f32`s.
     pub fn as_f32s(&self) -> Vec<f32> {
-        self.payload
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+        self.payload.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
     }
 
     /// Whether the payload fully materializes the declared content.

@@ -154,7 +154,9 @@ pub enum ReplyValue {
     Ptr(DeviceAddr),
     Bytes(HostBuf),
     /// Kernel completed; simulated execution nanoseconds (diagnostic).
-    LaunchDone { sim_nanos: u64 },
+    LaunchDone {
+        sim_nanos: u64,
+    },
     /// A context memory image (reply to [`CudaCall::ExportImage`]).
     Image(Box<ContextImage>),
 }
@@ -260,10 +262,8 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let call = CudaCall::MemcpyH2D {
-            dst: DeviceAddr(0x1000),
-            buf: HostBuf::from_slice(&[1, 2, 3]),
-        };
+        let call =
+            CudaCall::MemcpyH2D { dst: DeviceAddr(0x1000), buf: HostBuf::from_slice(&[1, 2, 3]) };
         let j = serde_json::to_string(&call).unwrap();
         assert_eq!(serde_json::from_str::<CudaCall>(&j).unwrap(), call);
 

@@ -13,7 +13,7 @@ mod tcp;
 mod unix;
 
 pub use channel::{channel_pair, ChannelServerConn, ChannelTransport};
-pub use tcp::{read_frame, write_frame, TcpServerConn, TcpTransport};
+pub use tcp::{read_frame, write_frame, TcpServerConn, TcpTransport, MAX_FRAME_BYTES};
 #[cfg(unix)]
 pub use unix::{UnixServerConn, UnixTransport};
 

@@ -86,10 +86,8 @@ impl TcpServerConn {
     /// Adopts an accepted stream, spawning its reader pump.
     pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
-        let peer = stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "tcp-peer".to_string());
+        let peer =
+            stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "tcp-peer".to_string());
         let mut reader = stream.try_clone()?;
         let (tx, rx) = bounded(256);
         std::thread::Builder::new()
@@ -159,8 +157,7 @@ mod tests {
             }
             served
         });
-        let mut client =
-            FrontendClient::new(TcpTransport::connect(addr).unwrap());
+        let mut client = FrontendClient::new(TcpTransport::connect(addr).unwrap());
         assert_eq!(client.get_device_count().unwrap(), 4);
         client.call(CudaCall::Exit).unwrap();
         assert_eq!(server.join().unwrap(), 2);

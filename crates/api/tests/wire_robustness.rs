@@ -2,11 +2,18 @@
 //! decoder, and every protocol value must survive an encode/decode
 //! round-trip.
 
-use mtgpu_api::protocol::{AllocKind, ContextImage, CudaCall, CudaReply, ImageEntry, ModuleHandle, ReplyValue};
-use mtgpu_api::transport::{read_frame, write_frame};
-use mtgpu_api::{CudaError, HostBuf};
+use mtgpu_api::protocol::{
+    AllocKind, ContextImage, CudaCall, CudaReply, ImageEntry, ModuleHandle, ReplyValue,
+};
+use mtgpu_api::transport::{
+    read_frame, write_frame, FrontendClient, ServerConn, TcpServerConn, TcpTransport,
+    MAX_FRAME_BYTES,
+};
+use mtgpu_api::{CudaClient, CudaError, HostBuf};
 use mtgpu_gpusim::{DeviceAddr, KernelArg, KernelDesc, LaunchConfig, LaunchSpec, Work};
 use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 
 fn roundtrip_call(call: &CudaCall) {
     let mut buf = Vec::new();
@@ -101,6 +108,92 @@ fn reply_variants_roundtrip() {
         let back: CudaReply = read_frame(&mut cursor).unwrap();
         assert_eq!(&back, reply);
     }
+}
+
+// ---------------------------------------------------------------------
+// Live-socket robustness: a hostile or dying server must surface as a
+// clean client-side error — never a hang, a panic, or a huge allocation.
+// ---------------------------------------------------------------------
+
+/// Binds an ephemeral port, hands the first accepted stream to `serve` on
+/// a background thread, and returns the address to dial.
+fn hostile_server(serve: impl FnOnce(TcpStream) + Send + 'static) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        serve(stream);
+    });
+    addr
+}
+
+#[test]
+fn tcp_truncated_reply_frame_surfaces_clean_error() {
+    let addr = hostile_server(|mut stream| {
+        let _: CudaCall = read_frame(&mut stream).unwrap();
+        // Declare a 64-byte reply, deliver 10 bytes, hang up.
+        stream.write_all(&64u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0x7b; 10]).unwrap();
+    });
+    let mut client = FrontendClient::new(TcpTransport::connect(addr).unwrap());
+    assert_eq!(client.get_device_count(), Err(CudaError::Disconnected));
+    // The connection is dead, not wedged: follow-up calls error too.
+    assert_eq!(client.synchronize(), Err(CudaError::Disconnected));
+}
+
+#[test]
+fn tcp_oversized_length_prefix_rejected_without_waiting() {
+    assert!((MAX_FRAME_BYTES as u64) < u32::MAX as u64);
+    let addr = hostile_server(|mut stream| {
+        let _: CudaCall = read_frame(&mut stream).unwrap();
+        // Declares a ~4 GiB frame. The client must refuse it from the
+        // prefix alone rather than allocate or wait for the body.
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 32]).unwrap();
+        // Hold the socket open: a client that ignored the limit would
+        // block in read_exact here. Unblocks when the client hangs up.
+        let _ = stream.read(&mut [0u8; 1]);
+    });
+    let mut client = FrontendClient::new(TcpTransport::connect(addr).unwrap());
+    assert_eq!(client.get_device_count(), Err(CudaError::Disconnected));
+}
+
+#[test]
+fn tcp_mid_stream_disconnect_fails_fast() {
+    let addr = hostile_server(|mut stream| {
+        // Serve one call normally...
+        let _: CudaCall = read_frame(&mut stream).unwrap();
+        let reply: CudaReply = Ok(ReplyValue::DeviceCount(2));
+        write_frame(&mut stream, &reply).unwrap();
+        // ...then swallow the next call and vanish without replying.
+        let _: CudaCall = read_frame(&mut stream).unwrap();
+        drop(stream);
+    });
+    let mut client = FrontendClient::new(TcpTransport::connect(addr).unwrap());
+    assert_eq!(client.get_device_count().unwrap(), 2);
+    assert_eq!(client.synchronize(), Err(CudaError::Disconnected));
+    assert_eq!(client.get_device_count(), Err(CudaError::Disconnected));
+}
+
+#[test]
+fn tcp_server_pump_closes_on_oversized_client_frame() {
+    // Mirror image: a hostile *client* sends the huge prefix. The server's
+    // pump thread must reject it and signal a clean Closed, so the handler
+    // tears the session down instead of spinning or allocating.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let attacker = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 16]).unwrap();
+        // Keep our end open; the server must still give up on us.
+        let _ = stream.read(&mut [0u8; 1]);
+    });
+    let (accepted, _) = listener.accept().unwrap();
+    let mut conn = TcpServerConn::from_stream(accepted).unwrap();
+    assert!(conn.recv().is_none(), "pump must close, not hang");
+    drop(conn);
+    attacker.join().unwrap();
 }
 
 proptest! {

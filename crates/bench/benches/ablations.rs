@@ -19,7 +19,7 @@ fn scenario(cfg: RuntimeConfig) -> f64 {
     let out = run_on_runtime(
         NodeSetup::ThreeGpu,
         cfg,
-        scale().clock_scale,
+        &scale(),
         mixed_long_jobs(12, 3, 1.0, scale().workload),
     );
     out.total_secs()

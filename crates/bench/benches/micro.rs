@@ -87,15 +87,13 @@ fn bench_transport(c: &mut Criterion) {
 
 fn bench_end_to_end_call(c: &mut Criterion) {
     c.bench_function("call/bare_synchronize", |b| {
-        let driver =
-            Driver::with_devices(Clock::with_scale(1e-9), vec![GpuSpec::test_small()]);
+        let driver = Driver::with_devices(Clock::with_scale(1e-9), vec![GpuSpec::test_small()]);
         let mut client = BareClient::new(driver);
         client.malloc(64).unwrap();
         b.iter(|| client.synchronize().unwrap());
     });
     c.bench_function("call/runtime_synchronize", |b| {
-        let driver =
-            Driver::with_devices(Clock::with_scale(1e-9), vec![GpuSpec::test_small()]);
+        let driver = Driver::with_devices(Clock::with_scale(1e-9), vec![GpuSpec::test_small()]);
         let rt = NodeRuntime::start(driver, RuntimeConfig::paper_default());
         let mut client = rt.local_client();
         b.iter(|| client.synchronize().unwrap());
@@ -103,8 +101,7 @@ fn bench_end_to_end_call(c: &mut Criterion) {
         rt.shutdown();
     });
     c.bench_function("call/runtime_malloc_free", |b| {
-        let driver =
-            Driver::with_devices(Clock::with_scale(1e-9), vec![GpuSpec::test_small()]);
+        let driver = Driver::with_devices(Clock::with_scale(1e-9), vec![GpuSpec::test_small()]);
         let rt = NodeRuntime::start(driver, RuntimeConfig::paper_default());
         let mut client = rt.local_client();
         b.iter(|| {

@@ -18,11 +18,7 @@ fn bench_fig5_like(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     g.bench_function("bare_4jobs_1gpu", |b| {
         b.iter(|| {
-            run_on_bare(
-                NodeSetup::OneC2050,
-                scale().clock_scale,
-                draw_short_jobs(4, 7, scale().workload),
-            )
+            run_on_bare(NodeSetup::OneC2050, &scale(), draw_short_jobs(4, 7, scale().workload))
         })
     });
     g.bench_function("runtime_4jobs_4vgpu_1gpu", |b| {
@@ -30,7 +26,7 @@ fn bench_fig5_like(c: &mut Criterion) {
             run_on_runtime(
                 NodeSetup::OneC2050,
                 RuntimeConfig::paper_default(),
-                scale().clock_scale,
+                &scale(),
                 draw_short_jobs(4, 7, scale().workload),
             )
         })
@@ -41,16 +37,15 @@ fn bench_fig5_like(c: &mut Criterion) {
 fn bench_fig7_like(c: &mut Criterion) {
     let mut g = c.benchmark_group("scenario_fig7");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
-    for (label, cfg) in [
-        ("serialized", RuntimeConfig::serialized()),
-        ("sharing4", RuntimeConfig::paper_default()),
-    ] {
+    for (label, cfg) in
+        [("serialized", RuntimeConfig::serialized()), ("sharing4", RuntimeConfig::paper_default())]
+    {
         g.bench_function(format!("mml6_cpufrac1_{label}"), |b| {
             b.iter(|| {
                 run_on_runtime(
                     NodeSetup::ThreeGpu,
                     cfg.clone(),
-                    scale().clock_scale,
+                    &scale(),
                     mixed_long_jobs(6, 0, 1.0, scale().workload),
                 )
             })
@@ -67,11 +62,9 @@ fn bench_fig9_like(c: &mut Criterion) {
             b.iter(|| {
                 let mut cfg = RuntimeConfig::paper_default();
                 cfg.dynamic_load_balancing = lb;
-                run_on_runtime(NodeSetup::Unbalanced, cfg, scale().clock_scale, {
+                run_on_runtime(NodeSetup::Unbalanced, cfg, &scale(), {
                     (0..6)
-                        .map(|_| {
-                            mtgpu_workloads::AppKind::MmS.build_with(scale().workload, 1.0)
-                        })
+                        .map(|_| mtgpu_workloads::AppKind::MmS.build_with(scale().workload, 1.0))
                         .collect()
                 })
             })

@@ -1,11 +1,16 @@
-//! Regenerates Figure 6 of the paper. Pass `--quick` for a shrunken run.
+//! Regenerates Figure 6 of the paper. Flags: `--quick` (shrunken run),
+//! `--seed <n>` (deterministic scheduling), `--virtual-clock` (logical
+//! time, no real sleeps).
+
+use mtgpu_bench::harness::FigCli;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let opts = if quick {
+    let cli = FigCli::parse();
+    let mut opts = if cli.quick {
         mtgpu_bench::figures::fig6::Opts::quick()
     } else {
         mtgpu_bench::figures::fig6::Opts::paper()
     };
+    opts.scale = cli.apply(opts.scale);
     mtgpu_bench::figures::fig6::run(&opts).print();
 }

@@ -13,7 +13,6 @@ use crate::harness::{draw_short_jobs, ExperimentScale, NodeSetup};
 use crate::table::{secs, TableDoc};
 use mtgpu_cluster::{Cluster, ClusterRunResult, GpuVisibility, Torque};
 use mtgpu_core::RuntimeConfig;
-use mtgpu_simtime::Clock;
 use mtgpu_workloads::{install_kernel_library, Workload};
 
 /// Experiment parameters.
@@ -36,11 +35,7 @@ impl Opts {
 
     /// A shrunken configuration.
     pub fn quick() -> Self {
-        Opts {
-            scale: ExperimentScale::quick(),
-            job_counts: vec![8],
-            offload_threshold: 3,
-        }
+        Opts { scale: ExperimentScale::quick(), job_counts: vec![8], offload_threshold: 3 }
     }
 }
 
@@ -70,7 +65,7 @@ pub fn run_cluster_setting(
     jobs: Vec<Box<dyn Workload>>,
 ) -> ClusterRunResult {
     install_kernel_library();
-    let clock = Clock::with_scale(scale.clock_scale);
+    let clock = scale.clock();
     let vgpus = match setting {
         Setting::Serialized => 1,
         _ => 4,
@@ -83,10 +78,7 @@ pub fn run_cluster_setting(
     }
     let cluster = Cluster::start_heterogeneous(
         clock.clone(),
-        vec![
-            (NodeSetup::ThreeGpu.specs(), big_cfg),
-            (NodeSetup::OneC1060.specs(), small_cfg),
-        ],
+        vec![(NodeSetup::ThreeGpu.specs(), big_cfg), (NodeSetup::OneC1060.specs(), small_cfg)],
     );
     let torque = Torque::new(cluster.nodes(), GpuVisibility::Hidden);
     let result = torque.run(&clock, jobs);

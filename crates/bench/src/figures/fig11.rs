@@ -30,11 +30,7 @@ impl Opts {
 
     /// A shrunken configuration.
     pub fn quick() -> Self {
-        Opts {
-            scale: ExperimentScale::quick(),
-            job_counts: vec![8],
-            offload_threshold: 3,
-        }
+        Opts { scale: ExperimentScale::quick(), job_counts: vec![8], offload_threshold: 3 }
     }
 }
 
@@ -65,8 +61,7 @@ pub fn run(opts: &Opts) -> FigureReport {
             totals.push(result.total.as_secs_f64());
             avgs.push(result.avg.as_secs_f64());
             if setting == Setting::SharingPlusOffload {
-                annotation =
-                    format!("{} / {}", result.total_swaps(), result.total_offloads());
+                annotation = format!("{} / {}", result.total_swaps(), result.total_offloads());
             }
         }
         table.row(vec![

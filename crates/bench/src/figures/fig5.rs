@@ -7,7 +7,9 @@
 //! with worst-case ~10% overhead.
 
 use crate::figures::FigureReport;
-use crate::harness::{average_runs, draw_short_jobs, run_on_bare, run_on_runtime, ExperimentScale, NodeSetup};
+use crate::harness::{
+    average_runs, draw_short_jobs, run_on_bare, run_on_runtime, ExperimentScale, NodeSetup,
+};
 use crate::table::{secs, TableDoc};
 use mtgpu_core::RuntimeConfig;
 
@@ -30,11 +32,7 @@ impl Opts {
 
     /// A shrunken configuration for Criterion/smoke runs.
     pub fn quick() -> Self {
-        Opts {
-            scale: ExperimentScale::quick(),
-            job_counts: vec![2, 4],
-            vgpu_counts: vec![1, 4],
-        }
+        Opts { scale: ExperimentScale::quick(), job_counts: vec![2, 4], vgpu_counts: vec![1, 4] }
     }
 }
 
@@ -55,7 +53,7 @@ pub fn run(opts: &Opts) -> FigureReport {
     for &n in &opts.job_counts {
         let (bare_tot, _, _) = average_runs(opts.scale.repeats, |rep| {
             let jobs = draw_short_jobs(n, seed(n, rep), opts.scale.workload);
-            run_on_bare(NodeSetup::OneC2050, opts.scale.clock_scale, jobs)
+            run_on_bare(NodeSetup::OneC2050, &opts.scale, jobs)
         });
         let mut cells = vec![n.to_string(), secs(bare_tot)];
         let mut per_vgpu = Vec::new();
@@ -63,7 +61,7 @@ pub fn run(opts: &Opts) -> FigureReport {
             let cfg = RuntimeConfig::paper_default().with_vgpus(v);
             let (tot, _, _) = average_runs(opts.scale.repeats, |rep| {
                 let jobs = draw_short_jobs(n, seed(n, rep), opts.scale.workload);
-                run_on_runtime(NodeSetup::OneC2050, cfg.clone(), opts.scale.clock_scale, jobs)
+                run_on_runtime(NodeSetup::OneC2050, cfg.clone(), &opts.scale, jobs)
             });
             per_vgpu.push(tot);
             cells.push(secs(tot));

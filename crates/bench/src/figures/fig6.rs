@@ -8,7 +8,9 @@
 //! 4 vGPUs brings no further significant gain.
 
 use crate::figures::FigureReport;
-use crate::harness::{average_runs, draw_short_jobs, run_on_bare, run_on_runtime, ExperimentScale, NodeSetup};
+use crate::harness::{
+    average_runs, draw_short_jobs, run_on_bare, run_on_runtime, ExperimentScale, NodeSetup,
+};
 use crate::table::{secs, TableDoc};
 use mtgpu_core::RuntimeConfig;
 
@@ -31,11 +33,7 @@ impl Opts {
 
     /// A shrunken configuration.
     pub fn quick() -> Self {
-        Opts {
-            scale: ExperimentScale::quick(),
-            job_counts: vec![8, 16],
-            vgpu_counts: vec![1, 4],
-        }
+        Opts { scale: ExperimentScale::quick(), job_counts: vec![8, 16], vgpu_counts: vec![1, 4] }
     }
 }
 
@@ -61,7 +59,7 @@ pub fn run(opts: &Opts) -> FigureReport {
         let bare_cell = if n <= 8 {
             let (tot, _, _) = average_runs(opts.scale.repeats, |rep| {
                 let jobs = draw_short_jobs(n, seed(n, rep), opts.scale.workload);
-                run_on_bare(NodeSetup::ThreeGpu, opts.scale.clock_scale, jobs)
+                run_on_bare(NodeSetup::ThreeGpu, &opts.scale, jobs)
             });
             if n == 8 {
                 bare_at_8 = Some(tot);
@@ -76,7 +74,7 @@ pub fn run(opts: &Opts) -> FigureReport {
             let cfg = RuntimeConfig::paper_default().with_vgpus(v);
             let (tot, _, _) = average_runs(opts.scale.repeats, |rep| {
                 let jobs = draw_short_jobs(n, seed(n, rep), opts.scale.workload);
-                run_on_runtime(NodeSetup::ThreeGpu, cfg.clone(), opts.scale.clock_scale, jobs)
+                run_on_runtime(NodeSetup::ThreeGpu, cfg.clone(), &opts.scale, jobs)
             });
             per_vgpu.push(tot);
             cells.push(secs(tot));

@@ -58,13 +58,13 @@ pub fn run(opts: &Opts) -> FigureReport {
         let ser = run_on_runtime(
             NodeSetup::ThreeGpu,
             RuntimeConfig::serialized(),
-            opts.scale.clock_scale,
+            &opts.scale,
             mm_l_jobs(opts, frac),
         );
         let shr = run_on_runtime(
             NodeSetup::ThreeGpu,
             RuntimeConfig::paper_default(),
-            opts.scale.clock_scale,
+            &opts.scale,
             mm_l_jobs(opts, frac),
         );
         table.row(vec![
@@ -88,15 +88,9 @@ pub fn run(opts: &Opts) -> FigureReport {
         observations.push(format!(
             "sharing time changes only {flat:.2}x over the same range (paper: roughly constant)"
         ));
-        let crossover = serialized
-            .iter()
-            .zip(&shared)
-            .filter(|(s, (g, _))| g < s)
-            .count();
-        observations.push(format!(
-            "sharing wins at {crossover}/{} CPU fractions",
-            serialized.len()
-        ));
+        let crossover = serialized.iter().zip(&shared).filter(|(s, (g, _))| g < s).count();
+        observations
+            .push(format!("sharing wins at {crossover}/{} CPU fractions", serialized.len()));
     }
     if shared.iter().any(|&(_, swaps)| swaps > 0) {
         observations.push(format!(

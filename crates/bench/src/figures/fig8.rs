@@ -59,13 +59,13 @@ pub fn run(opts: &Opts) -> FigureReport {
         let ser = run_on_runtime(
             NodeSetup::ThreeGpu,
             RuntimeConfig::serialized(),
-            opts.scale.clock_scale,
+            &opts.scale,
             mixed_long_jobs(opts.jobs, bs_count, opts.mm_cpu_fraction, opts.scale.workload),
         );
         let shr = run_on_runtime(
             NodeSetup::ThreeGpu,
             RuntimeConfig::paper_default(),
-            opts.scale.clock_scale,
+            &opts.scale,
             mixed_long_jobs(opts.jobs, bs_count, opts.mm_cpu_fraction, opts.scale.workload),
         );
         table.row(vec![

@@ -32,11 +32,7 @@ impl Opts {
 
     /// A shrunken configuration.
     pub fn quick() -> Self {
-        Opts {
-            scale: ExperimentScale::quick(),
-            job_counts: vec![6],
-            cpu_fractions: vec![0.0],
-        }
+        Opts { scale: ExperimentScale::quick(), job_counts: vec![6], cpu_fractions: vec![0.0] }
     }
 }
 
@@ -66,7 +62,7 @@ pub fn run(opts: &Opts) -> FigureReport {
             let no_lb = run_on_runtime(
                 NodeSetup::Unbalanced,
                 base_cfg.clone(),
-                opts.scale.clock_scale,
+                &opts.scale,
                 mm_s_jobs(opts, n, frac),
             );
             let mut lb_cfg = base_cfg;
@@ -74,7 +70,7 @@ pub fn run(opts: &Opts) -> FigureReport {
             let lb = run_on_runtime(
                 NodeSetup::Unbalanced,
                 lb_cfg,
-                opts.scale.clock_scale,
+                &opts.scale,
                 mm_s_jobs(opts, n, frac),
             );
             table.row(vec![

@@ -109,8 +109,7 @@ pub fn run() -> FigureReport {
     let before = gpu.stats().snapshot();
     c.memcpy_h2d(a, HostBuf::with_shadow(1 << 20, vec![5u8; 64])).unwrap();
     let copyhd_acts = delta(before, gpu.stats().snapshot());
-    let no_pte =
-        c.memcpy_h2d(DeviceAddr(0x1), HostBuf::from_slice(&[0; 4])).unwrap_err();
+    let no_pte = c.memcpy_h2d(DeviceAddr(0x1), HostBuf::from_slice(&[0; 4])).unwrap_err();
     assert_eq!(no_pte, CudaError::InvalidDevicePointer);
     let mismatch = c.memcpy_h2d(a, HostBuf::declared(2 << 20)).unwrap_err();
     assert_eq!(mismatch, CudaError::SizeMismatch);
@@ -128,7 +127,9 @@ pub fn run() -> FigureReport {
     assert_eq!(bad_launch, CudaError::InvalidDevicePointer);
     table.row(vec![
         "Launch".to_string(),
-        format!("if ¬allocated cudaMalloc; if toCopy2Dev bulk cudaMemcpyHD; cudaLaunch — {launch_acts}"),
+        format!(
+            "if ¬allocated cudaMalloc; if toCopy2Dev bulk cudaMemcpyHD; cudaLaunch — {launch_acts}"
+        ),
         format!("`{bad_launch}` (no valid PTE)"),
     ]);
 
@@ -158,9 +159,7 @@ pub fn run() -> FigureReport {
     let swaps = rt.metrics().intra_app_swaps;
     table.row(vec![
         "Swap (internal)".to_string(),
-        format!(
-            "if toCopy2Swap cudaMemcpyDH; cudaFree — {swap_acts} ({swaps} intra-app swap(s))"
-        ),
+        format!("if toCopy2Swap cudaMemcpyDH; cudaFree — {swap_acts} ({swaps} intra-app swap(s))"),
         "n/a (triggered by the runtime)".to_string(),
     ]);
 

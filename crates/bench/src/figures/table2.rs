@@ -29,18 +29,16 @@ impl Opts {
 
 /// Runs every program solo on one C2050 behind the runtime (1 vGPU).
 pub fn run(opts: &Opts) -> FigureReport {
-    let mut table = TableDoc::new(
-        "Table 2 — benchmark programs, solo on a Tesla C2050 (1 vGPU)",
-    )
-    .header(vec![
-        "program",
-        "class",
-        "kernel calls (paper)",
-        "kernel calls (measured)",
-        "runtime (sim s)",
-        "expected range (s)",
-        "verified",
-    ]);
+    let mut table = TableDoc::new("Table 2 — benchmark programs, solo on a Tesla C2050 (1 vGPU)")
+        .header(vec![
+            "program",
+            "class",
+            "kernel calls (paper)",
+            "kernel calls (measured)",
+            "runtime (sim s)",
+            "expected range (s)",
+            "verified",
+        ]);
     let mut in_range = 0usize;
     let mut total = 0usize;
     for kind in AppKind::all() {
@@ -48,7 +46,7 @@ pub fn run(opts: &Opts) -> FigureReport {
         let outcome = run_on_runtime(
             NodeSetup::OneC2050,
             RuntimeConfig::serialized(),
-            opts.scale.clock_scale,
+            &opts.scale,
             vec![job],
         );
         let report = &outcome.batch.reports[0];

@@ -20,6 +20,12 @@ pub struct ExperimentScale {
     pub repeats: u32,
     /// Workload time/memory scale (figures run at paper scale).
     pub workload: Scale,
+    /// Determinism seed plumbed into every runtime the experiment starts
+    /// (`0` = legacy behaviour). Set from the `--seed` flag.
+    pub seed: u64,
+    /// Run on a virtual (logical-time) clock: no real sleeps, so the whole
+    /// experiment runs at CPU speed. Set from the `--virtual-clock` flag.
+    pub virtual_clock: bool,
 }
 
 impl ExperimentScale {
@@ -29,7 +35,13 @@ impl ExperimentScale {
     /// remoting costs on the 2012 testbed (tens of µs per call): at
     /// 1 sim s = 0.1 real s, 5 µs real ≈ 50 µs sim.
     pub fn short_apps() -> Self {
-        ExperimentScale { clock_scale: 1e-1, repeats: 2, workload: Scale::PAPER }
+        ExperimentScale {
+            clock_scale: 1e-1,
+            repeats: 2,
+            workload: Scale::PAPER,
+            seed: 0,
+            virtual_clock: false,
+        }
     }
 
     /// Preset for long-running-app experiments. Kernels are ≥ 80 ms sim, so
@@ -37,7 +49,13 @@ impl ExperimentScale {
     /// enough (1 sim s = 5 real ms) that OS scheduling noise on small
     /// machines stays a low single-digit fraction of the measurements.
     pub fn long_apps() -> Self {
-        ExperimentScale { clock_scale: 5e-3, repeats: 1, workload: Scale::PAPER }
+        ExperimentScale {
+            clock_scale: 5e-3,
+            repeats: 1,
+            workload: Scale::PAPER,
+            seed: 0,
+            virtual_clock: false,
+        }
     }
 
     /// Shrunken preset for Criterion scenario benches and CI smoke runs:
@@ -49,12 +67,74 @@ impl ExperimentScale {
             clock_scale: 2e-3,
             repeats: 1,
             workload: Scale { time: 5e-2, mem: 1.0 },
+            seed: 0,
+            virtual_clock: false,
         }
     }
 
     /// Scales a job count down in quick mode (at least 1).
     pub fn jobs(&self, n: usize) -> usize {
         n
+    }
+
+    /// Builder-style override of the determinism seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style toggle of the virtual clock.
+    pub fn with_virtual_clock(mut self, on: bool) -> Self {
+        self.virtual_clock = on;
+        self
+    }
+
+    /// Creates the clock this experiment runs on: virtual when requested,
+    /// otherwise wall-clock at `clock_scale`.
+    pub fn clock(&self) -> Clock {
+        if self.virtual_clock {
+            Clock::virtual_clock()
+        } else {
+            Clock::with_scale(self.clock_scale)
+        }
+    }
+}
+
+/// The standard figure-binary command line: `--quick`, `--seed <n>`,
+/// `--virtual-clock`. Unknown flags are warned about and ignored so older
+/// invocations keep working.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FigCli {
+    pub quick: bool,
+    pub seed: u64,
+    pub virtual_clock: bool,
+}
+
+impl FigCli {
+    /// Parses the process arguments.
+    pub fn parse() -> FigCli {
+        let mut cli = FigCli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--virtual-clock" => cli.virtual_clock = true,
+                "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(seed) => cli.seed = seed,
+                    None => {
+                        eprintln!("--seed requires an integer value");
+                        std::process::exit(2);
+                    }
+                },
+                other => eprintln!("ignoring unknown flag `{other}`"),
+            }
+        }
+        cli
+    }
+
+    /// Applies the seed / virtual-clock flags onto an experiment scale.
+    pub fn apply(self, scale: ExperimentScale) -> ExperimentScale {
+        scale.with_seed(self.seed).with_virtual_clock(self.virtual_clock)
     }
 }
 
@@ -97,15 +177,9 @@ impl NodeSetup {
 /// randomly drawn combination of jobs on all reported configurations",
 /// §5.3.1).
 pub fn draw_short_jobs(n: usize, seed: u64, workload_scale: Scale) -> Vec<Box<dyn Workload>> {
-    let pool = mtgpu_workloads::short_pool();
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
-    (0..n)
-        .map(|_| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            pool[(state >> 33) as usize % pool.len()].build(workload_scale)
-        })
+    mtgpu_workloads::draw_short_kinds(n, seed)
+        .into_iter()
+        .map(|kind| kind.build(workload_scale))
         .collect()
 }
 
@@ -147,25 +221,22 @@ impl RunOutcome {
     }
 }
 
-/// Runs `jobs` concurrently on a fresh mtgpu runtime over `setup`.
+/// Runs `jobs` concurrently on a fresh mtgpu runtime over `setup`. The
+/// scale's seed and clock selection are plumbed into the runtime.
 pub fn run_on_runtime(
     setup: NodeSetup,
     cfg: RuntimeConfig,
-    clock_scale: f64,
+    scale: &ExperimentScale,
     jobs: Vec<Box<dyn Workload>>,
 ) -> RunOutcome {
     install_kernel_library();
-    let clock = Clock::with_scale(clock_scale);
+    let clock = scale.clock();
     let driver = setup.driver(&clock);
-    let rt = NodeRuntime::start(driver, cfg);
+    let rt = NodeRuntime::start(driver, cfg.with_seed(scale.seed));
     let clients: Vec<Box<dyn CudaClient>> =
         jobs.iter().map(|_| Box::new(rt.local_client()) as Box<dyn CudaClient>).collect();
     let batch = run_batch(&clock, jobs, clients);
-    assert!(
-        batch.all_verified(),
-        "experiment jobs failed verification: {:?}",
-        batch.errors
-    );
+    assert!(batch.all_verified(), "experiment jobs failed verification: {:?}", batch.errors);
     let metrics = rt.metrics();
     rt.shutdown();
     RunOutcome { batch, metrics }
@@ -176,11 +247,11 @@ pub fn run_on_runtime(
 /// binding of the baseline).
 pub fn run_on_bare(
     setup: NodeSetup,
-    clock_scale: f64,
+    scale: &ExperimentScale,
     jobs: Vec<Box<dyn Workload>>,
 ) -> RunOutcome {
     install_kernel_library();
-    let clock = Clock::with_scale(clock_scale);
+    let clock = scale.clock();
     let driver = setup.driver(&clock);
     let device_count = driver.device_count() as u32;
     let clients: Vec<Box<dyn CudaClient>> = (0..jobs.len())

@@ -24,9 +24,7 @@ fn gpu_by_name(name: &str) -> Result<GpuSpec, String> {
         "c1060" | "tesla-c1060" => Ok(GpuSpec::tesla_c1060()),
         "quadro2000" | "quadro-2000" => Ok(GpuSpec::quadro_2000()),
         "test" | "test-small" => Ok(GpuSpec::test_small()),
-        other => Err(format!(
-            "unknown GPU `{other}` (expected c2050, c1060, quadro2000 or test)"
-        )),
+        other => Err(format!("unknown GPU `{other}` (expected c2050, c1060, quadro2000 or test)")),
     }
 }
 
@@ -60,10 +58,7 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--listen" => args.listen = value(&mut i)?,
             "--gpus" => {
-                args.gpus = value(&mut i)?
-                    .split(',')
-                    .map(gpu_by_name)
-                    .collect::<Result<_, _>>()?;
+                args.gpus = value(&mut i)?.split(',').map(gpu_by_name).collect::<Result<_, _>>()?;
             }
             "--vgpus" => {
                 args.vgpus = value(&mut i)?.parse().map_err(|e| format!("--vgpus: {e}"))?

@@ -62,8 +62,7 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--time-scale: {e}"))?
             }
             "--mem-scale" => {
-                args.scale.mem =
-                    value(&mut i)?.parse().map_err(|e| format!("--mem-scale: {e}"))?
+                args.scale.mem = value(&mut i)?.parse().map_err(|e| format!("--mem-scale: {e}"))?
             }
             "--help" | "-h" => {
                 eprintln!(

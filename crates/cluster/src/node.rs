@@ -162,9 +162,7 @@ mod tests {
         // 1 device × 4 vGPUs visible through the socket.
         assert_eq!(client.get_device_count().unwrap(), 4);
         let ptr = client.malloc(1024).unwrap();
-        client
-            .memcpy_h2d(ptr, mtgpu_api::HostBuf::from_slice(&[3u8; 128]))
-            .unwrap();
+        client.memcpy_h2d(ptr, mtgpu_api::HostBuf::from_slice(&[3u8; 128])).unwrap();
         let back = client.memcpy_d2h(ptr, 128).unwrap();
         assert_eq!(back.payload, vec![3u8; 128]);
         client.exit().unwrap();

@@ -110,8 +110,7 @@ impl JobQueue {
         // GPU-aware gate: hold the job at the head node until a GPU frees.
         self.gates[node_idx].acquire();
         self.set_state(id, JobState::Running { node: node_idx });
-        let mut client: Box<dyn mtgpu_api::CudaClient> =
-            Box::new(self.nodes[node_idx].client());
+        let mut client: Box<dyn mtgpu_api::CudaClient> = Box::new(self.nodes[node_idx].client());
         let watch = Stopwatch::start(&self.clock);
         let result = (|| {
             register_workload(client.as_mut(), job.as_ref())?;
@@ -171,12 +170,7 @@ impl JobQueue {
 
     /// Jobs still queued (the §4.7 backlog a GPU-aware head node watches).
     pub fn queued_count(&self) -> usize {
-        self.state
-            .lock()
-            .jobs
-            .values()
-            .filter(|s| matches!(s, JobState::Queued))
-            .count()
+        self.state.lock().jobs.values().filter(|s| matches!(s, JobState::Queued)).count()
     }
 
     /// The queue's GPU-visibility mode.
@@ -245,8 +239,7 @@ mod tests {
     #[test]
     fn qstat_tracks_many_jobs_to_completion() {
         let q = queue(GpuVisibility::Hidden);
-        let ids: Vec<JobId> =
-            (0..6).map(|_| q.submit(AppKind::Hs.build(Scale::TINY))).collect();
+        let ids: Vec<JobId> = (0..6).map(|_| q.submit(AppKind::Hs.build(Scale::TINY))).collect();
         let final_states = q.wait_all();
         assert_eq!(final_states.len(), 6);
         for id in ids {

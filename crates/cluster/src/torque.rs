@@ -120,7 +120,7 @@ impl<'a> Torque<'a> {
                             break candidate;
                         }
                         // All nodes busy: block on the round-robin choice.
-                        if rr % self.nodes.len() == 0 {
+                        if rr.is_multiple_of(self.nodes.len()) {
                             gates[candidate].acquire();
                             break candidate;
                         }

@@ -64,6 +64,16 @@ pub struct RuntimeConfig {
     /// Events retained by the runtime's trace ring buffer (0 disables
     /// tracing).
     pub trace_capacity: usize,
+    /// Root seed for every randomized decision the runtime makes
+    /// (dispatcher tie-breaks). `0` selects the legacy round-robin
+    /// cursor; any other value derives a [`mtgpu_simtime::DetRng`] so a
+    /// whole run replays bit-for-bit.
+    pub seed: u64,
+    /// Spawn the background health/migration monitor thread. Deterministic
+    /// harnesses turn this off and drive recovery explicitly through
+    /// [`crate::NodeRuntime::monitor_tick`], so monitor actions land at
+    /// reproducible points of the schedule.
+    pub background_monitor: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -84,6 +94,8 @@ impl Default for RuntimeConfig {
             max_ptes_per_context: 1 << 20,
             monitor_interval: Duration::from_millis(5),
             trace_capacity: 4096,
+            seed: 0,
+            background_monitor: true,
         }
     }
 }
@@ -112,6 +124,19 @@ impl RuntimeConfig {
         self.scheduler = p;
         self
     }
+
+    /// Builder-style override of the determinism seed (`0` = legacy
+    /// round-robin tie-breaks).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style toggle of the background monitor thread.
+    pub fn with_background_monitor(mut self, on: bool) -> Self {
+        self.background_monitor = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -137,8 +162,19 @@ mod tests {
     fn builders_compose() {
         let c = RuntimeConfig::default()
             .with_vgpus(8)
-            .with_scheduler(SchedulerPolicy::ShortestJobFirst);
+            .with_scheduler(SchedulerPolicy::ShortestJobFirst)
+            .with_seed(42)
+            .with_background_monitor(false);
         assert_eq!(c.vgpus_per_device, 8);
         assert_eq!(c.scheduler, SchedulerPolicy::ShortestJobFirst);
+        assert_eq!(c.seed, 42);
+        assert!(!c.background_monitor);
+    }
+
+    #[test]
+    fn defaults_are_backward_compatible() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.seed, 0, "seed 0 keeps the legacy rr tie-break");
+        assert!(c.background_monitor);
     }
 }

@@ -173,10 +173,7 @@ impl AppContext {
 
 impl std::fmt::Debug for AppContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AppContext")
-            .field("id", &self.id)
-            .field("label", &self.label)
-            .finish()
+        f.debug_struct("AppContext").field("id", &self.id).field("label", &self.label).finish()
     }
 }
 

@@ -116,11 +116,7 @@ impl MemoryManager {
         MemoryManager {
             cfg,
             metrics,
-            state: Mutex::new(MmState {
-                tables: HashMap::new(),
-                swap,
-                next_vaddr: VADDR_BASE,
-            }),
+            state: Mutex::new(MmState { tables: HashMap::new(), swap, next_vaddr: VADDR_BASE }),
         }
     }
 
@@ -244,9 +240,7 @@ impl MemoryManager {
         let eager_plan = {
             let mut st = self.state.lock();
             let table = st.tables.get_mut(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
-            let (base, offset) = table
-                .resolve(dst)
-                .ok_or(CudaError::InvalidDevicePointer)?;
+            let (base, offset) = table.resolve(dst).ok_or(CudaError::InvalidDevicePointer)?;
             let entry = table.get_mut(base).expect("resolved entry vanished");
             if offset + buf.declared_len > entry.size {
                 RuntimeMetrics::bump(&self.metrics.bad_ops_rejected);
@@ -267,14 +261,13 @@ impl MemoryManager {
         };
         // Phase 2 (eager mode only): write through to the device.
         if let (Some((dptr, size, data)), Some(b)) = (eager_plan, binding) {
-            b.gpu
-                .memcpy_h2d(b.gpu_ctx, dptr, size, &data)
-                .map_err(CudaError::from_gpu)?;
+            b.gpu.memcpy_h2d(b.gpu_ctx, dptr, size, &data).map_err(CudaError::from_gpu)?;
             let mut st = self.state.lock();
-            if let Some(entry) =
-                st.tables.get_mut(&ctx).and_then(|t| t.resolve(dst).map(|(b, _)| b)).and_then(
-                    |base| st.tables.get_mut(&ctx).unwrap().get_mut(base),
-                )
+            if let Some(entry) = st
+                .tables
+                .get_mut(&ctx)
+                .and_then(|t| t.resolve(dst).map(|(b, _)| b))
+                .and_then(|base| st.tables.get_mut(&ctx).unwrap().get_mut(base))
             {
                 entry.flags.to_dev = false;
             }
@@ -298,8 +291,7 @@ impl MemoryManager {
         let (base, offset, sync_plan) = {
             let st = self.state.lock();
             let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
-            let (base, offset) =
-                table.resolve(src).ok_or(CudaError::InvalidDevicePointer)?;
+            let (base, offset) = table.resolve(src).ok_or(CudaError::InvalidDevicePointer)?;
             let entry = table.get(base).expect("resolved entry vanished");
             if offset + len > entry.size {
                 RuntimeMetrics::bump(&self.metrics.bad_ops_rejected);
@@ -321,11 +313,8 @@ impl MemoryManager {
         }
         // Phase 3: serve from the slab.
         let st = self.state.lock();
-        let entry = st
-            .tables
-            .get(&ctx)
-            .and_then(|t| t.get(base))
-            .ok_or(CudaError::InvalidDevicePointer)?;
+        let entry =
+            st.tables.get(&ctx).and_then(|t| t.get(base)).ok_or(CudaError::InvalidDevicePointer)?;
         Ok(HostBuf::with_shadow(len, entry.slab.read(offset, len)))
     }
 
@@ -354,14 +343,11 @@ impl MemoryManager {
     ) -> CudaResult<()> {
         let mut st = self.state.lock();
         let table = st.tables.get_mut(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
-        let parent_base = table
-            .resolve(parent)
-            .map(|(b, _)| b)
-            .ok_or(CudaError::InvalidDevicePointer)?;
+        let parent_base =
+            table.resolve(parent).map(|(b, _)| b).ok_or(CudaError::InvalidDevicePointer)?;
         let mut member_bases = Vec::with_capacity(members.len());
         for m in &members {
-            let base =
-                table.resolve(*m).map(|(b, _)| b).ok_or(CudaError::InvalidDevicePointer)?;
+            let base = table.resolve(*m).map(|(b, _)| b).ok_or(CudaError::InvalidDevicePointer)?;
             member_bases.push(base);
         }
         for &mb in &member_bases {
@@ -495,18 +481,15 @@ impl MemoryManager {
                 // Evict the largest non-working-set entry first: frees the
                 // most contiguous space per swap operation.
                 .max_by_key(|e| e.size)
-                .map(|e| (e.vaddr, e.device_ptr.expect("allocated without ptr"), e.size, e.flags.to_swap))
+                .map(|e| {
+                    (e.vaddr, e.device_ptr.expect("allocated without ptr"), e.size, e.flags.to_swap)
+                })
         };
         let Some((base, dptr, size, dirty)) = plan else {
             return Ok(false);
         };
         let synced = if dirty {
-            Some(
-                binding
-                    .gpu
-                    .memcpy_d2h(binding.gpu_ctx, dptr, size)
-                    .map_err(CudaError::from_gpu)?,
-            )
+            Some(binding.gpu.memcpy_d2h(binding.gpu_ctx, dptr, size).map_err(CudaError::from_gpu)?)
         } else {
             None
         };
@@ -562,7 +545,12 @@ impl MemoryManager {
     /// This is the `Swap` internal function of Table 1 applied to the whole
     /// context — used for inter-application victims, voluntary unbinds and
     /// migration. Returns the bytes freed on the device.
-    pub fn swap_out_ctx(&self, ctx: CtxId, binding: &Binding, reason: SwapReason) -> CudaResult<u64> {
+    pub fn swap_out_ctx(
+        &self,
+        ctx: CtxId,
+        binding: &Binding,
+        reason: SwapReason,
+    ) -> CudaResult<u64> {
         let mut freed = 0;
         loop {
             let plan = {
@@ -623,10 +611,8 @@ impl MemoryManager {
                 })
             };
             let Some((base, dptr, size)) = plan else { break };
-            let bytes = binding
-                .gpu
-                .memcpy_d2h(binding.gpu_ctx, dptr, size)
-                .map_err(CudaError::from_gpu)?;
+            let bytes =
+                binding.gpu.memcpy_d2h(binding.gpu_ctx, dptr, size).map_err(CudaError::from_gpu)?;
             let mut st = self.state.lock();
             if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
                 entry.slab.write(0, &bytes);
@@ -732,12 +718,7 @@ impl MemoryManager {
         st.swap.reserve(image.declared_bytes())?;
         // Future mallocs (of any context) must not collide with the
         // imported virtual range within this runtime.
-        let max_end = image
-            .entries
-            .iter()
-            .map(|e| e.vaddr.0 + e.size)
-            .max()
-            .unwrap_or(VADDR_BASE);
+        let max_end = image.entries.iter().map(|e| e.vaddr.0 + e.size).max().unwrap_or(VADDR_BASE);
         if st.next_vaddr < max_end {
             st.next_vaddr = (max_end + VALIGN - 1) & !(VALIGN - 1);
         }
@@ -766,7 +747,11 @@ impl MemoryManager {
     }
 
     /// Test/diagnostic hook: the flags of the entry at `vaddr`.
-    pub fn flags_of(&self, ctx: CtxId, vaddr: DeviceAddr) -> Option<crate::memory::page_table::Flags> {
+    pub fn flags_of(
+        &self,
+        ctx: CtxId,
+        vaddr: DeviceAddr,
+    ) -> Option<crate::memory::page_table::Flags> {
         let st = self.state.lock();
         let table = st.tables.get(&ctx)?;
         let (base, _) = table.resolve(vaddr)?;
@@ -822,8 +807,10 @@ mod tests {
         let v = m.malloc(CTX, 1024, AllocKind::Linear).unwrap();
         let buf = HostBuf::from_slice(&[3u8; 1024]);
         m.copy_h2d(CTX, v, &buf, None).unwrap();
-        assert_eq!(m.flags_of(CTX, v).unwrap(), crate::memory::page_table::Flags {
-            allocated: false, to_dev: true, to_swap: false });
+        assert_eq!(
+            m.flags_of(CTX, v).unwrap(),
+            crate::memory::page_table::Flags { allocated: false, to_dev: true, to_swap: false }
+        );
         let closure = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
         assert_eq!(m.materialize(CTX, &closure, &b).unwrap(), Materialize::Ready);
         assert_eq!(b.gpu.stats().snapshot().h2d_bytes, 1024);
@@ -831,9 +818,7 @@ mod tests {
         assert_eq!(m.materialize(CTX, &closure, &b).unwrap(), Materialize::Ready);
         assert_eq!(b.gpu.stats().snapshot().h2d_bytes, 1024);
         // Translation yields a device pointer with offset arithmetic.
-        let args = m
-            .translate_args(CTX, &[KernelArg::Ptr(DeviceAddr(v.0 + 256))])
-            .unwrap();
+        let args = m.translate_args(CTX, &[KernelArg::Ptr(DeviceAddr(v.0 + 256))]).unwrap();
         let KernelArg::Ptr(dptr) = args[0] else { panic!("not a pointer") };
         assert_ne!(dptr.0 & 0xFFFF_0000_0000, VADDR_BASE & 0xFFFF_0000_0000);
         // The device accepts the translated interior pointer.
@@ -941,9 +926,7 @@ mod tests {
         let c = m.malloc(CTX, 64, AllocKind::Linear).unwrap();
         m.register_nested(CTX, a, vec![b1, b2]).unwrap();
         m.register_nested(CTX, b1, vec![c]).unwrap();
-        let closure = m
-            .launch_closure(CTX, &[KernelArg::Ptr(a), KernelArg::Ptr(b2)])
-            .unwrap();
+        let closure = m.launch_closure(CTX, &[KernelArg::Ptr(a), KernelArg::Ptr(b2)]).unwrap();
         assert_eq!(closure.len(), 4, "a, b1, b2, c exactly once: {closure:?}");
         for v in [a, b1, b2, c] {
             assert!(closure.contains(&v));

@@ -260,10 +260,7 @@ mod tests {
     fn figure4_copy_hd_supersedes_device_data() {
         // T/F/T --copyHD--> T/T/F: the host write makes the device copy stale.
         let dirty = Flags { allocated: true, to_dev: false, to_swap: true };
-        assert_eq!(
-            dirty.on_copy_hd(),
-            Flags { allocated: true, to_dev: true, to_swap: false }
-        );
+        assert_eq!(dirty.on_copy_hd(), Flags { allocated: true, to_dev: true, to_swap: false });
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl NodeRuntime {
             },
             Arc::clone(&metrics),
         );
-        let bm = BindingManager::new(cfg.scheduler, Arc::clone(&metrics));
+        let bm = BindingManager::new_seeded(cfg.scheduler, Arc::clone(&metrics), cfg.seed);
         let clock = driver.clock().clone();
         let local_slots = match (cfg.offload_threshold, cfg.offload_peers.is_empty()) {
             (Some(t), false) => t as i64,
@@ -120,13 +120,27 @@ impl NodeRuntime {
                 .add_device(id, gpu, rt.cfg.vgpus_per_device)
                 .unwrap_or_else(|e| panic!("cannot spawn vGPUs on {id}: {e:?}"));
         }
-        let monitor_rt = Arc::clone(&rt);
-        *rt.monitor.lock() =
-            Some(std::thread::Builder::new()
-                .name("mtgpu-monitor".into())
-                .spawn(move || monitor::run(monitor_rt))
-                .expect("spawn monitor thread"));
+        if rt.cfg.background_monitor {
+            let monitor_rt = Arc::clone(&rt);
+            *rt.monitor.lock() = Some(
+                std::thread::Builder::new()
+                    .name("mtgpu-monitor".into())
+                    .spawn(move || monitor::run(monitor_rt))
+                    .expect("spawn monitor thread"),
+            );
+        }
         rt
+    }
+
+    /// Runs one monitor pass synchronously: fault recovery, then (if
+    /// enabled) a load-balancing step. Deterministic harnesses configure
+    /// `background_monitor = false` and call this at chosen points so
+    /// recovery and migration land at reproducible schedule positions.
+    pub fn monitor_tick(&self) {
+        monitor::recover_failed_devices(self);
+        if self.cfg.dynamic_load_balancing {
+            monitor::balance_once(self);
+        }
     }
 
     /// The runtime configuration.
@@ -321,6 +335,14 @@ impl NodeRuntime {
     pub(crate) fn drop_context_of(&self, ctx: &Arc<AppContext>) {
         self.mm.remove_ctx(ctx.id, None);
         self.registry.lock().remove(&ctx.id);
+    }
+
+    /// Number of live application contexts (connections whose handler has
+    /// not yet torn down). Deterministic harnesses use this as a barrier
+    /// after severing a transport: the count drops exactly when the
+    /// handler's cleanup — memory release, vGPU release — has completed.
+    pub fn context_count(&self) -> usize {
+        self.registry.lock().len()
     }
 
     /// Blocks until every connection has drained or `timeout` passes.

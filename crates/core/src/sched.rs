@@ -17,6 +17,7 @@ use crate::config::SchedulerPolicy;
 use crate::ctx::{AppContext, Binding, CtxId, VGpuId};
 use crate::metrics::RuntimeMetrics;
 use mtgpu_gpusim::{DeviceId, Gpu, GpuContextId};
+use mtgpu_simtime::DetRng;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -64,6 +65,9 @@ struct BmState {
     waiting: Vec<WaitEntry>,
     next_seq: u64,
     rr_cursor: usize,
+    /// Seeded tie-break generator (`Some` when the runtime runs with a
+    /// nonzero determinism seed); `None` keeps the legacy rotating cursor.
+    rng: Option<DetRng>,
     /// CUDA 4.0 application → (device, bound thread count) affinity map.
     app_devices: HashMap<u64, (DeviceId, usize)>,
 }
@@ -96,8 +100,16 @@ pub struct BindingManager {
 }
 
 impl BindingManager {
-    /// Creates an empty manager.
+    /// Creates an empty manager with the legacy round-robin tie-break.
     pub fn new(policy: SchedulerPolicy, metrics: Arc<RuntimeMetrics>) -> Self {
+        Self::new_seeded(policy, metrics, 0)
+    }
+
+    /// Creates an empty manager. A nonzero `seed` makes placement
+    /// tie-breaks draw from a [`DetRng`] forked on `"sched"` instead of the
+    /// rotating cursor, so the grant sequence is a pure function of the
+    /// seed and the arrival order.
+    pub fn new_seeded(policy: SchedulerPolicy, metrics: Arc<RuntimeMetrics>, seed: u64) -> Self {
         BindingManager {
             policy,
             metrics,
@@ -106,6 +118,7 @@ impl BindingManager {
                 waiting: Vec::new(),
                 next_seq: 0,
                 rr_cursor: 0,
+                rng: (seed != 0).then(|| DetRng::from_seed(seed).fork("sched")),
                 app_devices: HashMap::new(),
             }),
             cv: Condvar::new(),
@@ -128,12 +141,7 @@ impl BindingManager {
         let mut st = self.state.lock();
         st.devices.insert(
             id,
-            DeviceSlots {
-                gpu,
-                free: (0..count).collect(),
-                bound: HashMap::new(),
-                vgpus,
-            },
+            DeviceSlots { gpu, free: (0..count).collect(), bound: HashMap::new(), vgpus },
         );
         drop(st);
         self.cv.notify_all();
@@ -152,7 +160,10 @@ impl BindingManager {
                         Self::app_release(&mut st.app_devices, *app);
                     }
                 }
-                slots.bound.values().map(|&(c, _)| c).collect()
+                let mut affected: Vec<CtxId> = slots.bound.values().map(|&(c, _)| c).collect();
+                // Hash-map order would make recovery order run-dependent.
+                affected.sort_unstable();
+                affected
             }
             None => Vec::new(),
         }
@@ -346,8 +357,14 @@ impl BindingManager {
             return None;
         }
         ids.sort_by_key(|id| id.0);
-        let rr = st.rr_cursor;
-        st.rr_cursor = st.rr_cursor.wrapping_add(1);
+        let rr = match st.rng.as_mut() {
+            Some(rng) => rng.next_u64() as usize,
+            None => {
+                let rr = st.rr_cursor;
+                st.rr_cursor = st.rr_cursor.wrapping_add(1);
+                rr
+            }
+        };
         // Evaluate the placement key exactly once per device:
         // `mem_available()` reads live device state that other threads may
         // change between passes.
@@ -365,18 +382,13 @@ impl BindingManager {
                 (id, load, fits)
             })
             .collect();
-        let min_load =
-            keyed.iter().map(|&(_, l, _)| l).fold(f64::INFINITY, f64::min);
+        let min_load = keyed.iter().map(|&(_, l, _)| l).fold(f64::INFINITY, f64::min);
         // Among near-equal loads (within 5%), prefer memory fit, then rotate.
         let tied: Vec<DeviceId> = {
             let close: Vec<&(DeviceId, f64, bool)> =
                 keyed.iter().filter(|&&(_, l, _)| l <= min_load * 1.05).collect();
             let any_fits = close.iter().any(|&&(_, _, f)| f);
-            close
-                .into_iter()
-                .filter(|&&(_, _, f)| f == any_fits)
-                .map(|&(id, _, _)| id)
-                .collect()
+            close.into_iter().filter(|&&(_, _, f)| f == any_fits).map(|&(id, _, _)| id).collect()
         };
         Some(tied[rr % tied.len()])
     }
@@ -422,14 +434,19 @@ impl BindingManager {
         Some(Binding { vgpu: vgpu.id, gpu: vgpu.gpu, gpu_ctx: vgpu.gpu_ctx })
     }
 
-    /// Contexts currently bound to `device`.
+    /// Contexts currently bound to `device`, in context-id order (the
+    /// backing map is hashed; sorting keeps every consumer — victim
+    /// selection, recovery — deterministic across process runs).
     pub fn bound_on(&self, device: DeviceId) -> Vec<CtxId> {
-        self.state
+        let mut bound: Vec<CtxId> = self
+            .state
             .lock()
             .devices
             .get(&device)
             .map(|d| d.bound.values().map(|&(c, _)| c).collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        bound.sort_unstable();
+        bound
     }
 
     /// Snapshot of every registered device.
@@ -443,7 +460,11 @@ impl BindingManager {
                 gpu: Arc::clone(&d.gpu),
                 total_vgpus: d.vgpus.len(),
                 free_vgpus: d.free.len(),
-                bound: d.bound.values().map(|&(c, _)| c).collect(),
+                bound: {
+                    let mut b: Vec<CtxId> = d.bound.values().map(|&(c, _)| c).collect();
+                    b.sort_unstable();
+                    b
+                },
                 effective_flops: d.gpu.spec().effective_flops(),
                 mem_available: d.gpu.mem_available(),
             })
@@ -548,9 +569,8 @@ mod tests {
         let ba = bm.acquire(&a, 1.0, 0, Duration::from_secs(1)).unwrap();
         let bm2 = Arc::clone(&bm);
         let b2 = Arc::clone(&b);
-        let waiter = std::thread::spawn(move || {
-            bm2.acquire(&b2, 1.0, 0, Duration::from_secs(5)).is_some()
-        });
+        let waiter =
+            std::thread::spawn(move || bm2.acquire(&b2, 1.0, 0, Duration::from_secs(5)).is_some());
         while bm.waiting_count() == 0 {
             std::hint::spin_loop();
         }
@@ -642,14 +662,43 @@ mod tests {
         let bm2 = Arc::clone(&bm);
         let w = ctx(2);
         let w2 = Arc::clone(&w);
-        let t =
-            std::thread::spawn(move || bm2.acquire(&w2, 1.0, 0, Duration::from_millis(300)));
+        let t = std::thread::spawn(move || bm2.acquire(&w2, 1.0, 0, Duration::from_millis(300)));
         while bm.waiting_count() == 0 {
             std::hint::spin_loop();
         }
         // Migration must refuse while a context is waiting.
         assert!(bm.try_acquire_on(CtxId(9), DeviceId(0)).is_none());
         let _ = t.join().unwrap();
+    }
+
+    #[test]
+    fn seeded_tie_breaks_replay_bit_for_bit() {
+        // Two managers with the same seed must produce the identical grant
+        // sequence for the identical arrival order; a different seed is
+        // allowed to differ (and does for this workload shape).
+        let placement = |seed: u64| -> Vec<u32> {
+            let clock = Clock::virtual_clock();
+            let bm = Arc::new(BindingManager::new_seeded(
+                SchedulerPolicy::FcfsRoundRobin,
+                Arc::new(RuntimeMetrics::default()),
+                seed,
+            ));
+            for i in 0..3 {
+                let gpu = Gpu::new(GpuSpec::test_small(), clock.clone(), i);
+                bm.add_device(DeviceId(i), gpu, 4).unwrap();
+            }
+            (0..9)
+                .map(|i| {
+                    let c = ctx(i);
+                    let b = bm.acquire(&c, 1.0, 0, Duration::from_millis(200)).unwrap();
+                    let dev = b.vgpu.device.0;
+                    bm.release(c.id, b.vgpu);
+                    dev
+                })
+                .collect()
+        };
+        assert_eq!(placement(42), placement(42));
+        assert_eq!(placement(7), placement(7));
     }
 
     #[test]
@@ -728,12 +777,8 @@ mod policy_tests {
         ));
         let clock = Clock::with_scale(1e-7);
         for i in 0..2 {
-            bm.add_device(
-                DeviceId(i),
-                Gpu::new(GpuSpec::test_small(), clock.clone(), i),
-                3,
-            )
-            .unwrap();
+            bm.add_device(DeviceId(i), Gpu::new(GpuSpec::test_small(), clock.clone(), i), 3)
+                .unwrap();
         }
         // Thread 1 of app 7 binds somewhere.
         let a = ctx(1);
@@ -759,12 +804,8 @@ mod policy_tests {
         ));
         let clock = Clock::with_scale(1e-7);
         for i in 0..2 {
-            bm.add_device(
-                DeviceId(i),
-                Gpu::new(GpuSpec::test_small(), clock.clone(), i),
-                1,
-            )
-            .unwrap();
+            bm.add_device(DeviceId(i), Gpu::new(GpuSpec::test_small(), clock.clone(), i), 1)
+                .unwrap();
         }
         let a = ctx(1);
         a.inner().app_id = Some(9);

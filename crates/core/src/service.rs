@@ -159,9 +159,7 @@ pub(crate) fn handle_call(rt: &NodeRuntime, ctx: &Arc<AppContext>, call: CudaCal
         CudaCall::SetDevice { .. } => Ok(ReplyValue::Unit),
         // "...or overridden (cudaGetDeviceCount will return the number of
         // virtual, not physical, GPUs)".
-        CudaCall::GetDeviceCount => {
-            Ok(ReplyValue::DeviceCount(rt.bindings().total_vgpus() as u32))
-        }
+        CudaCall::GetDeviceCount => Ok(ReplyValue::DeviceCount(rt.bindings().total_vgpus() as u32)),
         CudaCall::GetDeviceProperties { device } => rt
             .bindings()
             .vgpu_spec(device)
@@ -178,18 +176,14 @@ pub(crate) fn handle_call(rt: &NodeRuntime, ctx: &Arc<AppContext>, call: CudaCal
             let binding = ctx.binding();
             rt.memory().copy_h2d(ctx.id, dst, &buf, binding.as_ref()).map(|()| ReplyValue::Unit)
         }
-        CudaCall::MemcpyD2H { src, len } => {
-            with_device_retry(rt, ctx, |rt, ctx, binding| {
-                rt.memory().copy_d2h(ctx.id, src, len, binding.as_ref())
-            })
-            .map(ReplyValue::Bytes)
-        }
-        CudaCall::MemcpyD2D { dst, src, len } => {
-            with_device_retry(rt, ctx, |rt, ctx, binding| {
-                rt.memory().copy_d2d(ctx.id, dst, src, len, binding.as_ref())
-            })
-            .map(|()| ReplyValue::Unit)
-        }
+        CudaCall::MemcpyD2H { src, len } => with_device_retry(rt, ctx, |rt, ctx, binding| {
+            rt.memory().copy_d2h(ctx.id, src, len, binding.as_ref())
+        })
+        .map(ReplyValue::Bytes),
+        CudaCall::MemcpyD2D { dst, src, len } => with_device_retry(rt, ctx, |rt, ctx, binding| {
+            rt.memory().copy_d2d(ctx.id, dst, src, len, binding.as_ref())
+        })
+        .map(|()| ReplyValue::Unit),
         CudaCall::ConfigureCall { config } => {
             ctx.inner().staged_config = Some(config);
             Ok(ReplyValue::Unit)
@@ -209,9 +203,7 @@ pub(crate) fn handle_call(rt: &NodeRuntime, ctx: &Arc<AppContext>, call: CudaCal
         }
         CudaCall::ExportImage => {
             let binding = ctx.binding();
-            let image = rt
-                .memory()
-                .export_image(ctx.id, &ctx.label, binding.as_ref())?;
+            let image = rt.memory().export_image(ctx.id, &ctx.label, binding.as_ref())?;
             rt.tracer().record(TraceEvent::Checkpointed { ctx: ctx.id, explicit: true });
             Ok(ReplyValue::Image(Box::new(image)))
         }
@@ -296,8 +288,7 @@ fn handle_launch(rt: &NodeRuntime, ctx: &Arc<AppContext>, spec: LaunchSpec) -> C
                 match rt.bindings().acquire(ctx, sjf_work, mem, ACQUIRE_SLICE) {
                     Some(b) => {
                         ctx.inner().binding = Some(b.clone());
-                        rt.tracer()
-                            .record(TraceEvent::Bound { ctx: ctx.id, vgpu: b.vgpu });
+                        rt.tracer().record(TraceEvent::Bound { ctx: ctx.id, vgpu: b.vgpu });
                         b
                     }
                     None => {
@@ -370,11 +361,9 @@ fn unbind_self(
     reason: SwapReason,
 ) -> Result<(), CudaError> {
     match rt.memory().swap_out_ctx(ctx.id, binding, reason) {
-        Ok(bytes) => rt.tracer().record(TraceEvent::SwappedOut {
-            ctx: ctx.id,
-            bytes,
-            reason: reason.into(),
-        }),
+        Ok(bytes) => {
+            rt.tracer().record(TraceEvent::SwappedOut { ctx: ctx.id, bytes, reason: reason.into() })
+        }
         Err(CudaError::DeviceUnavailable) => {}
         Err(e) => return Err(e),
     }
@@ -422,12 +411,7 @@ fn recover_from_device_loss(
 /// idle co-tenant whose resident footprint covers the shortfall, swap it
 /// out wholesale and release its vGPU (§4.5). Returns `true` if memory was
 /// freed.
-fn try_inter_app_swap(
-    rt: &NodeRuntime,
-    requester: CtxId,
-    binding: &Binding,
-    need: u64,
-) -> bool {
+fn try_inter_app_swap(rt: &NodeRuntime, requester: CtxId, binding: &Binding, need: u64) -> bool {
     let mut candidates: Vec<(CtxId, u64)> = rt
         .bindings()
         .bound_on(binding.vgpu.device)
@@ -437,7 +421,8 @@ fn try_inter_app_swap(
         .filter(|&(_, resident)| resident >= need)
         .collect();
     // Smallest sufficient victim: evict the least data that unblocks us.
-    candidates.sort_by_key(|&(_, resident)| resident);
+    // Ties break by context id so the choice is a pure function of state.
+    candidates.sort_by_key(|&(id, resident)| (resident, id));
     for (victim_id, _) in candidates {
         let Some(victim) = rt.context(victim_id) else { continue };
         if !victim.is_eligible() {
@@ -449,9 +434,7 @@ fn try_inter_app_swap(
         // Re-validate under the lock: still bound to this device, still big
         // enough.
         let Some(vb) = victim.binding() else { continue };
-        if vb.vgpu.device != binding.vgpu.device
-            || rt.memory().resident_bytes(victim_id) < need
-        {
+        if vb.vgpu.device != binding.vgpu.device || rt.memory().resident_bytes(victim_id) < need {
             continue;
         }
         match rt.memory().swap_out_ctx(victim_id, &vb, SwapReason::InterAppVictim) {

@@ -79,8 +79,12 @@ fn end_to_end_fill_roundtrip() {
     let mut c = rt.local_client();
     register(&mut c);
     let ptr = c.malloc(256).unwrap();
-    c.launch(launch("fill", vec![KernelArg::Ptr(ptr), KernelArg::Scalar(7), KernelArg::Scalar(256)], 1e6))
-        .unwrap();
+    c.launch(launch(
+        "fill",
+        vec![KernelArg::Ptr(ptr), KernelArg::Scalar(7), KernelArg::Scalar(256)],
+        1e6,
+    ))
+    .unwrap();
     let back = c.memcpy_d2h(ptr, 256).unwrap();
     assert_eq!(back.payload, vec![7u8; 256]);
     c.free(ptr).unwrap();
@@ -107,9 +111,9 @@ fn deferral_no_device_traffic_before_launch() {
     let gpu = rt.driver().device(DeviceId(0)).unwrap();
     let mut c = rt.local_client();
     register(&mut c);
-    let ptr = c.malloc(1 * MIB).unwrap();
-    c.memcpy_h2d(ptr, HostBuf::with_shadow(1 * MIB, vec![1u8; 128])).unwrap();
-    c.memcpy_h2d(ptr, HostBuf::with_shadow(1 * MIB, vec![2u8; 128])).unwrap();
+    let ptr = c.malloc(MIB).unwrap();
+    c.memcpy_h2d(ptr, HostBuf::with_shadow(MIB, vec![1u8; 128])).unwrap();
+    c.memcpy_h2d(ptr, HostBuf::with_shadow(MIB, vec![2u8; 128])).unwrap();
     // Nothing has touched the device: no H2D bytes, no app allocations
     // (only the vGPU context reservations).
     assert_eq!(gpu.stats().snapshot().h2d_bytes, 0);
@@ -119,7 +123,7 @@ fn deferral_no_device_traffic_before_launch() {
     c.launch(launch("noop", vec![KernelArg::Ptr(ptr)], 1e6)).unwrap();
     let snap = gpu.stats().snapshot();
     assert_eq!(snap.allocs, 1, "single device allocation at launch");
-    assert_eq!(snap.h2d_bytes, 1 * MIB, "one bulk upload of the declared size");
+    assert_eq!(snap.h2d_bytes, MIB, "one bulk upload of the declared size");
     assert!(rt.metrics().bulk_uploads >= 1);
     c.exit().unwrap();
     rt.shutdown();
@@ -166,10 +170,7 @@ fn table1_error_paths() {
     assert_eq!(c.free(DeviceAddr(0xdead)), Err(CudaError::InvalidDevicePointer));
     // Swap-data size mismatch: copy beyond the allocation.
     let ptr = c.malloc(64).unwrap();
-    assert_eq!(
-        c.memcpy_h2d(ptr, HostBuf::declared(128)),
-        Err(CudaError::SizeMismatch)
-    );
+    assert_eq!(c.memcpy_h2d(ptr, HostBuf::declared(128)), Err(CudaError::SizeMismatch));
     assert_eq!(c.memcpy_d2h(ptr, 128), Err(CudaError::OutOfBounds));
     assert!(rt.metrics().bad_ops_rejected >= 2);
     // Launch with an unregistered kernel.
@@ -297,8 +298,12 @@ fn checkpoint_then_device_failure_recovers_transparently() {
     let mut c = rt.local_client();
     register(&mut c);
     let ptr = c.malloc(128).unwrap();
-    c.launch(launch("fill", vec![KernelArg::Ptr(ptr), KernelArg::Scalar(3), KernelArg::Scalar(128)], 1e6))
-        .unwrap();
+    c.launch(launch(
+        "fill",
+        vec![KernelArg::Ptr(ptr), KernelArg::Scalar(3), KernelArg::Scalar(128)],
+        1e6,
+    ))
+    .unwrap();
     // Explicit checkpoint: dirty device data flushed to swap.
     c.checkpoint().unwrap();
     assert!(rt.metrics().checkpoints >= 1);
@@ -326,8 +331,12 @@ fn failure_without_checkpoint_fails_context_but_not_runtime() {
     let mut c = rt.local_client();
     register(&mut c);
     let ptr = c.malloc(128).unwrap();
-    c.launch(launch("fill", vec![KernelArg::Ptr(ptr), KernelArg::Scalar(3), KernelArg::Scalar(128)], 1e6))
-        .unwrap();
+    c.launch(launch(
+        "fill",
+        vec![KernelArg::Ptr(ptr), KernelArg::Scalar(3), KernelArg::Scalar(128)],
+        1e6,
+    ))
+    .unwrap();
     // Dirty data only on device; fail it.
     rt.driver().device(DeviceId(0)).unwrap().fail();
     let err = c.memcpy_d2h(ptr, 128).unwrap_err();
@@ -351,8 +360,12 @@ fn auto_checkpoint_after_long_kernels() {
     register(&mut c);
     let ptr = c.malloc(128).unwrap();
     // A kernel long enough to cross the auto-checkpoint threshold.
-    c.launch(launch("fill", vec![KernelArg::Ptr(ptr), KernelArg::Scalar(9), KernelArg::Scalar(128)], 1e9))
-        .unwrap();
+    c.launch(launch(
+        "fill",
+        vec![KernelArg::Ptr(ptr), KernelArg::Scalar(9), KernelArg::Scalar(128)],
+        1e9,
+    ))
+    .unwrap();
     assert!(rt.metrics().checkpoints >= 1, "auto checkpoint should fire");
     // Failure after the automatic checkpoint is survivable.
     let bound_device = rt
@@ -382,8 +395,12 @@ fn migration_moves_idle_job_to_fast_gpu() {
     let mut c = rt.local_client();
     register(&mut c);
     let p = c.malloc(2048).unwrap();
-    c.launch(launch("fill", vec![KernelArg::Ptr(p), KernelArg::Scalar(5), KernelArg::Scalar(64)], 1e8))
-        .unwrap();
+    c.launch(launch(
+        "fill",
+        vec![KernelArg::Ptr(p), KernelArg::Scalar(5), KernelArg::Scalar(64)],
+        1e8,
+    ))
+    .unwrap();
     assert!(rt.driver().device(DeviceId(0)).unwrap().stats().snapshot().kernels_launched >= 1);
     // Hot-attach a fast C2050 (dynamic upgrade, §2). The monitor must
     // migrate the idle job from the slow to the fast device (§5.3.4).
@@ -415,8 +432,12 @@ fn hot_attach_unblocks_waiting_jobs() {
         let mut c = rt2.local_client();
         register(&mut c);
         let p = c.malloc(64).unwrap();
-        c.launch(launch("fill", vec![KernelArg::Ptr(p), KernelArg::Scalar(1), KernelArg::Scalar(64)], 1e6))
-            .unwrap();
+        c.launch(launch(
+            "fill",
+            vec![KernelArg::Ptr(p), KernelArg::Scalar(1), KernelArg::Scalar(64)],
+            1e6,
+        ))
+        .unwrap();
         let back = c.memcpy_d2h(p, 64).unwrap();
         c.exit().unwrap();
         back.payload
@@ -558,8 +579,12 @@ fn unbind_retry_when_no_victim_accepts() {
     let mut c = rt.local_client();
     register(&mut c);
     let p = c.malloc(chunk).unwrap();
-    c.launch(launch("fill", vec![KernelArg::Ptr(p), KernelArg::Scalar(2), KernelArg::Scalar(16)], 1e6))
-        .unwrap();
+    c.launch(launch(
+        "fill",
+        vec![KernelArg::Ptr(p), KernelArg::Scalar(2), KernelArg::Scalar(16)],
+        1e6,
+    ))
+    .unwrap();
     assert_eq!(c.memcpy_d2h(p, 16).unwrap().payload, vec![2u8; 16]);
     c.exit().unwrap();
     busy.join().unwrap();
@@ -573,8 +598,12 @@ fn trace_records_lifecycle_events() {
     let mut c = rt.local_client();
     register(&mut c);
     let p = c.malloc(128).unwrap();
-    c.launch(launch("fill", vec![KernelArg::Ptr(p), KernelArg::Scalar(1), KernelArg::Scalar(16)], 1e6))
-        .unwrap();
+    c.launch(launch(
+        "fill",
+        vec![KernelArg::Ptr(p), KernelArg::Scalar(1), KernelArg::Scalar(16)],
+        1e6,
+    ))
+    .unwrap();
     c.checkpoint().unwrap();
     c.exit().unwrap();
     rt.wait_idle(Duration::from_secs(2));
@@ -585,16 +614,11 @@ fn trace_records_lifecycle_events() {
     assert!(has(&|e| matches!(e, TraceEvent::Checkpointed { explicit: true, .. })));
     assert!(has(&|e| matches!(e, TraceEvent::ContextFinished { .. })));
     // Created precedes Bound precedes Finished for the same context.
-    let created = events
-        .iter()
-        .position(|r| matches!(r.event, TraceEvent::ContextCreated { .. }))
-        .unwrap();
-    let bound =
-        events.iter().position(|r| matches!(r.event, TraceEvent::Bound { .. })).unwrap();
-    let finished = events
-        .iter()
-        .position(|r| matches!(r.event, TraceEvent::ContextFinished { .. }))
-        .unwrap();
+    let created =
+        events.iter().position(|r| matches!(r.event, TraceEvent::ContextCreated { .. })).unwrap();
+    let bound = events.iter().position(|r| matches!(r.event, TraceEvent::Bound { .. })).unwrap();
+    let finished =
+        events.iter().position(|r| matches!(r.event, TraceEvent::ContextFinished { .. })).unwrap();
     assert!(created < bound && bound < finished);
     rt.shutdown();
 }

@@ -86,11 +86,7 @@ impl BlockAllocator {
             return Err(GpuError::InvalidValue);
         }
         let len = align_up(len);
-        let idx = self
-            .free
-            .iter()
-            .position(|b| b.len >= len)
-            .ok_or(GpuError::OutOfMemory)?;
+        let idx = self.free.iter().position(|b| b.len >= len).ok_or(GpuError::OutOfMemory)?;
         let block = self.free[idx];
         let base = block.base;
         if block.len == len {

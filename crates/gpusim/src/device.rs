@@ -94,6 +94,10 @@ pub struct Gpu {
     state: Mutex<DeviceState>,
     stats: DeviceStats,
     failed: AtomicBool,
+    /// One-shot transient fault: the next kernel launch on this device
+    /// fails (and clears the flag). Models an ECC/context error that kills
+    /// one kernel without taking the device down.
+    ctx_fault: AtomicBool,
     next_ctx: AtomicU64,
     materialize_cap: u64,
 }
@@ -114,6 +118,7 @@ impl Gpu {
             }),
             stats: DeviceStats::default(),
             failed: AtomicBool::new(false),
+            ctx_fault: AtomicBool::new(false),
             next_ctx: AtomicU64::new(1),
             materialize_cap: DEFAULT_MATERIALIZE_CAP,
             spec,
@@ -177,6 +182,20 @@ impl Gpu {
         self.failed.load(Ordering::SeqCst)
     }
 
+    /// Arms a one-shot transient context fault: the next kernel launch on
+    /// this device returns [`GpuError::LaunchFailed`] and disarms the
+    /// fault. The device itself stays healthy — the runtime's service
+    /// layer must surface the error to the application without tearing
+    /// anything down.
+    pub fn inject_context_fault(&self) {
+        self.ctx_fault.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a one-shot context fault is currently armed.
+    pub fn context_fault_armed(&self) -> bool {
+        self.ctx_fault.load(Ordering::SeqCst)
+    }
+
     fn check_alive(&self) -> Result<()> {
         if self.is_failed() {
             Err(GpuError::DeviceFailed)
@@ -223,12 +242,8 @@ impl Gpu {
         if let Some(base) = info.reserved_base {
             let _ = st.allocator.free(base);
         }
-        let owned: Vec<u64> = st
-            .allocs
-            .iter()
-            .filter(|(_, a)| a.owner == ctx)
-            .map(|(&b, _)| b)
-            .collect();
+        let owned: Vec<u64> =
+            st.allocs.iter().filter(|(_, a)| a.owner == ctx).map(|(&b, _)| b).collect();
         for base in owned {
             st.allocs.remove(&base);
             let _ = st.allocator.free(base);
@@ -293,11 +308,8 @@ impl Gpu {
         addr: DeviceAddr,
     ) -> Result<(u64, u64, u64)> {
         let internal = addr.0.checked_sub(salt).ok_or(GpuError::InvalidAddress)?;
-        let (&base, alloc) = st
-            .allocs
-            .range(..=internal)
-            .next_back()
-            .ok_or(GpuError::InvalidAddress)?;
+        let (&base, alloc) =
+            st.allocs.range(..=internal).next_back().ok_or(GpuError::InvalidAddress)?;
         if internal >= base + alloc.declared {
             return Err(GpuError::InvalidAddress);
         }
@@ -415,6 +427,9 @@ impl Gpu {
         spec: &LaunchSpec,
     ) -> Result<SimDuration> {
         self.check_alive()?;
+        if self.ctx_fault.swap(false, Ordering::SeqCst) {
+            return Err(GpuError::LaunchFailed("injected transient context fault".into()));
+        }
         {
             let st = self.state.lock();
             if !st.contexts.contains_key(&ctx) {
@@ -437,11 +452,7 @@ impl Gpu {
              -> Result<()> {
                 let (base, offset, alloc_len) = Self::resolve(&st, salt, Some(ctx), addr)?;
                 if offset + len > alloc_len {
-                    return Err(GpuError::OutOfBounds {
-                        addr: addr.0,
-                        len,
-                        alloc_size: alloc_len,
-                    });
+                    return Err(GpuError::OutOfBounds { addr: addr.0, len, alloc_size: alloc_len });
                 }
                 let alloc = st.allocs.get_mut(&base).expect("resolved allocation vanished");
                 alloc.ensure_len(offset + len);
@@ -586,9 +597,8 @@ mod tests {
     fn launch_validates_pointers() {
         let gpu = test_gpu();
         let ctx = gpu.create_context().unwrap();
-        let err = gpu
-            .launch(ctx, &plain_kernel(), &launch_of(&[DeviceAddr(0xdead_beef)]))
-            .unwrap_err();
+        let err =
+            gpu.launch(ctx, &plain_kernel(), &launch_of(&[DeviceAddr(0xdead_beef)])).unwrap_err();
         assert_eq!(err, GpuError::InvalidAddress);
     }
 

@@ -68,9 +68,7 @@ impl Driver {
     /// inspected).
     pub fn detach(&self, id: DeviceId) -> Result<Arc<Gpu>> {
         let mut slots = self.slots.write();
-        let slot = slots
-            .get_mut(id.0 as usize)
-            .ok_or(GpuError::DeviceNotFound)?;
+        let slot = slots.get_mut(id.0 as usize).ok_or(GpuError::DeviceNotFound)?;
         let gpu = slot.take().ok_or(GpuError::DeviceNotFound)?;
         gpu.fail();
         Ok(gpu)
@@ -78,11 +76,7 @@ impl Driver {
 
     /// The device in slot `id`, if attached.
     pub fn device(&self, id: DeviceId) -> Result<Arc<Gpu>> {
-        self.slots
-            .read()
-            .get(id.0 as usize)
-            .and_then(Clone::clone)
-            .ok_or(GpuError::DeviceNotFound)
+        self.slots.read().get(id.0 as usize).and_then(Clone::clone).ok_or(GpuError::DeviceNotFound)
     }
 
     /// Number of attached (present) devices — what `cudaGetDeviceCount`
@@ -109,11 +103,8 @@ impl Driver {
 
 impl std::fmt::Debug for Driver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let names: Vec<String> = self
-            .devices()
-            .iter()
-            .map(|(id, g)| format!("{id}:{}", g.spec().name))
-            .collect();
+        let names: Vec<String> =
+            self.devices().iter().map(|(id, g)| format!("{id}:{}", g.spec().name)).collect();
         f.debug_struct("Driver").field("devices", &names).finish()
     }
 }
@@ -136,8 +127,7 @@ mod tests {
 
     #[test]
     fn detach_marks_failed_and_removes() {
-        let driver =
-            Driver::with_devices(Clock::with_scale(1e-6), vec![GpuSpec::test_small()]);
+        let driver = Driver::with_devices(Clock::with_scale(1e-6), vec![GpuSpec::test_small()]);
         let gpu = driver.device(DeviceId(0)).unwrap();
         let detached = driver.detach(DeviceId(0)).unwrap();
         assert!(detached.is_failed());
@@ -150,8 +140,7 @@ mod tests {
 
     #[test]
     fn hot_attach_after_detach_gets_fresh_slot() {
-        let driver =
-            Driver::with_devices(Clock::with_scale(1e-6), vec![GpuSpec::test_small()]);
+        let driver = Driver::with_devices(Clock::with_scale(1e-6), vec![GpuSpec::test_small()]);
         driver.detach(DeviceId(0)).unwrap();
         let id = driver.attach(GpuSpec::tesla_c2050());
         assert_eq!(id, DeviceId(1));

@@ -193,16 +193,24 @@ mod tests {
     #[test]
     fn bank_allows_parallel_occupancy() {
         // Two engines: two 5-sim-second transfers overlap, finishing well
-        // under 10 sim seconds.
-        let clock = Clock::with_scale(1e-4);
+        // under 10 sim seconds. A barrier keeps thread-spawn latency out of
+        // the measured window — at fine clock scales that overhead rivals
+        // the occupancies themselves and read as serialization.
+        let clock = Clock::with_scale(1e-3);
         let bank = Arc::new(EngineBank::new(clock.clone(), 2));
-        let start = Instant::now();
+        let barrier = Arc::new(std::sync::Barrier::new(3));
         let handles: Vec<_> = (0..2)
             .map(|_| {
                 let b = Arc::clone(&bank);
-                std::thread::spawn(move || b.occupy(SimDuration::from_secs(5)))
+                let gate = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    b.occupy(SimDuration::from_secs(5))
+                })
             })
             .collect();
+        barrier.wait();
+        let start = Instant::now();
         for h in handles {
             h.join().unwrap();
         }

@@ -168,9 +168,13 @@ impl LaunchSpec {
 ///
 /// Addresses are resolved through the owning device, so payloads can only
 /// touch live allocations and within declared bounds.
+/// Resolver a device supplies to kernel payloads: runs a closure over the
+/// materialized bytes of one live allocation.
+pub(crate) type ResolveFn<'a> =
+    dyn FnMut(DeviceAddr, u64, &mut dyn FnMut(&mut [u8])) -> Result<(), GpuError> + 'a;
+
 pub struct KernelExec<'a> {
-    pub(crate) resolve:
-        &'a mut dyn FnMut(DeviceAddr, u64, &mut dyn FnMut(&mut [u8])) -> Result<(), GpuError>,
+    pub(crate) resolve: &'a mut ResolveFn<'a>,
     pub(crate) args: &'a [KernelArg],
 }
 
@@ -286,8 +290,7 @@ impl FatBinary {
 
     /// Registers a kernel with a functional payload.
     pub fn register_with_payload(&mut self, desc: KernelDesc, payload: KernelFn) -> &mut Self {
-        self.kernels
-            .insert(desc.name.clone(), RegisteredKernel { desc, payload: Some(payload) });
+        self.kernels.insert(desc.name.clone(), RegisteredKernel { desc, payload: Some(payload) });
         self
     }
 
@@ -326,10 +329,7 @@ mod tests {
     fn fatbinary_registration_and_lookup() {
         let mut fb = FatBinary::new();
         fb.register(KernelDesc::plain("matmul"));
-        fb.register_with_payload(
-            KernelDesc::plain("scale"),
-            Arc::new(|_exec| Ok(())),
-        );
+        fb.register_with_payload(KernelDesc::plain("scale"), Arc::new(|_exec| Ok(())));
         assert_eq!(fb.len(), 2);
         assert!(fb.get("matmul").is_some());
         assert!(fb.get("matmul").unwrap().payload.is_none());

@@ -29,6 +29,7 @@ pub mod device;
 pub mod driver;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod spec;
 pub mod stats;
@@ -36,7 +37,10 @@ pub mod stats;
 pub use device::{DeviceAddr, Gpu, GpuContextId};
 pub use driver::{DeviceId, Driver, DriverConfig};
 pub use error::GpuError;
-pub use kernel::{Dim3, KernelArg, KernelDesc, KernelExec, KernelFn, LaunchConfig, LaunchSpec, Work};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use kernel::{
+    Dim3, KernelArg, KernelDesc, KernelExec, KernelFn, LaunchConfig, LaunchSpec, Work,
+};
 pub use spec::GpuSpec;
 pub use stats::DeviceStats;
 

@@ -42,7 +42,11 @@ pub struct GpuSpec {
 impl GpuSpec {
     /// Effective throughput used by the timing model, in FLOP/s.
     pub fn effective_flops(&self) -> f64 {
-        self.sm_count as f64 * self.cores_per_sm as f64 * self.clock_ghz * 1e9 * 2.0
+        self.sm_count as f64
+            * self.cores_per_sm as f64
+            * self.clock_ghz
+            * 1e9
+            * 2.0
             * self.efficiency
     }
 
@@ -92,7 +96,7 @@ impl GpuSpec {
             cores_per_sm: 48,
             clock_ghz: 1.25,
             efficiency: 0.5,
-            mem_bytes: 1 * GIB,
+            mem_bytes: GIB,
             pcie_bytes_per_sec: 3.2e9,
             mem_bytes_per_sec: 41.6e9,
             copy_engines: 1,

@@ -55,19 +55,27 @@ impl fmt::Display for SimInstant {
     }
 }
 
-struct ClockInner {
-    epoch: Instant,
-    /// Real seconds per simulated second.
-    scale: f64,
+enum Backend {
+    /// Wall-clock backed: simulated time flows at `1/scale` of real time.
+    Scaled {
+        epoch: Instant,
+        /// Real seconds per simulated second.
+        scale: f64,
+    },
+    /// Logical time: a counter advanced only by [`Clock::sleep`] /
+    /// [`Clock::advance`]. No real time ever passes, so a given sequence
+    /// of operations produces the identical timeline on every run — the
+    /// substrate of the deterministic simulation mode.
+    Virtual { nanos: std::sync::atomic::AtomicU64 },
 }
 
-/// A shared, scaled clock: the bridge between simulated durations and wall
-/// time.
+/// A shared clock: the bridge between simulated durations and wall time
+/// (scaled backend), or a purely logical timeline (virtual backend).
 ///
 /// Cloning a `Clock` is cheap and yields a handle onto the same timeline.
 #[derive(Clone)]
 pub struct Clock {
-    inner: Arc<ClockInner>,
+    inner: Arc<Backend>,
 }
 
 impl Clock {
@@ -89,7 +97,7 @@ impl Clock {
             scale.is_finite() && scale > 0.0,
             "clock scale must be finite and positive, got {scale}"
         );
-        Clock { inner: Arc::new(ClockInner { epoch: Instant::now(), scale }) }
+        Clock { inner: Arc::new(Backend::Scaled { epoch: Instant::now(), scale }) }
     }
 
     /// A clock running at real time (scale 1.0).
@@ -97,33 +105,81 @@ impl Clock {
         Self::with_scale(1.0)
     }
 
-    /// Real seconds per simulated second.
+    /// Creates a virtual clock: time starts at zero and advances only via
+    /// [`Clock::sleep`] / [`Clock::advance`], instantly and without
+    /// blocking. Runs at CPU speed and, driven from a single thread,
+    /// yields bit-for-bit identical timelines across runs.
+    pub fn virtual_clock() -> Self {
+        Clock { inner: Arc::new(Backend::Virtual { nanos: std::sync::atomic::AtomicU64::new(0) }) }
+    }
+
+    /// Whether this clock is a virtual (logical-time) clock.
+    #[inline]
+    pub fn is_virtual(&self) -> bool {
+        matches!(&*self.inner, Backend::Virtual { .. })
+    }
+
+    /// Real seconds per simulated second. A virtual clock consumes no real
+    /// time at all and reports a scale of `0.0`.
     #[inline]
     pub fn scale(&self) -> f64 {
-        self.inner.scale
+        match &*self.inner {
+            Backend::Scaled { scale, .. } => *scale,
+            Backend::Virtual { .. } => 0.0,
+        }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimInstant {
-        let real = self.inner.epoch.elapsed();
-        SimInstant {
-            since_epoch: SimDuration::from_secs_f64(real.as_secs_f64() / self.inner.scale),
+        match &*self.inner {
+            Backend::Scaled { epoch, scale } => {
+                let real = epoch.elapsed();
+                SimInstant { since_epoch: SimDuration::from_secs_f64(real.as_secs_f64() / scale) }
+            }
+            Backend::Virtual { nanos } => SimInstant {
+                since_epoch: SimDuration::from_nanos(
+                    nanos.load(std::sync::atomic::Ordering::SeqCst),
+                ),
+            },
         }
     }
 
-    /// Blocks the calling thread for `dur` of simulated time.
+    /// Blocks the calling thread for `dur` of simulated time. On a virtual
+    /// clock nothing blocks: the timeline advances by `dur` immediately.
     pub fn sleep(&self, dur: SimDuration) {
-        precise_sleep(dur.to_real(self.inner.scale));
+        match &*self.inner {
+            Backend::Scaled { scale, .. } => precise_sleep(dur.to_real(*scale)),
+            Backend::Virtual { nanos } => {
+                nanos.fetch_add(dur.as_nanos(), std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Advances the timeline by `dur` without blocking. Identical to
+    /// [`Clock::sleep`] on a virtual clock; a scaled clock cannot jump, so
+    /// this is a no-op there (the wall clock is the authority).
+    pub fn advance(&self, dur: SimDuration) {
+        if let Backend::Virtual { nanos } = &*self.inner {
+            nanos.fetch_add(dur.as_nanos(), std::sync::atomic::Ordering::SeqCst);
+        }
     }
 
     /// Converts a real elapsed duration into simulated time on this clock.
+    /// On a virtual clock real time does not map onto the timeline: zero.
     pub fn real_to_sim(&self, real: Duration) -> SimDuration {
-        SimDuration::from_secs_f64(real.as_secs_f64() / self.inner.scale)
+        match &*self.inner {
+            Backend::Scaled { scale, .. } => SimDuration::from_secs_f64(real.as_secs_f64() / scale),
+            Backend::Virtual { .. } => SimDuration::ZERO,
+        }
     }
 
-    /// Converts a simulated duration into the real time it occupies.
+    /// Converts a simulated duration into the real time it occupies: zero
+    /// on a virtual clock (simulated time is free).
     pub fn sim_to_real(&self, sim: SimDuration) -> Duration {
-        sim.to_real(self.inner.scale)
+        match &*self.inner {
+            Backend::Scaled { scale, .. } => sim.to_real(*scale),
+            Backend::Virtual { .. } => Duration::ZERO,
+        }
     }
 }
 
@@ -135,7 +191,13 @@ impl Default for Clock {
 
 impl fmt::Debug for Clock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Clock").field("scale", &self.inner.scale).finish()
+        match &*self.inner {
+            Backend::Scaled { scale, .. } => f.debug_struct("Clock").field("scale", scale).finish(),
+            Backend::Virtual { nanos } => f
+                .debug_struct("Clock")
+                .field("virtual_nanos", &nanos.load(std::sync::atomic::Ordering::SeqCst))
+                .finish(),
+        }
     }
 }
 
@@ -196,6 +258,42 @@ mod tests {
     #[should_panic(expected = "clock scale must be finite")]
     fn zero_scale_rejected() {
         let _ = Clock::with_scale(0.0);
+    }
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_never_drifts() {
+        let clock = Clock::virtual_clock();
+        assert!(clock.is_virtual());
+        let t0 = clock.now();
+        assert_eq!(t0.since_epoch(), SimDuration::ZERO);
+        // Real time passing does not move a virtual clock.
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(clock.now(), t0);
+    }
+
+    #[test]
+    fn virtual_sleep_advances_instantly() {
+        let clock = Clock::virtual_clock();
+        let start = Instant::now();
+        clock.sleep(SimDuration::from_secs(3600));
+        assert!(start.elapsed() < Duration::from_millis(50), "virtual sleep blocked");
+        assert_eq!(clock.now().since_epoch(), SimDuration::from_secs(3600));
+        clock.advance(SimDuration::from_nanos(5));
+        assert_eq!(
+            clock.now().since_epoch(),
+            SimDuration::from_secs(3600) + SimDuration::from_nanos(5)
+        );
+    }
+
+    #[test]
+    fn virtual_clock_handles_share_one_timeline() {
+        let clock = Clock::virtual_clock();
+        let other = clock.clone();
+        other.sleep(SimDuration::from_millis(7));
+        assert_eq!(clock.now().since_epoch(), SimDuration::from_millis(7));
+        assert_eq!(clock.sim_to_real(SimDuration::from_secs(9)), Duration::ZERO);
+        assert_eq!(clock.real_to_sim(Duration::from_secs(9)), SimDuration::ZERO);
+        assert_eq!(clock.scale(), 0.0);
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::time::Duration;
 /// `SimDuration` is deliberately a distinct type from [`std::time::Duration`]
 /// so that simulated and real time cannot be mixed by accident; conversion
 /// happens only inside [`crate::Clock`] where the scale factor is applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration {
     nanos: u64,
 }
@@ -235,8 +237,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_millis).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
         assert_eq!(total, SimDuration::from_millis(10));
     }
 

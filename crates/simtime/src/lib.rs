@@ -25,8 +25,10 @@
 
 mod clock;
 mod duration;
+mod rng;
 mod stopwatch;
 
 pub use clock::{Clock, SimInstant};
 pub use duration::SimDuration;
+pub use rng::DetRng;
 pub use stopwatch::Stopwatch;

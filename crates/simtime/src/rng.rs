@@ -1,0 +1,110 @@
+//! Deterministic random numbers for the simulation stack.
+//!
+//! Every randomized decision in the runtime — dispatcher tie-breaks,
+//! workload draws, fault schedules — goes through a [`DetRng`] derived
+//! from one root seed, so a whole experiment replays bit-for-bit from a
+//! single `--seed` value. The generator is SplitMix64: tiny, fast, and
+//! its sequence for a given seed is stable forever (it is part of the
+//! repro contract, like a wire format).
+
+/// A deterministic SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a root seed. Any value is valid; equal
+    /// seeds yield equal sequences.
+    pub fn from_seed(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Derives an independent child generator for a named subsystem, so
+    /// adding draws in one component does not perturb another ("rng
+    /// splitting"). Equal `(seed, label)` pairs always derive the same
+    /// child.
+    pub fn fork(&self, label: &str) -> DetRng {
+        // FNV-1a over the label, mixed into the parent seed (not the
+        // evolving state, so fork order does not matter).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        DetRng { state: self.state ^ h.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "DetRng::below(0)");
+        // Modulo bias is ~2^-64 for the bounds used here (pool sizes,
+        // device counts) — irrelevant next to sequence stability.
+        self.next_u64() % bound
+    }
+
+    /// Uniform index into a slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn pick_index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_sequences() {
+        let mut a = DetRng::from_seed(42);
+        let mut b = DetRng::from_seed(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_stable_and_order_independent() {
+        let root = DetRng::from_seed(7);
+        let mut sched_a = root.fork("sched");
+        let _ = root.fork("workloads");
+        let mut sched_b = root.fork("sched");
+        assert_eq!(sched_a.next_u64(), sched_b.next_u64());
+        let mut other = root.fork("workloads");
+        assert_ne!(sched_a.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = DetRng::from_seed(1);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..32 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    /// The SplitMix64 sequence is a repro contract: pin the first values
+    /// for seed 42 so an accidental algorithm change cannot silently
+    /// invalidate recorded experiment fingerprints.
+    #[test]
+    fn sequence_is_pinned_for_seed_42() {
+        let mut rng = DetRng::from_seed(42);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(first, vec![13679457532755275413, 2949826092126892291, 5139283748462763858]);
+    }
+}

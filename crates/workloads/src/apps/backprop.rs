@@ -33,9 +33,7 @@ fn sigmoid(x: f32) -> f32 {
 /// Forward pass: `hidden[j] = σ(Σ_i in[i]·w[i][j])`.
 fn forward(input: &[f32], weights: &[f32]) -> Vec<f32> {
     (0..HID_N)
-        .map(|j| {
-            sigmoid((0..IN_N).map(|i| input[i] * weights[i * HID_N + j]).sum())
-        })
+        .map(|j| sigmoid((0..IN_N).map(|i| input[i] * weights[i * HID_N + j]).sum()))
         .collect()
 }
 
@@ -113,18 +111,18 @@ impl Workload for BackProp {
     }
 
     fn estimated_flops(&self) -> Option<f64> {
-        Some(crate::calib::flops_for_c2050_secs(KERNEL_SECS * 2.0 * NETWORKS as f64 * self.scale.time))
+        Some(crate::calib::flops_for_c2050_secs(
+            KERNEL_SECS * 2.0 * NETWORKS as f64 * self.scale.time,
+        ))
     }
 
     fn run(&self, client: &mut dyn CudaClient, clock: &Clock) -> CudaResult<WorkloadReport> {
         let mut rng = XorShift::new(0x5EED_00B9);
         let input_host: Vec<f32> = (0..IN_N).map(|_| rng.range_f32(0.0, 1.0)).collect();
-        let weights_host: Vec<f32> =
-            (0..IN_N * HID_N).map(|_| rng.range_f32(-0.5, 0.5)).collect();
+        let weights_host: Vec<f32> = (0..IN_N * HID_N).map(|_| rng.range_f32(-0.5, 0.5)).collect();
         let target_host: Vec<f32> = (0..HID_N).map(|_| rng.range_f32(0.0, 1.0)).collect();
         let input = upload_f32(client, scale_bytes(INPUT_BYTES, &self.scale), &input_host)?;
-        let weights =
-            upload_f32(client, scale_bytes(WEIGHTS_BYTES, &self.scale), &weights_host)?;
+        let weights = upload_f32(client, scale_bytes(WEIGHTS_BYTES, &self.scale), &weights_host)?;
         let hidden = alloc(client, 256, HID_N as u64 * 4)?;
         let target = upload_f32(client, 256.max((HID_N * 4) as u64), &target_host)?;
         let work = work_c2050(KERNEL_SECS * self.scale.time);

@@ -117,11 +117,7 @@ impl Workload for HotSpot {
         }
         let expected = stencil_step(&temp_host, &power_host, SHADOW_N);
         let ok = approx_eq_slice(&result, &expected);
-        Ok(if ok {
-            WorkloadReport::verified("HS", 1)
-        } else {
-            WorkloadReport::failed("HS", 1)
-        })
+        Ok(if ok { WorkloadReport::verified("HS", 1) } else { WorkloadReport::failed("HS", 1) })
     }
 }
 

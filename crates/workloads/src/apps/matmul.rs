@@ -125,24 +125,23 @@ impl Workload for MatMul {
     }
 
     fn estimated_flops(&self) -> Option<f64> {
-        Some(crate::calib::flops_for_c2050_secs(self.kernel_secs * self.repeats as f64 * self.scale.time))
+        Some(crate::calib::flops_for_c2050_secs(
+            self.kernel_secs * self.repeats as f64 * self.scale.time,
+        ))
     }
 
     fn run(&self, client: &mut dyn CudaClient, clock: &Clock) -> CudaResult<WorkloadReport> {
         let mut rng = XorShift::new(0x5EED_0033);
-        let a_host: Vec<f32> =
-            (0..SHADOW_N * SHADOW_N).map(|_| rng.range_f32(-1.0, 1.0)).collect();
-        let b_host: Vec<f32> =
-            (0..SHADOW_N * SHADOW_N).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let a_host: Vec<f32> = (0..SHADOW_N * SHADOW_N).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let b_host: Vec<f32> = (0..SHADOW_N * SHADOW_N).map(|_| rng.range_f32(-1.0, 1.0)).collect();
         let declared = scale_bytes(self.matrix_bytes, &self.scale);
         // The paper's §4.5 sequence: malloc ×3, copy_HD inputs, kernels,
         // copy_DH result, free.
         let a = upload_f32(client, declared, &a_host)?;
         let b = upload_f32(client, declared, &b_host)?;
         let c = alloc(client, declared, (SHADOW_N * SHADOW_N) as u64 * 4)?;
-        let cpu_phase = SimDuration::from_secs_f64(
-            self.kernel_secs * self.cpu_fraction * self.scale.time,
-        );
+        let cpu_phase =
+            SimDuration::from_secs_f64(self.kernel_secs * self.cpu_fraction * self.scale.time);
         for _ in 0..self.repeats {
             launch(
                 client,

@@ -38,8 +38,8 @@ pub(crate) fn align_score(a: &[u8], b: &[u8]) -> i32 {
     for i in 0..=n {
         dp[i * (m + 1)] = GAP * i as i32;
     }
-    for j in 0..=m {
-        dp[j] = GAP * j as i32;
+    for (j, cell) in dp.iter_mut().enumerate().take(m + 1) {
+        *cell = GAP * j as i32;
     }
     for i in 1..=n {
         for j in 1..=m {

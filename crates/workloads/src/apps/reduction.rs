@@ -89,7 +89,10 @@ impl Workload for Reduction {
                 ],
                 work_c2050(KERNEL_SECS * self.scale.time * (REPEATS as f64 / repeats as f64)),
             )?;
-            cpu_phase(clock, CPU_SECS_PER_CALL * self.scale.time * (REPEATS as f64 / repeats as f64));
+            cpu_phase(
+                clock,
+                CPU_SECS_PER_CALL * self.scale.time * (REPEATS as f64 / repeats as f64),
+            );
         }
         let result = download_f32(client, output, 1)?;
         for ptr in [input, output] {

@@ -95,10 +95,6 @@ impl Workload for ScalarProduct {
         }
         let expected: f32 = a_host.iter().zip(&b_host).map(|(x, y)| x * y).sum();
         let ok = !result.is_empty() && approx_eq(result[0], expected);
-        Ok(if ok {
-            WorkloadReport::verified("SP", 1)
-        } else {
-            WorkloadReport::failed("SP", 1)
-        })
+        Ok(if ok { WorkloadReport::verified("SP", 1) } else { WorkloadReport::failed("SP", 1) })
     }
 }

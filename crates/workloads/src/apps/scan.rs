@@ -98,7 +98,10 @@ impl Workload for Scan {
                 ],
                 work_c2050(KERNEL_SECS * self.scale.time * (REPEATS as f64 / repeats as f64)),
             )?;
-            cpu_phase(clock, CPU_SECS_PER_CALL * self.scale.time * (REPEATS as f64 / repeats as f64));
+            cpu_phase(
+                clock,
+                CPU_SECS_PER_CALL * self.scale.time * (REPEATS as f64 / repeats as f64),
+            );
         }
         let result = download_f32(client, output, SHADOW)?;
         for ptr in [input, output] {

@@ -94,14 +94,13 @@ impl Workload for Transpose {
             launch(
                 client,
                 "mt_transpose",
-                vec![
-                    KernelArg::Ptr(src),
-                    KernelArg::Ptr(dst),
-                    KernelArg::Scalar(SHADOW_N as u64),
-                ],
+                vec![KernelArg::Ptr(src), KernelArg::Ptr(dst), KernelArg::Scalar(SHADOW_N as u64)],
                 work_c2050(KERNEL_SECS * self.scale.time * (REPEATS as f64 / repeats as f64)),
             )?;
-            cpu_phase(clock, CPU_SECS_PER_CALL * self.scale.time * (REPEATS as f64 / repeats as f64));
+            cpu_phase(
+                clock,
+                CPU_SECS_PER_CALL * self.scale.time * (REPEATS as f64 / repeats as f64),
+            );
         }
         // Even number of transposes: `a` holds the original again.
         let result = download_f32(client, a, SHADOW_N * SHADOW_N)?;

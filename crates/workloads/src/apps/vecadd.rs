@@ -100,10 +100,6 @@ impl Workload for VecAdd {
         }
         let expected: Vec<f32> = a_host.iter().zip(&b_host).map(|(x, y)| x + y).collect();
         let ok = approx_eq_slice(&result, &expected);
-        Ok(if ok {
-            WorkloadReport::verified("VA", 1)
-        } else {
-            WorkloadReport::failed("VA", 1)
-        })
+        Ok(if ok { WorkloadReport::verified("VA", 1) } else { WorkloadReport::failed("VA", 1) })
     }
 }

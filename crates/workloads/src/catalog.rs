@@ -4,6 +4,7 @@
 use crate::apps;
 use crate::calib::Scale;
 use crate::Workload;
+use mtgpu_simtime::DetRng;
 use serde::{Deserialize, Serialize};
 
 /// The thirteen benchmark programs of Table 2.
@@ -136,6 +137,24 @@ pub fn long_pool() -> Vec<AppKind> {
     AppKind::all().into_iter().filter(|k| k.is_long_running()).collect()
 }
 
+/// Draws `n` kinds uniformly from `pool` through a deterministic
+/// generator — the single code path for every "randomly drawn combination
+/// of jobs" (§5.3.1), so a run's job mix is a pure function of the seed.
+///
+/// # Panics
+/// Panics if `pool` is empty and `n > 0`.
+pub fn draw_kinds(pool: &[AppKind], n: usize, rng: &mut DetRng) -> Vec<AppKind> {
+    (0..n).map(|_| pool[rng.pick_index(pool.len())]).collect()
+}
+
+/// Seeded draw of `n` short-running kinds. Forks the `"workloads"` stream
+/// off the root seed, so draws here never perturb scheduler or fault
+/// randomness derived from the same seed.
+pub fn draw_short_kinds(n: usize, seed: u64) -> Vec<AppKind> {
+    let mut rng = DetRng::from_seed(seed).fork("workloads");
+    draw_kinds(&short_pool(), n, &mut rng)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +176,17 @@ mod tests {
         assert_eq!(AppKind::Mt.kernel_calls(), 816);
         assert_eq!(AppKind::MmL.kernel_calls(), 10);
         assert_eq!(AppKind::Hs.kernel_calls(), 1);
+    }
+
+    #[test]
+    fn seeded_draws_replay() {
+        let a = draw_short_kinds(16, 42);
+        let b = draw_short_kinds(16, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|k| !k.is_long_running()));
+        // A longer draw with the same seed starts with the same prefix.
+        let c = draw_short_kinds(32, 42);
+        assert_eq!(&c[..16], &a[..]);
     }
 
     #[test]

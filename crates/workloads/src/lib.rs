@@ -22,7 +22,7 @@ pub mod catalog;
 pub mod report;
 pub mod runner;
 
-pub use catalog::{long_pool, short_pool, AppKind};
+pub use catalog::{draw_kinds, draw_short_kinds, long_pool, short_pool, AppKind};
 pub use report::WorkloadReport;
 pub use runner::{run_batch, BatchResult};
 
@@ -51,10 +51,7 @@ pub trait Workload: Send + Sync {
 
 /// Registers a workload's module with a client (the app binary's startup
 /// registration sequence).
-pub fn register_workload(
-    client: &mut dyn CudaClient,
-    workload: &dyn Workload,
-) -> CudaResult<()> {
+pub fn register_workload(client: &mut dyn CudaClient, workload: &dyn Workload) -> CudaResult<()> {
     let module = client.register_fat_binary()?;
     for k in workload.kernels() {
         client.register_function(module, k)?;

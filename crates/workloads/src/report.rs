@@ -20,7 +20,12 @@ pub struct WorkloadReport {
 impl WorkloadReport {
     /// A verified report.
     pub fn verified(name: impl Into<String>, kernel_calls: u64) -> Self {
-        WorkloadReport { name: name.into(), kernel_calls, verified: true, elapsed: SimDuration::ZERO }
+        WorkloadReport {
+            name: name.into(),
+            kernel_calls,
+            verified: true,
+            elapsed: SimDuration::ZERO,
+        }
     }
 
     /// A report that failed verification.

@@ -15,8 +15,7 @@ fn all_13_apps_verify_on_bare_runtime() {
     let driver = Driver::with_devices(clock.clone(), vec![GpuSpec::tesla_c2050()]);
     for kind in AppKind::all() {
         let jobs = vec![kind.build(Scale::TINY)];
-        let clients: Vec<Box<dyn CudaClient>> =
-            vec![Box::new(BareClient::new(driver.clone()))];
+        let clients: Vec<Box<dyn CudaClient>> = vec![Box::new(BareClient::new(driver.clone()))];
         let result = run_batch(&clock, jobs, clients);
         assert!(
             result.all_verified(),
@@ -55,8 +54,7 @@ fn kernel_call_counts_match_table2_at_paper_scale() {
     let scale = Scale { time: 1e-1, mem: 1e-5 };
     for kind in [AppKind::Bp, AppKind::Bfs, AppKind::Hs, AppKind::Va, AppKind::MmL] {
         let jobs = vec![kind.build(scale)];
-        let clients: Vec<Box<dyn CudaClient>> =
-            vec![Box::new(BareClient::new(driver.clone()))];
+        let clients: Vec<Box<dyn CudaClient>> = vec![Box::new(BareClient::new(driver.clone()))];
         let result = run_batch(&clock, jobs, clients);
         assert!(result.all_verified(), "{}: {:?}", kind.name(), result.errors);
         assert_eq!(
@@ -78,8 +76,7 @@ fn mm_cpu_fraction_stretches_runtime() {
     let mut elapsed = Vec::new();
     for frac in [0.0, 2.0] {
         let jobs = vec![AppKind::MmL.build_with(Scale { time: 1e-1, mem: 1e-5 }, frac)];
-        let clients: Vec<Box<dyn CudaClient>> =
-            vec![Box::new(BareClient::new(driver.clone()))];
+        let clients: Vec<Box<dyn CudaClient>> = vec![Box::new(BareClient::new(driver.clone()))];
         let result = run_batch(&clock, jobs, clients);
         assert!(result.all_verified());
         elapsed.push(result.reports[0].elapsed);

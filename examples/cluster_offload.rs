@@ -20,17 +20,11 @@ fn main() {
     // Node 0: the big node (2× C2050 + C1060). Node 1: a single C1060 that
     // offloads once more than 4 connections are active locally.
     let big_cfg = RuntimeConfig::paper_default();
-    let small_cfg = RuntimeConfig {
-        offload_threshold: Some(4),
-        ..RuntimeConfig::paper_default()
-    };
+    let small_cfg = RuntimeConfig { offload_threshold: Some(4), ..RuntimeConfig::paper_default() };
     let cluster = Cluster::start_heterogeneous(
         clock.clone(),
         vec![
-            (
-                vec![GpuSpec::tesla_c2050(), GpuSpec::tesla_c2050(), GpuSpec::tesla_c1060()],
-                big_cfg,
-            ),
+            (vec![GpuSpec::tesla_c2050(), GpuSpec::tesla_c2050(), GpuSpec::tesla_c1060()], big_cfg),
             (vec![GpuSpec::tesla_c1060()], small_cfg),
         ],
     );
@@ -47,8 +41,7 @@ fn main() {
     // with GPUs hidden: 12 land on each node.
     let pool = short_pool();
     let scale = Scale { time: 0.05, mem: 1.0 };
-    let jobs: Vec<Box<dyn Workload>> =
-        (0..24).map(|i| pool[i % pool.len()].build(scale)).collect();
+    let jobs: Vec<Box<dyn Workload>> = (0..24).map(|i| pool[i % pool.len()].build(scale)).collect();
     println!("\nsubmitting {} jobs via TORQUE (GPU-oblivious, round-robin) ...", jobs.len());
 
     let torque = Torque::new(cluster.nodes(), GpuVisibility::Hidden);

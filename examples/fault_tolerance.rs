@@ -55,7 +55,10 @@ fn main() {
     // Two iterations on the Quadro (auto-checkpointed).
     launch(&mut app);
     launch(&mut app);
-    println!("2 iterations done on {}", rt.driver().device(mtgpu::gpusim::DeviceId(0)).unwrap().spec().name);
+    println!(
+        "2 iterations done on {}",
+        rt.driver().device(mtgpu::gpusim::DeviceId(0)).unwrap().spec().name
+    );
 
     // Hot-attach a fast C2050: the monitor migrates the idle job to it
     // (dynamic upgrade + load balancing, §2/§5.3.4).

@@ -24,7 +24,9 @@
 //! cargo run --release --example paper_walkthrough
 //! ```
 
-use mtgpu::api::{BareClient, CudaClient, CudaError, HostBuf, KernelArg, LaunchConfig, LaunchSpec, Work};
+use mtgpu::api::{
+    BareClient, CudaClient, CudaError, HostBuf, KernelArg, LaunchConfig, LaunchSpec, Work,
+};
 use mtgpu::core::{NodeRuntime, RuntimeConfig};
 use mtgpu::gpusim::kernel::{library, KernelExec, RegisteredKernel};
 use mtgpu::gpusim::{DeviceId, Driver, GpuSpec, KernelDesc};
@@ -48,8 +50,7 @@ fn install_matmul() {
             exec.with_f32_mut(c, bytes, |v| {
                 for i in 0..N {
                     for j in 0..N {
-                        v[i * N + j] =
-                            (0..N).map(|k| lhs[i * N + k] * rhs[k * N + j]).sum();
+                        v[i * N + j] = (0..N).map(|k| lhs[i * N + k] * rhs[k * N + j]).sum();
                     }
                 }
             })
@@ -57,7 +58,12 @@ fn install_matmul() {
     });
 }
 
-fn matmul(c: &mut impl CudaClient, a: mtgpu::gpusim::DeviceAddr, b: mtgpu::gpusim::DeviceAddr, out: mtgpu::gpusim::DeviceAddr) -> Result<(), CudaError> {
+fn matmul(
+    c: &mut impl CudaClient,
+    a: mtgpu::gpusim::DeviceAddr,
+    b: mtgpu::gpusim::DeviceAddr,
+    out: mtgpu::gpusim::DeviceAddr,
+) -> Result<(), CudaError> {
     c.launch(LaunchSpec {
         kernel: "walk_matmul".into(),
         config: LaunchConfig::default(),

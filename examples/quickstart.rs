@@ -16,8 +16,7 @@ fn main() {
     // 1. A simulated node: one fast Fermi card, one slower GT200, sharing a
     //    clock where 1 simulated second passes in 1 real millisecond.
     let clock = Clock::with_scale(1e-3);
-    let driver =
-        Driver::with_devices(clock, vec![GpuSpec::tesla_c2050(), GpuSpec::tesla_c1060()]);
+    let driver = Driver::with_devices(clock, vec![GpuSpec::tesla_c2050(), GpuSpec::tesla_c1060()]);
 
     // 2. Register a kernel's functional payload in the process-global
     //    library (the "fat binary machine code"): saxpy on the shadow

@@ -21,8 +21,7 @@ fn batch() -> Vec<Box<dyn Workload>> {
     jobs.push(AppKind::MmS.build_with(scale, 1.0));
     jobs.push(AppKind::MmS.build_with(scale, 1.0));
     // ...then six short ones stuck behind them.
-    for kind in [AppKind::Va, AppKind::Hs, AppKind::Sp, AppKind::Bfs, AppKind::Bp, AppKind::Mt]
-    {
+    for kind in [AppKind::Va, AppKind::Hs, AppKind::Sp, AppKind::Bfs, AppKind::Bp, AppKind::Mt] {
         jobs.push(kind.build(scale));
     }
     jobs

@@ -1,0 +1,326 @@
+//! Minimal `crossbeam`-compatible shim: an MPMC channel built on
+//! `Mutex<VecDeque>` + `Condvar`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the API slice it uses: `channel::{bounded, unbounded}` with cloneable
+//! multi-producer multi-consumer `Sender`/`Receiver`, blocking `recv`,
+//! `recv_timeout` with [`channel::RecvTimeoutError`], and disconnect
+//! detection when all peers on the other side have dropped.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: Send> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("channel is empty"),
+                TryRecvError::Disconnected => f.write_str("channel is disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// Signals receivers (data or disconnect) and senders (space).
+        cv: Condvar,
+        cap: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; cloneable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a channel holding at most `cap` queued messages. `cap = 0`
+    /// degrades to capacity 1 (this shim has no rendezvous mode; the
+    /// workspace only uses non-zero capacities).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake receivers so they observe disconnect.
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver: wake senders blocked on a full queue.
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while a bounded queue is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.cap {
+                    Some(cap) if q.len() >= cap => {
+                        q = self.shared.cv.wait(q).unwrap_or_else(|p| p.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            q.push_back(msg);
+            drop(q);
+            self.shared.cv.notify_all();
+            Ok(())
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
+        }
+
+        /// Queued message count.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    drop(q);
+                    // A slot freed: wake senders blocked on capacity.
+                    self.shared.cv.notify_all();
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.cv.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    drop(q);
+                    self.shared.cv.notify_all();
+                    return Ok(msg);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.shared.cv.notify_all();
+                return Ok(msg);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
+        }
+
+        /// Queued message count.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until a recv frees a slot
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

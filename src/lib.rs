@@ -1,4 +1,7 @@
-//! Facade crate: re-exports the mtgpu workspace public API.
+//! Facade crate: re-exports the mtgpu workspace public API, plus the
+//! deterministic replay/fault-injection harness ([`det`]).
+pub mod det;
+
 pub use mtgpu_api as api;
 pub use mtgpu_cluster as cluster;
 pub use mtgpu_core as core;

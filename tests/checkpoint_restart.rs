@@ -63,8 +63,7 @@ fn image_survives_node_migration_with_pointers_intact() {
 
     // The image is plain serializable data (what BLCR would persist).
     let bytes = serde_json::to_vec(&image).unwrap();
-    let restored: mtgpu::api::protocol::ContextImage =
-        serde_json::from_slice(&bytes).unwrap();
+    let restored: mtgpu::api::protocol::ContextImage = serde_json::from_slice(&bytes).unwrap();
 
     // Restore on node B and continue with the SAME virtual pointer.
     let mut app_b = node_b.local_client();

@@ -1,0 +1,137 @@
+//! Tentpole fault-injection matrix: scripted device removal, transient
+//! context faults and transport drops at precise virtual times, with the
+//! recovery invariants the paper's runtime promises — and exact replay of
+//! the whole faulted timeline.
+//!
+//! Timing map of [`DetScenario::fault_shape`] (6 clients, 3 devices, 2
+//! rounds): compute phase ends before virtual t≈1.2 s; t=1.2–1.5 s is the
+//! scripted quiet window where contexts sit idle and bound; downloads and
+//! teardown follow. Faults are pinned inside those windows.
+
+use mtgpu::det::{run, DetScenario};
+use mtgpu::gpusim::{DeviceId, FaultPlan};
+use mtgpu::simtime::SimDuration;
+
+fn quiet_t() -> SimDuration {
+    SimDuration::from_millis(1300)
+}
+
+#[test]
+fn device_removal_recovers_checkpointed_contexts() {
+    let mk = || {
+        let mut s = DetScenario::fault_shape(42);
+        s.checkpoint_each_round = true;
+        s.plan = FaultPlan::new().fail_device(quiet_t(), DeviceId(0));
+        s
+    };
+    let a = run(mk());
+    // Two of the six clients sat on the failed device; checkpoints made
+    // their state host-authoritative, so both recover and every download
+    // still matches the host model (payload correctness after recovery).
+    assert_eq!(a.metrics.recovered_contexts, 2, "contexts recovered");
+    assert_eq!(a.metrics.failed_contexts, 0, "no context may be lost");
+    assert!(a.clients.iter().all(|c| c.verified), "post-recovery data integrity");
+    assert_eq!(a.clients.iter().map(|c| c.ops_err).sum::<u32>(), 0);
+
+    let b = run(mk());
+    assert_eq!(a.canonical(), b.canonical(), "faulted timeline replay diverged");
+}
+
+#[test]
+fn device_removal_without_checkpoint_loses_dirty_contexts() {
+    let mk = || {
+        let mut s = DetScenario::fault_shape(42);
+        s.plan = FaultPlan::new().fail_device(quiet_t(), DeviceId(0));
+        s
+    };
+    let a = run(mk());
+    // Un-checkpointed kernel results lived only on the dead device: those
+    // contexts must fail *explicitly* (no silent wrong answers), while the
+    // other four finish verified.
+    assert_eq!(a.metrics.failed_contexts, 2);
+    assert_eq!(a.metrics.recovered_contexts, 0);
+    let (lost, fine): (Vec<_>, Vec<_>) = a.clients.iter().partition(|c| !c.verified);
+    assert_eq!(lost.len(), 2);
+    assert_eq!(fine.len(), 4);
+    for c in &lost {
+        assert!(c.ops_err > 0);
+        let err = c.first_error.as_deref().unwrap_or_default();
+        assert!(err.contains("DeviceUnavailable"), "unexpected error: {err}");
+    }
+    assert!(fine.iter().all(|c| c.ops_err == 0 && c.verified));
+
+    let b = run(mk());
+    assert_eq!(a.canonical(), b.canonical());
+}
+
+#[test]
+fn transient_context_fault_fails_exactly_one_launch() {
+    let mk = || {
+        let mut s = DetScenario::fault_shape(42);
+        // Armed during the compute phase: the next launch on device 0
+        // fails once, then the device behaves normally.
+        s.plan = FaultPlan::new().context_fault(SimDuration::from_millis(150), DeviceId(0));
+        s
+    };
+    let a = run(mk());
+    assert_eq!(a.clients.iter().map(|c| c.ops_err).sum::<u32>(), 1, "one-shot fault");
+    assert_eq!(a.metrics.failed_contexts, 0);
+    let err =
+        a.clients.iter().find_map(|c| c.first_error.clone()).expect("one client saw the fault");
+    assert!(err.contains("injected transient context fault"), "got: {err}");
+    // The failed launch never touched the data, so every client —
+    // including the faulted one — still verifies.
+    assert!(a.clients.iter().all(|c| c.verified));
+
+    let b = run(mk());
+    assert_eq!(a.canonical(), b.canonical());
+}
+
+#[test]
+fn transport_drop_tears_down_cleanly() {
+    let mk = || {
+        let mut s = DetScenario::fault_shape(42);
+        s.plan = FaultPlan::new().drop_transport(quiet_t(), 2);
+        s
+    };
+    let a = run(mk());
+    // Client 2's connection died mid-session. The harness's context-count
+    // barrier already proved the handler tore down (memory and vGPU
+    // released) — here we check the blast radius: nobody else noticed.
+    for (i, c) in a.clients.iter().enumerate() {
+        assert_eq!(c.dropped, i == 2, "only client 2 drops");
+    }
+    let survivors: Vec<_> = a.clients.iter().filter(|c| !c.dropped).collect();
+    assert_eq!(survivors.len(), 5);
+    assert!(survivors.iter().all(|c| c.verified && c.ops_err == 0));
+    assert_eq!(a.metrics.failed_contexts, 0);
+
+    let b = run(mk());
+    assert_eq!(a.canonical(), b.canonical());
+}
+
+#[test]
+fn combined_fault_timeline_replays_bit_for_bit() {
+    // All three fault kinds in one scripted timeline: a transient context
+    // fault during compute, a transport drop just before, and a device
+    // failure just after the quiet window opens.
+    let mk = || {
+        let mut s = DetScenario::fault_shape(77);
+        s.checkpoint_each_round = true;
+        s.plan = FaultPlan::new()
+            .context_fault(SimDuration::from_millis(150), DeviceId(1))
+            .drop_transport(SimDuration::from_millis(1250), 5)
+            .fail_device(quiet_t(), DeviceId(0));
+        s
+    };
+    let a = run(mk());
+    let b = run(mk());
+    assert_eq!(a.canonical(), b.canonical(), "combined fault replay diverged");
+    // Invariants that must hold whatever the exact interleaving: no
+    // context lost data silently (checkpoints cover the device loss), the
+    // one-shot fault produced at most one error per client, and every
+    // surviving client verified.
+    assert_eq!(a.metrics.failed_contexts, 0);
+    assert!(a.clients[5].dropped);
+    assert!(a.clients.iter().filter(|c| !c.dropped).all(|c| c.verified));
+}

@@ -23,10 +23,8 @@ fn mixed_batch_on_three_gpu_node() {
     );
     let rt = NodeRuntime::start(driver, RuntimeConfig::paper_default());
     // Two of each Table 2 program, all concurrent.
-    let jobs: Vec<_> = AppKind::all()
-        .iter()
-        .flat_map(|k| [k.build(Scale::TINY), k.build(Scale::TINY)])
-        .collect();
+    let jobs: Vec<_> =
+        AppKind::all().iter().flat_map(|k| [k.build(Scale::TINY), k.build(Scale::TINY)]).collect();
     let clients: Vec<Box<dyn CudaClient>> =
         jobs.iter().map(|_| Box::new(rt.local_client()) as Box<dyn CudaClient>).collect();
     let result = run_batch(&clock, jobs, clients);
@@ -54,8 +52,7 @@ fn workload_through_tcp_with_memory_pressure() {
             std::thread::spawn(move || {
                 // Tiny time scale, but real memory scale relative to the
                 // 64 MiB device: 3 × ~12 MiB per job, 4 jobs → pressure.
-                let job = AppKind::MmL
-                    .build_with(Scale { time: 1e-4, mem: 0.03 }, 1.0);
+                let job = AppKind::MmL.build_with(Scale { time: 1e-4, mem: 0.03 }, 1.0);
                 register_workload(client.as_mut(), job.as_ref()).unwrap();
                 let report = job.run(client.as_mut(), &clock).unwrap();
                 client.exit().unwrap();
@@ -74,8 +71,7 @@ fn torque_cluster_end_to_end_with_offload() {
     install_kernel_library();
     let clock = Clock::with_scale(1e-7);
     let big = RuntimeConfig::paper_default();
-    let small =
-        RuntimeConfig { offload_threshold: Some(2), ..RuntimeConfig::paper_default() };
+    let small = RuntimeConfig { offload_threshold: Some(2), ..RuntimeConfig::paper_default() };
     let cluster = Cluster::start_heterogeneous(
         clock.clone(),
         vec![
@@ -98,18 +94,14 @@ fn torque_cluster_end_to_end_with_offload() {
 fn device_failure_mid_batch_does_not_poison_other_tenants() {
     install_kernel_library();
     let clock = Clock::with_scale(1e-6);
-    let driver = Driver::with_devices(
-        clock.clone(),
-        vec![GpuSpec::test_small(), GpuSpec::test_small()],
-    );
+    let driver =
+        Driver::with_devices(clock.clone(), vec![GpuSpec::test_small(), GpuSpec::test_small()]);
     let rt = NodeRuntime::start(driver, RuntimeConfig::paper_default());
     let rt2 = Arc::clone(&rt);
     let batch = std::thread::spawn(move || {
         let jobs: Vec<_> = (0..6).map(|_| AppKind::Sc.build(Scale::TINY)).collect();
-        let clients: Vec<Box<dyn CudaClient>> = jobs
-            .iter()
-            .map(|_| Box::new(rt2.local_client()) as Box<dyn CudaClient>)
-            .collect();
+        let clients: Vec<Box<dyn CudaClient>> =
+            jobs.iter().map(|_| Box::new(rt2.local_client()) as Box<dyn CudaClient>).collect();
         run_batch(&clock, jobs, clients)
     });
     // Fail one device mid-batch; jobs recover on the survivor (clean

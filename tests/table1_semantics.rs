@@ -132,10 +132,7 @@ fn table1_error_matrix() {
     // Free: no valid PTE.
     assert_eq!(c.free(DeviceAddr(1)), Err(CudaError::InvalidDevicePointer));
     // Launch: no valid PTE.
-    assert_eq!(
-        c.launch(noop_launch(&[DeviceAddr(1)])),
-        Err(CudaError::InvalidDevicePointer)
-    );
+    assert_eq!(c.launch(noop_launch(&[DeviceAddr(1)])), Err(CudaError::InvalidDevicePointer));
     c.exit().unwrap();
     rt.shutdown();
 }
