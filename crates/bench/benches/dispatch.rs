@@ -1,0 +1,98 @@
+//! Dispatcher throughput: the seed (single-lock, broadcast-wakeup)
+//! binding manager against the sharded one, under acquire/release churn
+//! from 8, 64 and 256 client threads on a 4-device node.
+//!
+//! Every episode performs the same total number of bind/unbind cycles
+//! (spread across the client threads), so times are directly comparable
+//! across client counts: growth with the thread count is pure contention
+//! cost. The seed implementation wakes every parked waiter on each release
+//! (O(W²) re-scans); the sharded one wakes exactly the granted waiter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtgpu_core::{
+    AppContext, BindingManager, CtxId, LegacyBindingManager, RuntimeMetrics, SchedulerPolicy,
+};
+use mtgpu_gpusim::{DeviceId, Gpu, GpuSpec};
+use mtgpu_simtime::Clock;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DEVICES: u32 = 4;
+const VGPUS_PER_DEVICE: u32 = 4;
+/// Total acquire/release cycles per episode, split across clients.
+const EPISODE_OPS: usize = 2048;
+
+/// The surface both dispatchers share, for generic episodes.
+trait Dispatcher: Send + Sync + 'static {
+    fn acquire_release(&self, ctx: &Arc<AppContext>);
+}
+
+impl Dispatcher for BindingManager {
+    fn acquire_release(&self, ctx: &Arc<AppContext>) {
+        let b = self.acquire(ctx, 1.0, 0, Duration::from_secs(30)).expect("grant");
+        self.release(ctx.id, b.vgpu);
+    }
+}
+
+impl Dispatcher for LegacyBindingManager {
+    fn acquire_release(&self, ctx: &Arc<AppContext>) {
+        let b = self.acquire(ctx, 1.0, 0, Duration::from_secs(30)).expect("grant");
+        self.release(ctx.id, b.vgpu);
+    }
+}
+
+fn add_devices(add: impl Fn(DeviceId, Arc<Gpu>, u32)) {
+    let clock = Clock::with_scale(1e-7);
+    for i in 0..DEVICES {
+        let gpu = Gpu::new(GpuSpec::test_small(), clock.clone(), i);
+        add(DeviceId(i), gpu, VGPUS_PER_DEVICE);
+    }
+}
+
+/// `clients` threads, each cycling acquire→release until the episode's op
+/// budget is spent.
+fn episode<D: Dispatcher>(bm: &Arc<D>, clients: usize) {
+    let cycles = EPISODE_OPS / clients;
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let bm = Arc::clone(bm);
+            let ctx = AppContext::new(CtxId(i as u64 + 1), i as u64, format!("c{i}"));
+            std::thread::spawn(move || {
+                for _ in 0..cycles {
+                    bm.acquire_release(&ctx);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    for clients in [8usize, 64, 256] {
+        let seed = Arc::new(LegacyBindingManager::new(
+            SchedulerPolicy::FcfsRoundRobin,
+            Arc::new(RuntimeMetrics::default()),
+        ));
+        add_devices(|id, gpu, n| seed.add_device(id, gpu, n).unwrap());
+        group.bench_function(format!("seed/{clients}_clients"), |b| {
+            b.iter(|| episode(&seed, clients));
+        });
+
+        let sharded = Arc::new(BindingManager::new(
+            SchedulerPolicy::FcfsRoundRobin,
+            Arc::new(RuntimeMetrics::default()),
+        ));
+        add_devices(|id, gpu, n| sharded.add_device(id, gpu, n).unwrap());
+        group.bench_function(format!("sharded/{clients}_clients"), |b| {
+            b.iter(|| episode(&sharded, clients));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

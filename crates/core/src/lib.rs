@@ -42,5 +42,6 @@ pub use ctx::{AppContext, Binding, CtxId, VGpuId};
 pub use memory::{Flags, Materialize, MemoryConfig, MemoryManager, Recovery, SwapReason};
 pub use metrics::{MetricsSnapshot, RuntimeMetrics};
 pub use runtime::{LoadInfo, NodeRuntime};
+pub use sched::legacy::LegacyBindingManager;
 pub use sched::{BindingManager, DeviceView, VGpu};
 pub use trace::{TraceEvent, TraceRecord, Tracer, UnbindReason};

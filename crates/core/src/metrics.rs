@@ -38,6 +38,12 @@ pub struct RuntimeMetrics {
     pub recovered_contexts: AtomicU64,
     /// Contexts lost to a device failure (dirty data without checkpoint).
     pub failed_contexts: AtomicU64,
+    /// Grants delivered by waking exactly the granted waiter (sharded
+    /// dispatcher; the seed code woke every parked waiter per release).
+    pub targeted_wakeups: AtomicU64,
+    /// Parked waiters asked to re-run placement (device removed, or a slot
+    /// freed on another device).
+    pub waiter_reroutes: AtomicU64,
 }
 
 /// Serializable snapshot of [`RuntimeMetrics`].
@@ -58,6 +64,8 @@ pub struct MetricsSnapshot {
     pub checkpoints: u64,
     pub recovered_contexts: u64,
     pub failed_contexts: u64,
+    pub targeted_wakeups: u64,
+    pub waiter_reroutes: u64,
 }
 
 impl MetricsSnapshot {
@@ -98,6 +106,8 @@ impl RuntimeMetrics {
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             recovered_contexts: self.recovered_contexts.load(Ordering::Relaxed),
             failed_contexts: self.failed_contexts.load(Ordering::Relaxed),
+            targeted_wakeups: self.targeted_wakeups.load(Ordering::Relaxed),
+            waiter_reroutes: self.waiter_reroutes.load(Ordering::Relaxed),
         }
     }
 }

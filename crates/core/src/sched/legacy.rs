@@ -1,0 +1,468 @@
+//! The original single-lock binding manager, kept as a baseline.
+//!
+//! This is the seed implementation of the dispatcher's scheduling core: one
+//! global `Mutex<BmState>` plus a single `Condvar` that every `acquire`,
+//! `release` and device event funnels through, with `notify_all` wakeups
+//! (every parked waiter wakes, re-locks the global mutex and re-runs an
+//! O(W) grant scan per release). It is retained verbatim so
+//! `benches/dispatch.rs` can measure the sharded [`super::BindingManager`]
+//! against the exact code it replaced, and as an executable specification
+//! of the policy semantics the sharded manager must preserve.
+
+use crate::config::SchedulerPolicy;
+use crate::ctx::{AppContext, Binding, CtxId, VGpuId};
+use crate::metrics::RuntimeMetrics;
+use mtgpu_gpusim::{DeviceId, Gpu};
+use mtgpu_simtime::DetRng;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::{AddDeviceError, DeviceView, VGpu};
+
+struct DeviceSlots {
+    gpu: Arc<Gpu>,
+    vgpus: Vec<VGpu>,
+    free: Vec<u32>,
+    bound: HashMap<u32, (CtxId, Option<u64>)>,
+}
+
+impl DeviceSlots {
+    fn bound_count(&self) -> usize {
+        self.bound.len()
+    }
+}
+
+struct WaitEntry {
+    ctx: Arc<AppContext>,
+    enq_seq: u64,
+    pending_work: f64,
+    mem_usage: u64,
+    app_id: Option<u64>,
+    granted: Option<Binding>,
+}
+
+struct BmState {
+    devices: HashMap<DeviceId, DeviceSlots>,
+    waiting: Vec<WaitEntry>,
+    next_seq: u64,
+    rr_cursor: usize,
+    rng: Option<DetRng>,
+    app_devices: HashMap<u64, (DeviceId, usize)>,
+}
+
+/// The seed global-lock binding manager (see module docs).
+pub struct LegacyBindingManager {
+    policy: SchedulerPolicy,
+    metrics: Arc<RuntimeMetrics>,
+    state: Mutex<BmState>,
+    cv: Condvar,
+}
+
+impl LegacyBindingManager {
+    /// Creates an empty manager with the legacy round-robin tie-break.
+    pub fn new(policy: SchedulerPolicy, metrics: Arc<RuntimeMetrics>) -> Self {
+        Self::new_seeded(policy, metrics, 0)
+    }
+
+    /// Creates an empty manager; nonzero `seed` switches placement
+    /// tie-breaks to a [`DetRng`] forked on `"sched"`.
+    pub fn new_seeded(policy: SchedulerPolicy, metrics: Arc<RuntimeMetrics>, seed: u64) -> Self {
+        LegacyBindingManager {
+            policy,
+            metrics,
+            state: Mutex::new(BmState {
+                devices: HashMap::new(),
+                waiting: Vec::new(),
+                next_seq: 0,
+                rr_cursor: 0,
+                rng: (seed != 0).then(|| DetRng::from_seed(seed).fork("sched")),
+                app_devices: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a device and spawns `count` vGPUs on it.
+    pub fn add_device(
+        &self,
+        id: DeviceId,
+        gpu: Arc<Gpu>,
+        count: u32,
+    ) -> Result<(), AddDeviceError> {
+        let mut vgpus = Vec::with_capacity(count as usize);
+        for index in 0..count {
+            let gpu_ctx = gpu.create_context().map_err(AddDeviceError::ContextCreation)?;
+            vgpus.push(VGpu { id: VGpuId { device: id, index }, gpu: Arc::clone(&gpu), gpu_ctx });
+        }
+        let mut st = self.state.lock();
+        st.devices.insert(
+            id,
+            DeviceSlots { gpu, free: (0..count).collect(), bound: HashMap::new(), vgpus },
+        );
+        drop(st);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Removes a device, returning the contexts that were bound to it.
+    pub fn remove_device(&self, id: DeviceId) -> Vec<CtxId> {
+        let mut st = self.state.lock();
+        match st.devices.remove(&id) {
+            Some(slots) => {
+                for (_, app) in slots.bound.values() {
+                    if let Some(app) = app {
+                        Self::app_release(&mut st.app_devices, *app);
+                    }
+                }
+                let mut affected: Vec<CtxId> = slots.bound.values().map(|&(c, _)| c).collect();
+                affected.sort_unstable();
+                affected
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn app_release(map: &mut HashMap<u64, (DeviceId, usize)>, app: u64) {
+        if let Some((_, count)) = map.get_mut(&app) {
+            *count -= 1;
+            if *count == 0 {
+                map.remove(&app);
+            }
+        }
+    }
+
+    /// Blocks until a vGPU is granted to `ctx` or `timeout` expires.
+    pub fn acquire(
+        &self,
+        ctx: &Arc<AppContext>,
+        pending_work: f64,
+        mem_usage: u64,
+        timeout: Duration,
+    ) -> Option<Binding> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        let enq_seq = {
+            let mut inner = ctx.inner();
+            match inner.wait_ticket {
+                Some(t) => t,
+                None => {
+                    let t = st.next_seq;
+                    st.next_seq += 1;
+                    inner.wait_ticket = Some(t);
+                    t
+                }
+            }
+        };
+        let app_id = ctx.inner().app_id;
+        st.waiting.push(WaitEntry {
+            ctx: Arc::clone(ctx),
+            enq_seq,
+            pending_work,
+            mem_usage,
+            app_id,
+            granted: None,
+        });
+        loop {
+            Self::drain_grants(&mut st, self.policy, &self.metrics);
+            if let Some(pos) =
+                st.waiting.iter().position(|w| w.ctx.id == ctx.id && w.granted.is_some())
+            {
+                let entry = st.waiting.remove(pos);
+                drop(st);
+                ctx.inner().wait_ticket = None;
+                self.cv.notify_all();
+                return entry.granted;
+            }
+            let timed_out = self.cv.wait_until(&mut st, deadline).timed_out();
+            if timed_out {
+                if let Some(pos) = st.waiting.iter().position(|w| w.ctx.id == ctx.id) {
+                    let entry = st.waiting.remove(pos);
+                    if entry.granted.is_some() {
+                        drop(st);
+                        ctx.inner().wait_ticket = None;
+                        self.cv.notify_all();
+                        return entry.granted;
+                    }
+                }
+                return None;
+            }
+        }
+    }
+
+    fn drain_grants(st: &mut BmState, policy: SchedulerPolicy, metrics: &RuntimeMetrics) {
+        'outer: loop {
+            if !st.devices.values().any(|d| !d.free.is_empty() && !d.gpu.is_failed()) {
+                return;
+            }
+            for idx in Self::ordered_waiters(st, policy) {
+                let mem_usage = st.waiting[idx].mem_usage;
+                let app_id = st.waiting[idx].app_id;
+                let affinity = app_id.and_then(|a| st.app_devices.get(&a).map(|&(d, _)| d));
+                let dev_id = match affinity {
+                    Some(dev) => {
+                        let free = st
+                            .devices
+                            .get(&dev)
+                            .is_some_and(|d| !d.free.is_empty() && !d.gpu.is_failed());
+                        if free {
+                            Some(dev)
+                        } else {
+                            if !st.devices.contains_key(&dev) {
+                                st.app_devices.remove(&app_id.expect("affinity without app"));
+                            }
+                            None
+                        }
+                    }
+                    None => Self::pick_device(st, mem_usage),
+                };
+                let Some(dev_id) = dev_id else { continue };
+                let slots = st.devices.get_mut(&dev_id).expect("picked device vanished");
+                let vgpu_idx = slots.free.pop().expect("picked device had no free slot");
+                let vgpu = slots.vgpus[vgpu_idx as usize].clone();
+                let entry = &mut st.waiting[idx];
+                slots.bound.insert(vgpu_idx, (entry.ctx.id, app_id));
+                entry.granted =
+                    Some(Binding { vgpu: vgpu.id, gpu: vgpu.gpu, gpu_ctx: vgpu.gpu_ctx });
+                if policy == SchedulerPolicy::CreditBased {
+                    let mut inner = entry.ctx.inner();
+                    inner.credits = inner.credits.saturating_sub(1);
+                }
+                if let Some(app) = app_id {
+                    st.app_devices.entry(app).or_insert((dev_id, 0)).1 += 1;
+                }
+                RuntimeMetrics::bump(&metrics.bindings);
+                continue 'outer;
+            }
+            return;
+        }
+    }
+
+    fn ordered_waiters(st: &mut BmState, policy: SchedulerPolicy) -> Vec<usize> {
+        let mut candidates: Vec<usize> = st
+            .waiting
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.granted.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        match policy {
+            SchedulerPolicy::FcfsRoundRobin => {
+                candidates.sort_by_key(|&i| st.waiting[i].enq_seq);
+            }
+            SchedulerPolicy::ShortestJobFirst => {
+                candidates.sort_by(|&a, &b| {
+                    st.waiting[a]
+                        .pending_work
+                        .total_cmp(&st.waiting[b].pending_work)
+                        .then(st.waiting[a].enq_seq.cmp(&st.waiting[b].enq_seq))
+                });
+            }
+            SchedulerPolicy::CreditBased => {
+                if !candidates.is_empty()
+                    && candidates.iter().all(|&i| st.waiting[i].ctx.inner().credits == 0)
+                {
+                    for &i in &candidates {
+                        st.waiting[i].ctx.inner().credits = 4;
+                    }
+                }
+                candidates.sort_by_key(|&i| {
+                    (u32::MAX - st.waiting[i].ctx.inner().credits, st.waiting[i].enq_seq)
+                });
+            }
+        }
+        candidates
+    }
+
+    fn pick_device(st: &mut BmState, mem_usage: u64) -> Option<DeviceId> {
+        let mut ids: Vec<DeviceId> = st
+            .devices
+            .iter()
+            .filter(|(_, d)| !d.free.is_empty() && !d.gpu.is_failed())
+            .map(|(&id, _)| id)
+            .collect();
+        if ids.is_empty() {
+            return None;
+        }
+        ids.sort_by_key(|id| id.0);
+        let rr = match st.rng.as_mut() {
+            Some(rng) => rng.next_u64() as usize,
+            None => {
+                let rr = st.rr_cursor;
+                st.rr_cursor = st.rr_cursor.wrapping_add(1);
+                rr
+            }
+        };
+        let max_flops = ids
+            .iter()
+            .map(|id| st.devices[id].gpu.spec().effective_flops())
+            .fold(f64::MIN, f64::max);
+        let keyed: Vec<(DeviceId, f64, bool)> = ids
+            .into_iter()
+            .map(|id| {
+                let d = &st.devices[&id];
+                let fits = d.gpu.mem_available() >= mem_usage;
+                let speed = d.gpu.spec().effective_flops() / max_flops;
+                let load = (d.bound_count() + 1) as f64 / speed;
+                (id, load, fits)
+            })
+            .collect();
+        let min_load = keyed.iter().map(|&(_, l, _)| l).fold(f64::INFINITY, f64::min);
+        let tied: Vec<DeviceId> = {
+            let close: Vec<&(DeviceId, f64, bool)> =
+                keyed.iter().filter(|&&(_, l, _)| l <= min_load * 1.05).collect();
+            let any_fits = close.iter().any(|&&(_, _, f)| f);
+            close.into_iter().filter(|&&(_, _, f)| f == any_fits).map(|&(id, _, _)| id).collect()
+        };
+        Some(tied[rr % tied.len()])
+    }
+
+    /// Releases the vGPU bound to `ctx_id`.
+    pub fn release(&self, ctx_id: CtxId, vgpu: VGpuId) {
+        let mut st = self.state.lock();
+        if let Some(slots) = st.devices.get_mut(&vgpu.device) {
+            match slots.bound.remove(&vgpu.index) {
+                Some((owner, app)) if owner == ctx_id => {
+                    slots.free.push(vgpu.index);
+                    if let Some(app) = app {
+                        Self::app_release(&mut st.app_devices, app);
+                    }
+                }
+                other => {
+                    debug_assert!(other.is_none(), "release of unbound vGPU {vgpu}");
+                }
+            }
+        }
+        drop(st);
+        RuntimeMetrics::bump(&self.metrics.unbindings);
+        self.cv.notify_all();
+    }
+
+    /// Immediately grants a free vGPU on `device`, migration path.
+    pub fn try_acquire_on(&self, ctx_id: CtxId, device: DeviceId) -> Option<Binding> {
+        let mut st = self.state.lock();
+        if st.waiting.iter().any(|w| w.granted.is_none()) {
+            return None;
+        }
+        let slots = st.devices.get_mut(&device)?;
+        if slots.gpu.is_failed() {
+            return None;
+        }
+        let vgpu_idx = slots.free.pop()?;
+        slots.bound.insert(vgpu_idx, (ctx_id, None));
+        let vgpu = slots.vgpus[vgpu_idx as usize].clone();
+        RuntimeMetrics::bump(&self.metrics.bindings);
+        Some(Binding { vgpu: vgpu.id, gpu: vgpu.gpu, gpu_ctx: vgpu.gpu_ctx })
+    }
+
+    /// Contexts currently bound to `device`, in context-id order.
+    pub fn bound_on(&self, device: DeviceId) -> Vec<CtxId> {
+        let mut bound: Vec<CtxId> = self
+            .state
+            .lock()
+            .devices
+            .get(&device)
+            .map(|d| d.bound.values().map(|&(c, _)| c).collect())
+            .unwrap_or_default();
+        bound.sort_unstable();
+        bound
+    }
+
+    /// Snapshot of every registered device.
+    pub fn device_views(&self) -> Vec<DeviceView> {
+        let st = self.state.lock();
+        let mut views: Vec<DeviceView> = st
+            .devices
+            .iter()
+            .map(|(&id, d)| DeviceView {
+                id,
+                gpu: Arc::clone(&d.gpu),
+                total_vgpus: d.vgpus.len(),
+                free_vgpus: d.free.len(),
+                bound: {
+                    let mut b: Vec<CtxId> = d.bound.values().map(|&(c, _)| c).collect();
+                    b.sort_unstable();
+                    b
+                },
+                effective_flops: d.gpu.spec().effective_flops(),
+                mem_available: d.gpu.mem_available(),
+            })
+            .collect();
+        views.sort_by_key(|v| v.id.0);
+        views
+    }
+
+    /// Number of contexts waiting for a binding.
+    pub fn waiting_count(&self) -> usize {
+        self.state.lock().waiting.iter().filter(|w| w.granted.is_none()).count()
+    }
+
+    /// Number of contexts currently bound.
+    pub fn bound_count(&self) -> usize {
+        self.state.lock().devices.values().map(|d| d.bound_count()).sum()
+    }
+
+    /// Total vGPUs across healthy devices.
+    pub fn total_vgpus(&self) -> usize {
+        self.state
+            .lock()
+            .devices
+            .values()
+            .filter(|d| !d.gpu.is_failed())
+            .map(|d| d.vgpus.len())
+            .sum()
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtgpu_gpusim::GpuSpec;
+    use mtgpu_simtime::Clock;
+
+    fn ctx(id: u64) -> Arc<AppContext> {
+        AppContext::new(CtxId(id), id, format!("l{id}"))
+    }
+
+    #[test]
+    fn legacy_grants_and_blocks_at_capacity() {
+        let bm = LegacyBindingManager::new(
+            SchedulerPolicy::FcfsRoundRobin,
+            Arc::new(RuntimeMetrics::default()),
+        );
+        let gpu = Gpu::new(GpuSpec::test_small(), Clock::with_scale(1e-7), 0);
+        bm.add_device(DeviceId(0), gpu, 1).unwrap();
+        let a = ctx(1);
+        let ba = bm.acquire(&a, 1.0, 0, Duration::from_millis(100)).unwrap();
+        assert!(bm.acquire(&ctx(2), 1.0, 0, Duration::from_millis(20)).is_none());
+        bm.release(a.id, ba.vgpu);
+        assert_eq!(bm.bound_count(), 0);
+    }
+
+    #[test]
+    fn legacy_release_wakes_waiter() {
+        let bm = Arc::new(LegacyBindingManager::new(
+            SchedulerPolicy::FcfsRoundRobin,
+            Arc::new(RuntimeMetrics::default()),
+        ));
+        let gpu = Gpu::new(GpuSpec::test_small(), Clock::with_scale(1e-7), 0);
+        bm.add_device(DeviceId(0), gpu, 1).unwrap();
+        let a = ctx(1);
+        let ba = bm.acquire(&a, 1.0, 0, Duration::from_secs(1)).unwrap();
+        let bm2 = Arc::clone(&bm);
+        let waiter = std::thread::spawn(move || {
+            bm2.acquire(&ctx(2), 1.0, 0, Duration::from_secs(5)).is_some()
+        });
+        while bm.waiting_count() == 0 {
+            std::hint::spin_loop();
+        }
+        bm.release(a.id, ba.vgpu);
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -316,7 +316,9 @@ fn handle_launch(rt: &NodeRuntime, ctx: &Arc<AppContext>, spec: LaunchSpec) -> C
                 // later (§4.5).
                 unbind_self(rt, ctx, &binding, SwapReason::Unbind)?;
                 RuntimeMetrics::bump(&rt.metrics_ref().launch_retries);
-                std::thread::sleep(RETRY_BACKOFF);
+                // Through the clock, not `thread::sleep`: under a virtual
+                // clock the retry path must advance virtual time only.
+                rt.clock().backoff(RETRY_BACKOFF);
                 continue;
             }
             Err(CudaError::DeviceUnavailable) => {

@@ -709,6 +709,63 @@ fn cuda4_different_applications_still_spread() {
 }
 
 #[test]
+fn retry_backoff_advances_virtual_time_only() {
+    // Regression: the unbind-and-retry backoff used to be a real
+    // `thread::sleep`, which stalled virtual-clock runs and leaked wall
+    // time into replays. It must now advance the virtual timeline instead.
+    install_kernels();
+    let clock = Clock::virtual_clock();
+    let driver = Driver::with_devices(clock.clone(), vec![GpuSpec::test_small()]);
+    let mut cfg = RuntimeConfig::paper_default();
+    cfg.inter_app_swap = false; // force the unbind-and-retry path
+    let rt = NodeRuntime::start(driver, cfg);
+    let gpu = rt.driver().device(DeviceId(0)).unwrap();
+    let chunk = gpu.mem_available() * 6 / 10;
+    // Tenant A occupies most of the device and stays bound.
+    let mut a = rt.local_client();
+    register(&mut a);
+    let pa = a.malloc(chunk).unwrap();
+    a.launch(launch("noop", vec![KernelArg::Ptr(pa)], 1e6)).unwrap();
+    let v0 = clock.now();
+    // Tenant B needs more memory than remains: no inter-app swap allowed,
+    // so its launch unbinds-and-retries until A frees.
+    let rt_b = Arc::clone(&rt);
+    let tb = std::thread::spawn(move || {
+        let mut b = rt_b.local_client();
+        register(&mut b);
+        let pb = b.malloc(chunk).unwrap();
+        b.launch(launch(
+            "fill",
+            vec![KernelArg::Ptr(pb), KernelArg::Scalar(6), KernelArg::Scalar(16)],
+            1e6,
+        ))
+        .unwrap();
+        let back = b.memcpy_d2h(pb, 16).unwrap();
+        b.exit().unwrap();
+        back.payload
+    });
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while rt.metrics().launch_retries == 0 {
+        assert!(std::time::Instant::now() < deadline, "retry path never taken");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    a.free(pa).unwrap();
+    assert_eq!(tb.join().unwrap(), vec![6u8; 16]);
+    let retries = rt.metrics().launch_retries;
+    assert!(retries >= 1);
+    // Each retry advanced the virtual timeline by the 2ms backoff; with a
+    // real sleep the virtual clock would not have moved at all (kernel
+    // durations here are far below a millisecond of simulated time).
+    let v_elapsed = clock.now().duration_since(v0);
+    assert!(
+        v_elapsed.as_nanos() >= retries * 2_000_000,
+        "virtual time did not absorb the backoff: {retries} retries but only {v_elapsed} elapsed"
+    );
+    a.exit().unwrap();
+    rt.shutdown();
+}
+
+#[test]
 fn read_only_annotations_skip_swap_synchronization() {
     // §4.5 fine-grained handling: an input annotated read-only stays clean
     // after the launch, so evicting it costs no device-to-host copy —

@@ -1,0 +1,136 @@
+//! Closed-/open-loop load harness CLI.
+//!
+//! ```text
+//! loadgen [--mode closed|open] [--clients N] [--requests N] [--rate R]
+//!         [--seed S] [--devices D] [--vgpus V] [--virtual-clock]
+//!         [--quick] [--max-fairness F] [--out PATH]
+//! ```
+//!
+//! Runs a load pass against a private in-process node daemon, prints a
+//! one-line summary, writes the JSON report (default `results/`), and
+//! exits non-zero if any request failed or the fairness ratio exceeds
+//! `--max-fairness`.
+
+use mtgpu_loadgen::{run_det, run_load, DetLoadConfig, LoadgenConfig, Mode};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    cfg: LoadgenConfig,
+    virtual_clock: bool,
+    max_fairness: Option<f64>,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--mode closed|open] [--clients N] [--requests N] \
+         [--rate R] [--seed S] [--devices D] [--vgpus V] [--virtual-clock] \
+         [--quick] [--max-fairness F] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut cfg = LoadgenConfig::default();
+    let mut mode_open = false;
+    let mut rate = 100.0f64;
+    let mut virtual_clock = false;
+    let mut max_fairness = None;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--mode" => match value("--mode").as_str() {
+                "closed" => mode_open = false,
+                "open" => mode_open = true,
+                other => {
+                    eprintln!("unknown mode {other:?}");
+                    usage()
+                }
+            },
+            "--clients" => cfg.clients = value("--clients").parse().unwrap_or_else(|_| usage()),
+            "--requests" => {
+                cfg.requests_per_client = value("--requests").parse().unwrap_or_else(|_| usage())
+            }
+            "--rate" => rate = value("--rate").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--devices" => cfg.devices = value("--devices").parse().unwrap_or_else(|_| usage()),
+            "--vgpus" => {
+                cfg.vgpus_per_device = value("--vgpus").parse().unwrap_or_else(|_| usage())
+            }
+            "--virtual-clock" => virtual_clock = true,
+            "--quick" => {
+                let quick = LoadgenConfig::quick();
+                cfg.clients = quick.clients;
+                cfg.requests_per_client = quick.requests_per_client;
+                cfg.devices = quick.devices;
+            }
+            "--max-fairness" => {
+                max_fairness = Some(value("--max-fairness").parse().unwrap_or_else(|_| usage()))
+            }
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if mode_open {
+        cfg.mode = Mode::Open { rate_per_sec: rate };
+    }
+    Args { cfg, virtual_clock, max_fairness, out }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let report = if args.virtual_clock {
+        let det = DetLoadConfig {
+            clients: args.cfg.clients,
+            requests_per_client: args.cfg.requests_per_client,
+            seed: args.cfg.seed,
+            devices: args.cfg.devices,
+            vgpus_per_device: args.cfg.vgpus_per_device,
+        };
+        let (report, fingerprint) = run_det(&det);
+        println!("fingerprint: {}", fingerprint.canonical());
+        report
+    } else {
+        run_load(&args.cfg)
+    };
+    println!("{}", report.summary_line());
+    let path = match &args.out {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            std::fs::write(path, report.to_json()).map(|_| path.clone())
+        }
+        None => report.write_into(std::path::Path::new("results")),
+    };
+    match path {
+        Ok(p) => println!("report: {}", p.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.errors > 0 {
+        eprintln!("{} request(s) failed", report.errors);
+        return ExitCode::FAILURE;
+    }
+    if let Some(max) = args.max_fairness {
+        if report.fairness_ratio > max {
+            eprintln!("fairness ratio {:.2} exceeds limit {max:.2}", report.fairness_ratio);
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,200 @@
+//! Deterministic closed-loop driver: the latency-fingerprint harness.
+//!
+//! Trades concurrency for replayability the same way `mtgpu::det` does: a
+//! single driver thread issues requests round-robin across tenants, one
+//! request in flight at a time, over a [`Clock::virtual_clock`] with the
+//! background monitor off. Latencies are measured in *virtual* nanoseconds,
+//! so the whole latency distribution — and therefore the p50/p99 summary —
+//! is a pure function of the seed and is compared bit-for-bit across
+//! replays.
+
+use crate::hist::LatencyHistogram;
+use crate::report::{fairness_ratio, LoadReport, TenantReport};
+use mtgpu_api::CudaClient;
+use mtgpu_core::{MetricsSnapshot, NodeRuntime, RuntimeConfig};
+use mtgpu_gpusim::{Driver, GpuSpec};
+use mtgpu_simtime::{Clock, DetRng};
+use mtgpu_workloads::calib::Scale;
+use mtgpu_workloads::{catalog, register_workload};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Parameters of a deterministic run.
+#[derive(Debug, Clone)]
+pub struct DetLoadConfig {
+    pub clients: usize,
+    pub requests_per_client: usize,
+    pub seed: u64,
+    pub devices: usize,
+    pub vgpus_per_device: u32,
+}
+
+impl Default for DetLoadConfig {
+    fn default() -> Self {
+        DetLoadConfig {
+            clients: 16,
+            requests_per_client: 2,
+            seed: 42,
+            devices: 4,
+            vgpus_per_device: 4,
+        }
+    }
+}
+
+/// The replay-comparable digest of a deterministic load run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DetLoadFingerprint {
+    pub seed: u64,
+    pub clients: usize,
+    pub requests_per_client: usize,
+    pub completed: u64,
+    pub errors: u64,
+    /// Latency quantiles in virtual nanoseconds.
+    pub p50_nanos: u64,
+    pub p99_nanos: u64,
+    /// Sum of request latencies per tenant, tenant order.
+    pub per_tenant_latency_nanos: Vec<u64>,
+    /// Virtual nanoseconds from clock epoch to run end.
+    pub final_virtual_nanos: u64,
+    /// Full runtime counter snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl DetLoadFingerprint {
+    /// Canonical JSON form; byte-identical across replays of one config.
+    pub fn canonical(&self) -> String {
+        serde_json::to_string(self).expect("fingerprint serializes")
+    }
+}
+
+/// Blocks (real time) until handler teardown completes: the determinism
+/// barrier between sequential requests.
+fn wait_idle(rt: &NodeRuntime) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while rt.context_count() > 0 {
+        assert!(Instant::now() < deadline, "handler teardown did not complete");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Runs the deterministic sequential closed loop; two calls with an equal
+/// config return equal fingerprints.
+pub fn run_det(cfg: &DetLoadConfig) -> (LoadReport, DetLoadFingerprint) {
+    mtgpu_workloads::install_kernel_library();
+    let clock = Clock::virtual_clock();
+    let specs = (0..cfg.devices).map(|_| GpuSpec::test_small()).collect();
+    let driver = Driver::with_devices(clock.clone(), specs);
+    let rt_cfg = RuntimeConfig::paper_default()
+        .with_vgpus(cfg.vgpus_per_device)
+        .with_seed(cfg.seed)
+        .with_background_monitor(false);
+    let rt = NodeRuntime::start(driver, rt_cfg);
+
+    // Same per-tenant draw as the concurrent driver: the det harness
+    // measures the same workload mix it would race.
+    let sequences: Vec<Vec<catalog::AppKind>> = (0..cfg.clients)
+        .map(|t| {
+            let mut rng = DetRng::from_seed(cfg.seed).fork(&format!("tenant-{t}"));
+            catalog::draw_kinds(&catalog::short_pool(), cfg.requests_per_client, &mut rng)
+        })
+        .collect();
+
+    let mut hist = LatencyHistogram::new();
+    let mut tenants: Vec<TenantReport> = (0..cfg.clients)
+        .map(|t| TenantReport { tenant: t, completed: 0, errors: 0, makespan_nanos: 0 })
+        .collect();
+    let mut per_tenant_latency = vec![0u64; cfg.clients];
+    // Round-robin across tenants, not tenant-major: interleaving requests
+    // is what makes successive tenants contend for the same vGPU slots.
+    #[allow(clippy::needless_range_loop)]
+    for round in 0..cfg.requests_per_client {
+        for tenant in 0..cfg.clients {
+            let job = sequences[tenant][round].build(Scale::TINY);
+            let t_start = clock.now();
+            let mut client = rt.local_client();
+            let ok = (|| -> Result<bool, mtgpu_api::CudaError> {
+                register_workload(&mut client, job.as_ref())?;
+                let report = job.run(&mut client, &clock)?;
+                client.exit()?;
+                Ok(report.verified)
+            })();
+            wait_idle(&rt);
+            let nanos = clock.now().duration_since(t_start).as_nanos();
+            match ok {
+                Ok(true) => {
+                    hist.record(nanos);
+                    per_tenant_latency[tenant] += nanos;
+                    tenants[tenant].completed += 1;
+                    tenants[tenant].makespan_nanos = clock.now().since_epoch().as_nanos();
+                }
+                _ => tenants[tenant].errors += 1,
+            }
+        }
+    }
+
+    let metrics = rt.metrics();
+    let final_virtual_nanos = clock.now().since_epoch().as_nanos();
+    rt.shutdown();
+
+    let summary = hist.summary();
+    let completed: u64 = tenants.iter().map(|t| t.completed).sum();
+    let errors: u64 = tenants.iter().map(|t| t.errors).sum();
+    let fingerprint = DetLoadFingerprint {
+        seed: cfg.seed,
+        clients: cfg.clients,
+        requests_per_client: cfg.requests_per_client,
+        completed,
+        errors,
+        p50_nanos: summary.p50_nanos,
+        p99_nanos: summary.p99_nanos,
+        per_tenant_latency_nanos: per_tenant_latency,
+        final_virtual_nanos,
+        metrics,
+    };
+    let basis: Vec<u64> = tenants.iter().map(|t| t.makespan_nanos).collect();
+    let report = LoadReport {
+        mode: "det".into(),
+        clients: cfg.clients,
+        requests_per_client: cfg.requests_per_client,
+        seed: cfg.seed,
+        devices: cfg.devices,
+        vgpus_per_device: cfg.vgpus_per_device,
+        offered_rate: 0.0,
+        wall_nanos: 0,
+        virtual_nanos: final_virtual_nanos,
+        completed,
+        errors,
+        throughput_rps: if final_virtual_nanos == 0 {
+            0.0
+        } else {
+            completed as f64 * 1e9 / final_virtual_nanos as f64
+        },
+        latency: summary,
+        fairness_ratio: fairness_ratio(&basis),
+        tenants,
+        runtime: metrics,
+    };
+    (report, fingerprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_det_run_replays() {
+        let cfg = DetLoadConfig {
+            clients: 3,
+            requests_per_client: 1,
+            devices: 2,
+            ..DetLoadConfig::default()
+        };
+        let (report_a, a) = run_det(&cfg);
+        let (_, b) = run_det(&cfg);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(report_a.errors, 0);
+        assert_eq!(report_a.completed, 3);
+        assert!(a.final_virtual_nanos > 0, "virtual time must move");
+        assert!(a.p50_nanos > 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Open- and closed-loop multi-tenant drivers over the real TCP transport.
+//!
+//! Each tenant is a thread issuing catalog workloads (Table 2, tiny scale)
+//! against a freshly started node daemon, one TCP connection per request —
+//! so every request walks the whole connection-manager hot path: accept,
+//! handler spawn, dispatch/bind, run, unbind, teardown. Closed loop issues
+//! the next request the moment the previous one finishes (dispatcher
+//! saturation); open loop paces requests at an aggregate offered rate and
+//! charges queueing delay to latency (the coordinated-omission-free view).
+
+use crate::hist::LatencyHistogram;
+use crate::report::{fairness_ratio, LoadReport, TenantReport};
+use mtgpu_api::transport::TcpTransport;
+use mtgpu_api::{CudaClient, FrontendClient};
+use mtgpu_cluster::ClusterNode;
+use mtgpu_core::RuntimeConfig;
+use mtgpu_gpusim::GpuSpec;
+use mtgpu_simtime::{Clock, DetRng};
+use mtgpu_workloads::{catalog, register_workload, Workload};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// How requests are issued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Next request starts as soon as the previous completes.
+    Closed,
+    /// Requests start on a fixed schedule at this aggregate rate
+    /// (requests/second across all tenants); latency includes time spent
+    /// waiting behind schedule.
+    Open { rate_per_sec: f64 },
+}
+
+/// Parameters of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    pub mode: Mode,
+    /// Concurrent tenants (one thread + one TCP connection per request).
+    pub clients: usize,
+    pub requests_per_client: usize,
+    /// Seed for workload draws and the runtime dispatcher.
+    pub seed: u64,
+    /// Physical devices on the node.
+    pub devices: usize,
+    pub vgpus_per_device: u32,
+    /// Clock scale for the node (real seconds per simulated second); the
+    /// default makes simulated kernel time nearly free so wall latency is
+    /// dominated by the runtime's own dispatch path.
+    pub clock_scale: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            mode: Mode::Closed,
+            clients: 16,
+            requests_per_client: 4,
+            seed: 42,
+            devices: 4,
+            vgpus_per_device: 4,
+            clock_scale: 1e-7,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The CI smoke configuration: small enough to finish in seconds on a
+    /// loaded single-core machine, large enough to exercise contention.
+    pub fn quick() -> Self {
+        LoadgenConfig { clients: 8, requests_per_client: 2, devices: 2, ..Self::default() }
+    }
+}
+
+struct TenantOutcome {
+    hist: LatencyHistogram,
+    completed: u64,
+    errors: u64,
+    makespan_nanos: u64,
+}
+
+/// One request: fresh TCP connection, register, run the workload, exit.
+/// Returns an error string on any failure, including a wrong result.
+fn run_request(addr: SocketAddr, job: &dyn Workload, clock: &Clock) -> Result<(), String> {
+    let transport = TcpTransport::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut client = FrontendClient::new(transport);
+    register_workload(&mut client, job).map_err(|e| format!("register: {e}"))?;
+    let report = job.run(&mut client, clock).map_err(|e| format!("{}: {e}", job.name()))?;
+    client.exit().map_err(|e| format!("exit: {e}"))?;
+    if !report.verified {
+        return Err(format!("{}: result failed verification", job.name()));
+    }
+    Ok(())
+}
+
+fn tenant_loop(
+    tenant: usize,
+    cfg: &LoadgenConfig,
+    addr: SocketAddr,
+    clock: &Clock,
+    t0: Instant,
+) -> TenantOutcome {
+    let mut rng = DetRng::from_seed(cfg.seed).fork(&format!("tenant-{tenant}"));
+    let pool = catalog::short_pool();
+    let kinds = catalog::draw_kinds(&pool, cfg.requests_per_client, &mut rng);
+    let mut out =
+        TenantOutcome { hist: LatencyHistogram::new(), completed: 0, errors: 0, makespan_nanos: 0 };
+    for (r, kind) in kinds.into_iter().enumerate() {
+        let job = kind.build(mtgpu_workloads::calib::Scale::TINY);
+        let started = match cfg.mode {
+            Mode::Closed => Instant::now(),
+            Mode::Open { rate_per_sec } => {
+                // Global slot schedule, interleaved across tenants.
+                let slot = (r * cfg.clients + tenant) as f64 / rate_per_sec;
+                let intended = t0 + Duration::from_secs_f64(slot);
+                let now = Instant::now();
+                if intended > now {
+                    std::thread::sleep(intended - now);
+                }
+                intended // latency includes schedule slip
+            }
+        };
+        match run_request(addr, job.as_ref(), clock) {
+            Ok(()) => {
+                out.completed += 1;
+                out.hist.record(started.elapsed().as_nanos() as u64);
+                out.makespan_nanos = t0.elapsed().as_nanos() as u64;
+            }
+            Err(_) => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// Runs a full load-generation pass against a private node daemon and
+/// returns the report (not yet written to disk).
+pub fn run_load(cfg: &LoadgenConfig) -> LoadReport {
+    mtgpu_workloads::install_kernel_library();
+    let clock = Clock::with_scale(cfg.clock_scale);
+    let specs = (0..cfg.devices).map(|_| GpuSpec::test_small()).collect();
+    let rt_cfg =
+        RuntimeConfig::paper_default().with_vgpus(cfg.vgpus_per_device).with_seed(cfg.seed);
+    let node = ClusterNode::start("loadgen".into(), clock.clone(), specs, rt_cfg, true);
+    let addr = node.addr().expect("listening node");
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|tenant| {
+            let cfg = cfg.clone();
+            let clock = clock.clone();
+            std::thread::Builder::new()
+                .name(format!("tenant-{tenant}"))
+                .spawn(move || tenant_loop(tenant, &cfg, addr, &clock, t0))
+                .expect("spawn tenant thread")
+        })
+        .collect();
+    let outcomes: Vec<TenantOutcome> =
+        handles.into_iter().map(|h| h.join().expect("tenant thread panicked")).collect();
+    let wall_nanos = t0.elapsed().as_nanos() as u64;
+
+    let mut hist = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut tenants = Vec::with_capacity(outcomes.len());
+    for (i, o) in outcomes.iter().enumerate() {
+        hist.merge(&o.hist);
+        completed += o.completed;
+        errors += o.errors;
+        tenants.push(TenantReport {
+            tenant: i,
+            completed: o.completed,
+            errors: o.errors,
+            makespan_nanos: o.makespan_nanos,
+        });
+    }
+    // Closed loop: tenants issue identical demand, so time-to-finish is the
+    // fairness basis. Open loop: the schedule fixes start times, so what
+    // differs under unfairness is how many requests actually completed.
+    let basis: Vec<u64> = match cfg.mode {
+        Mode::Closed => tenants.iter().map(|t| t.makespan_nanos).collect(),
+        Mode::Open { .. } => tenants.iter().map(|t| t.completed).collect(),
+    };
+    let runtime = node.metrics();
+    node.shutdown();
+
+    LoadReport {
+        mode: match cfg.mode {
+            Mode::Closed => "closed".into(),
+            Mode::Open { .. } => "open".into(),
+        },
+        clients: cfg.clients,
+        requests_per_client: cfg.requests_per_client,
+        seed: cfg.seed,
+        devices: cfg.devices,
+        vgpus_per_device: cfg.vgpus_per_device,
+        offered_rate: match cfg.mode {
+            Mode::Closed => 0.0,
+            Mode::Open { rate_per_sec } => rate_per_sec,
+        },
+        wall_nanos,
+        virtual_nanos: 0,
+        completed,
+        errors,
+        throughput_rps: if wall_nanos == 0 {
+            0.0
+        } else {
+            completed as f64 * 1e9 / wall_nanos as f64
+        },
+        latency: hist.summary(),
+        fairness_ratio: fairness_ratio(&basis),
+        tenants,
+        runtime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_smoke() {
+        let cfg = LoadgenConfig {
+            clients: 3,
+            requests_per_client: 2,
+            devices: 2,
+            ..LoadgenConfig::default()
+        };
+        let report = run_load(&cfg);
+        assert_eq!(report.errors, 0, "{:?}", report.tenants);
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.latency.count, 6);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.fairness_ratio >= 1.0);
+        assert!(report.runtime.bindings >= 6, "each request binds at least once");
+        assert_eq!(report.runtime.bindings, report.runtime.unbindings, "clean shutdown");
+    }
+
+    #[test]
+    fn open_loop_smoke() {
+        let cfg = LoadgenConfig {
+            mode: Mode::Open { rate_per_sec: 200.0 },
+            clients: 2,
+            requests_per_client: 2,
+            devices: 1,
+            ..LoadgenConfig::default()
+        };
+        let report = run_load(&cfg);
+        assert_eq!(report.mode, "open");
+        assert_eq!(report.completed + report.errors, 4);
+        assert_eq!(report.offered_rate, 200.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Multi-tenant load generation for the mtgpu runtime.
+//!
+//! Three drivers over the Table 2 workload catalog:
+//!
+//! * **closed loop** ([`run_load`] with [`Mode::Closed`]) — each tenant
+//!   issues its next request the moment the previous one finishes,
+//!   saturating the dispatcher;
+//! * **open loop** ([`Mode::Open`]) — requests start on a fixed aggregate
+//!   schedule and latency charges any time spent behind it;
+//! * **deterministic** ([`run_det`]) — a sequential virtual-clock replay
+//!   whose latency distribution is a pure function of the seed.
+//!
+//! All drivers emit a [`LoadReport`] (JSON, conventionally under
+//! `results/`) with per-request latency quantiles, throughput, per-tenant
+//! outcomes and a max/min fairness ratio.
+
+pub mod det;
+pub mod driver;
+pub mod hist;
+pub mod report;
+
+pub use det::{run_det, DetLoadConfig, DetLoadFingerprint};
+pub use driver::{run_load, LoadgenConfig, Mode};
+pub use hist::{LatencyHistogram, LatencySummary};
+pub use report::{fairness_ratio, LoadReport, TenantReport, FAIRNESS_STARVED};

@@ -164,6 +164,20 @@ impl Clock {
         }
     }
 
+    /// Backs off for `real` wall time before retrying an operation. On a
+    /// scaled clock this sleeps the calling thread; on a virtual clock no
+    /// real time may pass, so the timeline advances by the same nominal
+    /// duration instead — retry loops consume virtual time only and stay
+    /// replayable.
+    pub fn backoff(&self, real: Duration) {
+        match &*self.inner {
+            Backend::Scaled { .. } => precise_sleep(real),
+            Backend::Virtual { nanos } => {
+                nanos.fetch_add(real.as_nanos() as u64, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+    }
+
     /// Converts a real elapsed duration into simulated time on this clock.
     /// On a virtual clock real time does not map onto the timeline: zero.
     pub fn real_to_sim(&self, real: Duration) -> SimDuration {
@@ -294,6 +308,20 @@ mod tests {
         assert_eq!(clock.sim_to_real(SimDuration::from_secs(9)), Duration::ZERO);
         assert_eq!(clock.real_to_sim(Duration::from_secs(9)), SimDuration::ZERO);
         assert_eq!(clock.scale(), 0.0);
+    }
+
+    #[test]
+    fn backoff_blocks_scaled_but_only_advances_virtual() {
+        let clock = Clock::realtime();
+        let start = Instant::now();
+        clock.backoff(Duration::from_millis(2));
+        assert!(start.elapsed() >= Duration::from_millis(2));
+
+        let vclock = Clock::virtual_clock();
+        let start = Instant::now();
+        vclock.backoff(Duration::from_millis(2));
+        assert!(start.elapsed() < Duration::from_millis(2), "virtual backoff blocked");
+        assert_eq!(vclock.now().since_epoch(), SimDuration::from_millis(2));
     }
 
     #[test]

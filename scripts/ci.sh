@@ -8,6 +8,9 @@
 #   tier 3  determinism smoke    fig7 --quick --virtual-clock --seed 42 runs
 #                                clean, then the sequential det-harness replay
 #                                of the fig7 shape must be bit-identical
+#   tier 4  dispatch stress      256-client TCP stress under a 60s timeout,
+#                                then a --quick loadgen smoke that fails if
+#                                the tenant fairness ratio exceeds 2.0
 #
 # Usage: scripts/ci.sh [tier]   (default: all tiers)
 
@@ -16,9 +19,9 @@ cd "$(dirname "$0")/.."
 
 tier="${1:-all}"
 case "$tier" in
-all | 0 | 1 | 2 | 3) ;;
+all | 0 | 1 | 2 | 3 | 4) ;;
 *)
-    echo "unknown tier '$tier' (expected 0, 1, 2, 3 or all)" >&2
+    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4 or all)" >&2
     exit 2
     ;;
 esac
@@ -52,6 +55,20 @@ if [[ "$tier" == "all" || "$tier" == "3" ]]; then
     cargo test -q --test deterministic_repro fig7_shape_seed42 -- --exact \
         fig7_shape_seed42_replays_bit_for_bit > /dev/null
     echo "fig7 smoke + seed-42 det-harness replay: ok"
+fi
+
+if [[ "$tier" == "all" || "$tier" == "4" ]]; then
+    run_tier 4 "dispatch stress + loadgen fairness smoke"
+    cargo build -q --release -p mtgpu --test dispatch_stress
+    cargo build -q --release -p mtgpu-loadgen --bin loadgen
+    # The full 256-client stress must finish well inside a minute; a
+    # dispatcher deadlock or lost wakeup shows up as the timeout firing.
+    timeout 60 cargo test -q --release --test dispatch_stress -- --ignored
+    # Closed-loop smoke: identical per-tenant demand, so the max/min
+    # tenant completion-time ratio gates scheduling fairness.
+    ./target/release/loadgen --quick --max-fairness 2.0 \
+        --out target/ci-loadgen-quick.json > /dev/null
+    echo "256-client stress + loadgen fairness smoke: ok"
 fi
 
 echo "CI: all requested tiers passed"

@@ -9,6 +9,7 @@
 //! diff.
 
 use mtgpu::det::{run, DetScenario};
+use mtgpu_loadgen::{run_det, DetLoadConfig};
 
 #[test]
 fn fig7_shape_seed42_replays_bit_for_bit() {
@@ -73,4 +74,35 @@ fn virtual_time_is_part_of_the_fingerprint() {
         "implausibly small virtual runtime: {}",
         a.final_virtual_nanos
     );
+}
+
+#[test]
+fn closed_loop_latency_fingerprint_replays_bit_for_bit() {
+    // The issue's latency regression harness: a pinned-seed closed-loop
+    // run of 16 clients on the virtual clock. The latency distribution is
+    // measured in virtual nanoseconds, so the p50/p99 summary — and the
+    // whole fingerprint around it — must be bit-identical across replays.
+    let cfg = DetLoadConfig {
+        clients: 16,
+        requests_per_client: 2,
+        seed: 42,
+        devices: 4,
+        vgpus_per_device: 4,
+    };
+    let (report_a, a) = run_det(&cfg);
+    let (_, b) = run_det(&cfg);
+    assert_eq!(a.canonical(), b.canonical(), "latency fingerprint diverged across replays");
+    assert_eq!(a.p50_nanos, b.p50_nanos);
+    assert_eq!(a.p99_nanos, b.p99_nanos);
+
+    // The run must be a real measurement, not a degenerate one.
+    assert_eq!(report_a.errors, 0);
+    assert_eq!(report_a.completed, 32);
+    assert!(a.p50_nanos > 0 && a.p99_nanos >= a.p50_nanos);
+    assert!(a.final_virtual_nanos > 0, "virtual time must carry the latencies");
+
+    // A different seed draws a different workload mix: the fingerprint
+    // moves, proving the seed is live.
+    let (_, other) = run_det(&DetLoadConfig { seed: 7, ..cfg });
+    assert_ne!(a.canonical(), other.canonical(), "seed is decorative");
 }

@@ -1,0 +1,108 @@
+//! Dispatcher stress: many concurrent TCP tenants against one node.
+//!
+//! Each tenant opens a real TCP connection per request and runs a catalog
+//! workload drawn from the seeded short pool, so the whole
+//! connection-manager hot path — accept, handler spawn, dispatch/bind,
+//! launch, unbind, teardown — is exercised under heavy thread contention.
+//! A watchdog converts a dispatcher deadlock into a loud failure instead
+//! of a hung test run.
+//!
+//! The 256-client full version is `#[ignore]`d for ordinary `cargo test`
+//! and run by CI tier 4 under a hard timeout.
+
+use mtgpu_loadgen::{run_load, LoadReport, LoadgenConfig, Mode};
+use std::time::Duration;
+
+/// Runs a load config under a watchdog; panics if it does not finish in
+/// `limit` (the no-deadlock assertion).
+fn run_with_watchdog(cfg: LoadgenConfig, limit: Duration) -> LoadReport {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let clients = cfg.clients;
+    std::thread::spawn(move || {
+        let _ = tx.send(run_load(&cfg));
+    });
+    match rx.recv_timeout(limit) {
+        Ok(report) => report,
+        Err(_) => panic!("stress run with {clients} clients did not finish within {limit:?}"),
+    }
+}
+
+fn assert_clean(report: &LoadReport) {
+    let expected = (report.clients * report.requests_per_client) as u64;
+    assert_eq!(report.errors, 0, "failed requests: {:?}", report.tenants);
+    assert_eq!(report.completed, expected, "every tenant must complete");
+    for t in &report.tenants {
+        assert_eq!(
+            t.completed, report.requests_per_client as u64,
+            "tenant {} did not finish all requests",
+            t.tenant
+        );
+    }
+    // Binding accounting must balance: after every tenant exits, each
+    // grant has a matching unbind and nothing is still bound.
+    assert_eq!(
+        report.runtime.bindings, report.runtime.unbindings,
+        "bindings/unbindings diverged: {:?}",
+        report.runtime
+    );
+    assert!(
+        report.runtime.bindings >= expected,
+        "each request binds at least once: {} < {expected}",
+        report.runtime.bindings
+    );
+}
+
+/// Tier-2 variant: enough tenants to contend hard for the 16 vGPUs of a
+/// 4-device node, small enough for every `cargo test` run.
+#[test]
+fn dispatch_stress_48_tcp_clients() {
+    let cfg = LoadgenConfig {
+        mode: Mode::Closed,
+        clients: 48,
+        requests_per_client: 1,
+        seed: 42,
+        devices: 4,
+        vgpus_per_device: 4,
+        clock_scale: 1e-7,
+    };
+    let report = run_with_watchdog(cfg, Duration::from_secs(120));
+    assert_clean(&report);
+}
+
+/// The full 256-client stress of the issue: 16× overcommit of the node's
+/// vGPUs, mixed catalog workloads, real TCP transport. Run with
+/// `cargo test --release --test dispatch_stress -- --ignored`.
+#[test]
+#[ignore = "heavy; run by CI tier 4 under a timeout"]
+fn dispatch_stress_256_tcp_clients() {
+    let cfg = LoadgenConfig {
+        mode: Mode::Closed,
+        clients: 256,
+        requests_per_client: 1,
+        seed: 42,
+        devices: 4,
+        vgpus_per_device: 4,
+        clock_scale: 1e-7,
+    };
+    let report = run_with_watchdog(cfg, Duration::from_secs(300));
+    assert_clean(&report);
+    // 256 tenants over 16 slots: the run is only meaningful if the
+    // dispatcher actually parked and woke waiters.
+    assert!(report.runtime.targeted_wakeups > 0, "no waiter was ever parked: {:?}", report.runtime);
+}
+
+/// Open-loop pacing under moderate overcommit also drains cleanly.
+#[test]
+fn dispatch_stress_open_loop_paced() {
+    let cfg = LoadgenConfig {
+        mode: Mode::Open { rate_per_sec: 400.0 },
+        clients: 24,
+        requests_per_client: 2,
+        seed: 7,
+        devices: 2,
+        vgpus_per_device: 4,
+        clock_scale: 1e-7,
+    };
+    let report = run_with_watchdog(cfg, Duration::from_secs(120));
+    assert_clean(&report);
+}

@@ -373,3 +373,113 @@ proptest! {
         prop_assert_eq!(da.cmp(&db), a.cmp(&b));
     }
 }
+
+// ---------------------------------------------------------------------
+// Sharded dispatcher under concurrent churn
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Each case spawns real threads; a modest case count keeps the suite
+    // fast while the seed range still varies arrival interleavings.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seeded thread fuzz of acquire/release/add_device/remove_device on
+    /// the sharded dispatcher: per-device capacity is never exceeded, no
+    /// waiter is stranded (every acquire completes well inside its
+    /// timeout), and the manager drains to empty.
+    #[test]
+    fn sharded_dispatcher_concurrent_churn(
+        seed in 1u64..1_000_000,
+        clients in 2usize..10,
+        vgpus in 1u32..4,
+        cycles in 2usize..7,
+    ) {
+        use mtgpu::core::{AppContext, BindingManager, SchedulerPolicy};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Duration;
+
+        let clock = Clock::with_scale(1e-7);
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let bm = Arc::new(BindingManager::new_seeded(
+            SchedulerPolicy::FcfsRoundRobin,
+            Arc::clone(&metrics),
+            seed,
+        ));
+        for d in 0..2u32 {
+            bm.add_device(DeviceId(d), Gpu::new(GpuSpec::test_small(), clock.clone(), d), vgpus)
+                .unwrap();
+        }
+
+        let done = Arc::new(AtomicBool::new(false));
+        // Capacity checker: samples consistent per-shard views during the
+        // churn. A violation panics here and fails the case via join().
+        let checker = {
+            let bm = Arc::clone(&bm);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    for v in bm.device_views() {
+                        assert!(
+                            v.bound.len() <= v.total_vgpus,
+                            "device {:?} over capacity: {} bound of {}",
+                            v.id, v.bound.len(), v.total_vgpus
+                        );
+                        assert!(
+                            v.bound.len() + v.free_vgpus <= v.total_vgpus,
+                            "device {:?} slot accounting broken", v.id
+                        );
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        // Chaos: hot-adds a transient device and rips it back out while
+        // clients are parked on and bound to it.
+        let chaos = {
+            let bm = Arc::clone(&bm);
+            let clock = clock.clone();
+            std::thread::spawn(move || {
+                for k in 0..2u32 {
+                    let id = DeviceId(100 + k);
+                    bm.add_device(id, Gpu::new(GpuSpec::test_small(), clock.clone(), 100 + k), vgpus)
+                        .unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                    bm.remove_device(id);
+                }
+            })
+        };
+
+        let workers: Vec<_> = (0..clients)
+            .map(|i| {
+                let bm = Arc::clone(&bm);
+                let ctx = AppContext::new(CtxId(i as u64 + 1), i as u64, format!("fuzz-{i}"));
+                std::thread::spawn(move || {
+                    for _ in 0..cycles {
+                        let Some(b) = bm.acquire(&ctx, 1.0, 0, Duration::from_secs(20)) else {
+                            return false; // stranded waiter
+                        };
+                        std::thread::yield_now();
+                        // Release is also exercised against vGPUs whose
+                        // device the chaos thread has already removed.
+                        bm.release(ctx.id, b.vgpu);
+                    }
+                    true
+                })
+            })
+            .collect();
+        let mut all_granted = true;
+        for w in workers {
+            all_granted &= w.join().expect("worker panicked");
+        }
+        done.store(true, Ordering::SeqCst);
+        chaos.join().expect("chaos thread panicked");
+        checker.join().expect("capacity invariant violated");
+
+        prop_assert!(all_granted, "an acquire timed out despite available capacity");
+        prop_assert_eq!(bm.waiting_count(), 0, "waiter stranded in a queue");
+        prop_assert_eq!(bm.bound_count(), 0, "binding leaked");
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.bindings, (clients * cycles) as u64);
+        prop_assert!(snap.unbindings >= snap.bindings, "missing unbind accounting");
+    }
+}
