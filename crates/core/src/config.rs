@@ -37,6 +37,14 @@ pub struct RuntimeConfig {
     /// Coalesce repeated copies into one bulk upload per page-table entry
     /// (§4.5 "multiple data copy operations ... single, bulk transfer").
     pub coalesce_transfers: bool,
+    /// Execute materialize/swap transfer plans concurrently across the
+    /// device's copy engines. Off forces the serial one-transfer-at-a-time
+    /// path regardless of how many engines the device has.
+    pub pipelined_transfers: bool,
+    /// Cap on concurrent transfers per plan. `0` means "as many as the
+    /// device has copy engines"; nonzero values are still clamped to the
+    /// engine count (more in-flight than engines cannot help).
+    pub max_inflight_transfers: usize,
     /// Scheduling policy.
     pub scheduler: SchedulerPolicy,
     /// Migrate idle contexts from slower to faster devices when the fast
@@ -84,6 +92,8 @@ impl Default for RuntimeConfig {
             intra_app_swap: true,
             inter_app_swap: true,
             coalesce_transfers: true,
+            pipelined_transfers: true,
+            max_inflight_transfers: 0,
             scheduler: SchedulerPolicy::FcfsRoundRobin,
             dynamic_load_balancing: false,
             auto_checkpoint_after: None,
@@ -137,6 +147,19 @@ impl RuntimeConfig {
         self.background_monitor = on;
         self
     }
+
+    /// Builder-style toggle of pipelined transfer plans.
+    pub fn with_pipelined_transfers(mut self, on: bool) -> Self {
+        self.pipelined_transfers = on;
+        self
+    }
+
+    /// Builder-style override of the per-plan in-flight transfer cap
+    /// (`0` = device copy-engine count).
+    pub fn with_max_inflight_transfers(mut self, n: usize) -> Self {
+        self.max_inflight_transfers = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +199,15 @@ mod tests {
         let c = RuntimeConfig::default();
         assert_eq!(c.seed, 0, "seed 0 keeps the legacy rr tie-break");
         assert!(c.background_monitor);
+        assert!(c.pipelined_transfers);
+        assert_eq!(c.max_inflight_transfers, 0, "0 tracks the device engine count");
+    }
+
+    #[test]
+    fn transfer_builders_compose() {
+        let c =
+            RuntimeConfig::default().with_pipelined_transfers(false).with_max_inflight_transfers(3);
+        assert!(!c.pipelined_transfers);
+        assert_eq!(c.max_inflight_transfers, 3);
     }
 }

@@ -39,7 +39,9 @@ pub mod trace;
 
 pub use config::{RuntimeConfig, SchedulerPolicy};
 pub use ctx::{AppContext, Binding, CtxId, VGpuId};
-pub use memory::{Flags, Materialize, MemoryConfig, MemoryManager, Recovery, SwapReason};
+pub use memory::{
+    Flags, Materialize, MemoryConfig, MemoryManager, Recovery, SwapOutcome, SwapReason,
+};
 pub use metrics::{MetricsSnapshot, RuntimeMetrics};
 pub use runtime::{LoadInfo, NodeRuntime};
 pub use sched::legacy::LegacyBindingManager;

@@ -21,13 +21,15 @@
 use crate::ctx::{Binding, CtxId};
 use crate::memory::page_table::{PageTable, PageTableEntry, SwapSlab};
 use crate::memory::swap::SwapArea;
+use crate::memory::transfer::{self, PlanShape, TransferOp};
 use crate::metrics::RuntimeMetrics;
+use crate::trace::{TraceEvent, Tracer};
 use mtgpu_api::protocol::AllocKind;
 use mtgpu_api::{CudaError, CudaResult, HostBuf};
 use mtgpu_gpusim::device::DEFAULT_MATERIALIZE_CAP;
 use mtgpu_gpusim::{DeviceAddr, KernelArg};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Base of the virtual address space handed to applications. High enough to
@@ -60,6 +62,17 @@ pub enum SwapReason {
     DeviceLoss,
 }
 
+/// Accounting of one whole-context swap-out ([`MemoryManager::swap_out_ctx`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapOutcome {
+    /// Device bytes freed.
+    pub freed: u64,
+    /// Freed bytes that needed a D2H writeback first (dirty on device).
+    pub writeback_bytes: u64,
+    /// Freed bytes whose swap copy was already current — no writeback.
+    pub clean_bytes: u64,
+}
+
 /// Outcome of device-loss recovery for one context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Recovery {
@@ -84,6 +97,10 @@ pub struct MemoryConfig {
     pub defer_transfers: bool,
     pub coalesce_transfers: bool,
     pub intra_app_swap: bool,
+    /// Spread transfer plans across the bound device's copy engines.
+    pub pipelined_transfers: bool,
+    /// Per-plan in-flight cap; `0` = the device's copy-engine count.
+    pub max_inflight_transfers: usize,
     pub max_ptes_per_context: usize,
     pub swap_capacity: Option<u64>,
     pub materialize_cap: u64,
@@ -95,6 +112,8 @@ impl Default for MemoryConfig {
             defer_transfers: true,
             coalesce_transfers: true,
             intra_app_swap: true,
+            pipelined_transfers: true,
+            max_inflight_transfers: 0,
             max_ptes_per_context: 1 << 20,
             swap_capacity: None,
             materialize_cap: DEFAULT_MATERIALIZE_CAP,
@@ -106,6 +125,7 @@ impl Default for MemoryConfig {
 pub struct MemoryManager {
     cfg: MemoryConfig,
     metrics: Arc<RuntimeMetrics>,
+    tracer: Option<Arc<Tracer>>,
     state: Mutex<MmState>,
 }
 
@@ -116,13 +136,53 @@ impl MemoryManager {
         MemoryManager {
             cfg,
             metrics,
+            tracer: None,
             state: Mutex::new(MmState { tables: HashMap::new(), swap, next_vaddr: VADDR_BASE }),
         }
+    }
+
+    /// Attaches a tracer so transfer plans emit
+    /// [`TraceEvent::TransferPlan`] records.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &MemoryConfig {
         &self.cfg
+    }
+
+    /// How many copy-engine lanes a plan of `ops` operations may use on the
+    /// bound device: 1 when pipelining is off, otherwise the engine count
+    /// clamped by `max_inflight_transfers` (0 = no extra clamp) and by the
+    /// plan size.
+    fn plan_lanes(&self, binding: &Binding, ops: usize) -> usize {
+        if !self.cfg.pipelined_transfers {
+            return 1;
+        }
+        let engines = binding.gpu.spec().copy_engines as usize;
+        let cap = match self.cfg.max_inflight_transfers {
+            0 => engines,
+            n => n.min(engines),
+        };
+        cap.max(1).min(ops.max(1))
+    }
+
+    /// Accounts an executed transfer plan (metrics + trace).
+    fn note_plan(&self, ctx: CtxId, shape: &PlanShape) {
+        RuntimeMetrics::bump(&self.metrics.transfer_plans);
+        if shape.overlapped {
+            RuntimeMetrics::bump(&self.metrics.transfer_overlap_events);
+        }
+        if let Some(tracer) = &self.tracer {
+            tracer.record(TraceEvent::TransferPlan {
+                ctx,
+                ops: shape.ops,
+                lanes: shape.lanes,
+                bytes: shape.bytes,
+            });
+        }
     }
 
     /// Registers a fresh context.
@@ -318,8 +378,12 @@ impl MemoryManager {
         Ok(HostBuf::with_shadow(len, entry.slab.read(offset, len)))
     }
 
-    /// `cudaMemcpy` device→device: routed through the swap tier (both
-    /// entries' authoritative copies), preserving flags semantics.
+    /// `cudaMemcpy` device→device. When both entries are resident on the
+    /// bound device with their device copies current, the copy runs
+    /// device-side — one memory-bus operation, no PCIe round trip. Any
+    /// other state (unbound, entry swapped out, or a pending upload making
+    /// the slab the newer copy) falls back to routing through the swap
+    /// tier (D2H then H2D), preserving flags semantics.
     pub fn copy_d2d(
         &self,
         ctx: CtxId,
@@ -328,6 +392,45 @@ impl MemoryManager {
         len: u64,
         binding: Option<&Binding>,
     ) -> CudaResult<()> {
+        if len == 0 {
+            return Err(CudaError::InvalidValue);
+        }
+        // Validate both endpoints under one lock (same error kinds as the
+        // host route: src overflow reads out of bounds, dst overflow is a
+        // size mismatch) and decide the route.
+        let device_plan = {
+            let st = self.state.lock();
+            let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+            let (src_base, src_off) = table.resolve(src).ok_or(CudaError::InvalidDevicePointer)?;
+            let (dst_base, dst_off) = table.resolve(dst).ok_or(CudaError::InvalidDevicePointer)?;
+            let src_entry = table.get(src_base).expect("resolved entry vanished");
+            let dst_entry = table.get(dst_base).expect("resolved entry vanished");
+            if src_off + len > src_entry.size {
+                RuntimeMetrics::bump(&self.metrics.bad_ops_rejected);
+                return Err(CudaError::OutOfBounds);
+            }
+            if dst_off + len > dst_entry.size {
+                RuntimeMetrics::bump(&self.metrics.bad_ops_rejected);
+                return Err(CudaError::SizeMismatch);
+            }
+            let device_current = |e: &PageTableEntry| e.flags.allocated && !e.flags.to_dev;
+            (device_current(src_entry) && device_current(dst_entry)).then(|| {
+                let sdptr = src_entry.device_ptr.expect("allocated without ptr");
+                let ddptr = dst_entry.device_ptr.expect("allocated without ptr");
+                (dst_base, DeviceAddr(ddptr.0 + dst_off), DeviceAddr(sdptr.0 + src_off))
+            })
+        };
+        if let (Some((dst_base, ddptr, sdptr)), Some(b)) = (device_plan, binding) {
+            b.gpu.memcpy_d2d(b.gpu_ctx, ddptr, sdptr, len).map_err(CudaError::from_gpu)?;
+            RuntimeMetrics::bump(&self.metrics.d2d_device_copies);
+            let mut st = self.state.lock();
+            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(dst_base)) {
+                // The device now holds data the slab doesn't: same state a
+                // kernel write leaves behind.
+                entry.flags = entry.flags.on_launch();
+            }
+            return Ok(());
+        }
         let data = self.copy_d2h(ctx, src, len, binding)?;
         self.copy_h2d(ctx, dst, &data, binding)
     }
@@ -393,74 +496,99 @@ impl MemoryManager {
         bases: &[DeviceAddr],
         binding: &Binding,
     ) -> CudaResult<Materialize> {
-        loop {
-            // Find the next piece of work under the lock.
-            enum Step {
-                Alloc { base: DeviceAddr, size: u64 },
-                Upload { base: DeviceAddr, dptr: DeviceAddr, size: u64, data: Vec<u8> },
-                Done,
-            }
-            let step = {
+        // Phase A — allocate: collect every unallocated working-set entry
+        // under one lock, then satisfy them (mallocs cost no simulated
+        // time). An OOM triggers one intra-app eviction and a full re-plan,
+        // since eviction changes which entries are resident.
+        'alloc: loop {
+            let pending: Vec<(DeviceAddr, u64)> = {
                 let st = self.state.lock();
                 let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
-                let mut step = Step::Done;
+                let mut pending = Vec::new();
                 for &base in bases {
                     let entry = table.get(base).ok_or(CudaError::InvalidDevicePointer)?;
                     if !entry.flags.allocated {
-                        step = Step::Alloc { base, size: entry.size };
-                        break;
-                    }
-                    if entry.flags.to_dev {
-                        step = Step::Upload {
-                            base,
-                            dptr: entry.device_ptr.expect("allocated without ptr"),
-                            size: entry.size,
-                            data: entry.slab.data.clone(),
-                        };
-                        break;
+                        pending.push((base, entry.size));
                     }
                 }
-                step
+                pending
             };
-            match step {
-                Step::Done => return Ok(Materialize::Ready),
-                Step::Alloc { base, size } => {
-                    match binding.gpu.malloc(binding.gpu_ctx, size) {
-                        Ok(dptr) => {
-                            let mut st = self.state.lock();
-                            if let Some(entry) =
-                                st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base))
-                            {
-                                entry.device_ptr = Some(dptr);
-                                entry.flags.allocated = true;
-                            } else {
-                                // Entry freed concurrently is impossible under
-                                // the service lock; release the orphan.
-                                let _ = binding.gpu.free(binding.gpu_ctx, dptr);
-                            }
+            if pending.is_empty() {
+                break 'alloc;
+            }
+            for (base, size) in pending {
+                match binding.gpu.malloc(binding.gpu_ctx, size) {
+                    Ok(dptr) => {
+                        let mut st = self.state.lock();
+                        if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                            entry.device_ptr = Some(dptr);
+                            entry.flags.allocated = true;
+                        } else {
+                            // Entry freed concurrently is impossible under
+                            // the service lock; release the orphan.
+                            let _ = binding.gpu.free(binding.gpu_ctx, dptr);
                         }
-                        Err(mtgpu_gpusim::GpuError::OutOfMemory) => {
-                            if !self.cfg.intra_app_swap
-                                || !self.evict_one_own_entry(ctx, bases, binding)?
-                            {
-                                return Ok(Materialize::NeedBytes(size));
-                            }
+                    }
+                    Err(mtgpu_gpusim::GpuError::OutOfMemory) => {
+                        if !self.cfg.intra_app_swap
+                            || !self.evict_one_own_entry(ctx, bases, binding)?
+                        {
+                            return Ok(Materialize::NeedBytes(size));
                         }
-                        Err(e) => return Err(CudaError::from_gpu(e)),
+                        continue 'alloc;
                     }
-                }
-                Step::Upload { base, dptr, size, data } => {
-                    binding
-                        .gpu
-                        .memcpy_h2d(binding.gpu_ctx, dptr, size, &data)
-                        .map_err(CudaError::from_gpu)?;
-                    RuntimeMetrics::bump(&self.metrics.bulk_uploads);
-                    let mut st = self.state.lock();
-                    if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
-                        entry.flags.to_dev = false;
-                    }
+                    Err(e) => return Err(CudaError::from_gpu(e)),
                 }
             }
+        }
+        // Phase B — plan: every entry awaiting upload, in working-set order,
+        // gathered under one lock.
+        let ops: Vec<TransferOp> = {
+            let st = self.state.lock();
+            let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+            bases
+                .iter()
+                .filter_map(|&base| {
+                    let entry = table.get(base)?;
+                    (entry.flags.allocated && entry.flags.to_dev).then(|| TransferOp {
+                        base: base.0,
+                        dptr: entry.device_ptr.expect("allocated without ptr"),
+                        size: entry.size,
+                        payload: Some(entry.slab.data.clone()),
+                    })
+                })
+                .collect()
+        };
+        if ops.is_empty() {
+            return Ok(Materialize::Ready);
+        }
+        // Phase C — execute: concurrent uploads across the copy engines,
+        // no manager lock held.
+        let lanes = self.plan_lanes(binding, ops.len());
+        let (outcomes, shape) = transfer::execute(&binding.gpu, binding.gpu_ctx, ops, lanes);
+        self.note_plan(ctx, &shape);
+        // Phase D — commit flag transitions under one lock; the first
+        // failed op (in plan order) is the call's error.
+        let mut first_err = None;
+        {
+            let mut st = self.state.lock();
+            for out in outcomes {
+                match out.result {
+                    Ok(_) => {
+                        RuntimeMetrics::bump(&self.metrics.bulk_uploads);
+                        if let Some(entry) =
+                            st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
+                        {
+                            entry.flags.to_dev = false;
+                        }
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+        }
+        match first_err {
+            None => Ok(Materialize::Ready),
+            Some(e) => Err(e),
         }
     }
 
@@ -544,80 +672,161 @@ impl MemoryManager {
     /// (synchronizing dirty ones first) and frees their device memory.
     /// This is the `Swap` internal function of Table 1 applied to the whole
     /// context — used for inter-application victims, voluntary unbinds and
-    /// migration. Returns the bytes freed on the device.
+    /// migration.
+    ///
+    /// Dirty entries are written back as one pipelined D2H plan, then
+    /// committed to swap *before* any device memory is freed, so a device
+    /// failure mid-swap can never silently drop dirty bytes: an entry whose
+    /// writeback did not land stays allocated (and dirty), and device-loss
+    /// handling reports it as [`Recovery::LostDirtyData`].
     pub fn swap_out_ctx(
         &self,
         ctx: CtxId,
         binding: &Binding,
         reason: SwapReason,
-    ) -> CudaResult<u64> {
-        let mut freed = 0;
-        loop {
-            let plan = {
-                let st = self.state.lock();
-                st.tables.get(&ctx).and_then(|table| {
-                    table.iter().find(|e| e.flags.allocated).map(|e| {
-                        (
-                            e.vaddr,
-                            e.device_ptr.expect("allocated without ptr"),
-                            e.size,
-                            e.flags.to_swap,
-                        )
-                    })
+    ) -> CudaResult<SwapOutcome> {
+        // Phase A — plan: every allocated entry, in page-table order.
+        let plan: Vec<(DeviceAddr, DeviceAddr, u64, bool)> = {
+            let st = self.state.lock();
+            st.tables
+                .get(&ctx)
+                .map(|table| {
+                    table
+                        .iter()
+                        .filter(|e| e.flags.allocated)
+                        .map(|e| {
+                            (
+                                e.vaddr,
+                                e.device_ptr.expect("allocated without ptr"),
+                                e.size,
+                                e.flags.to_swap,
+                            )
+                        })
+                        .collect()
                 })
-            };
-            let Some((base, dptr, size, dirty)) = plan else { break };
-            let synced = if dirty {
-                Some(
-                    binding
-                        .gpu
-                        .memcpy_d2h(binding.gpu_ctx, dptr, size)
-                        .map_err(CudaError::from_gpu)?,
-                )
-            } else {
-                None
-            };
-            binding.gpu.free(binding.gpu_ctx, dptr).map_err(CudaError::from_gpu)?;
-            freed += size;
-            let mut st = self.state.lock();
-            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
-                if let Some(bytes) = synced {
-                    entry.slab.write(0, &bytes);
-                }
-                entry.device_ptr = None;
-                entry.flags = entry.flags.on_swap();
-            }
-        }
-        if freed > 0 {
-            RuntimeMetrics::add(&self.metrics.swap_bytes, freed);
-        }
+                .unwrap_or_default()
+        };
         if reason == SwapReason::InterAppVictim {
             RuntimeMetrics::bump(&self.metrics.inter_app_swaps);
         }
-        Ok(freed)
+        if plan.is_empty() {
+            return Ok(SwapOutcome::default());
+        }
+        // Phase B — execute: writeback of every dirty entry, pipelined.
+        let sync_ops: Vec<TransferOp> = plan
+            .iter()
+            .filter(|&&(_, _, _, dirty)| dirty)
+            .map(|&(base, dptr, size, _)| TransferOp { base: base.0, dptr, size, payload: None })
+            .collect();
+        let mut sync_err: Option<CudaError> = None;
+        let mut synced: HashSet<u64> = HashSet::new();
+        if !sync_ops.is_empty() {
+            let lanes = self.plan_lanes(binding, sync_ops.len());
+            let (outcomes, shape) =
+                transfer::execute(&binding.gpu, binding.gpu_ctx, sync_ops, lanes);
+            self.note_plan(ctx, &shape);
+            // Phase C — commit the writebacks first: swap copies become
+            // current before their device copies are released.
+            let mut st = self.state.lock();
+            for out in outcomes {
+                match out.result {
+                    Ok(bytes) => {
+                        let bytes = bytes.expect("D2H op returns data");
+                        if let Some(entry) =
+                            st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
+                        {
+                            entry.slab.write(0, &bytes);
+                            entry.flags = entry.flags.on_copy_dh();
+                            synced.insert(out.base);
+                        }
+                    }
+                    Err(e) => sync_err = sync_err.or(Some(e)),
+                }
+            }
+        }
+        // Phase D — free, in plan order. Dirty entries whose writeback
+        // failed keep their device copy (the only current one).
+        let mut out = SwapOutcome::default();
+        let mut free_err: Option<CudaError> = None;
+        for (base, dptr, size, dirty) in plan {
+            if dirty && !synced.contains(&base.0) {
+                continue;
+            }
+            if free_err.is_some() {
+                break;
+            }
+            match binding.gpu.free(binding.gpu_ctx, dptr) {
+                Ok(()) => {
+                    out.freed += size;
+                    if dirty {
+                        out.writeback_bytes += size;
+                    } else {
+                        out.clean_bytes += size;
+                        RuntimeMetrics::add(&self.metrics.swap_bytes_skipped_clean, size);
+                    }
+                    let mut st = self.state.lock();
+                    if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                        entry.device_ptr = None;
+                        entry.flags = entry.flags.on_swap();
+                    }
+                }
+                Err(e) => free_err = Some(CudaError::from_gpu(e)),
+            }
+        }
+        if out.freed > 0 {
+            RuntimeMetrics::add(&self.metrics.swap_bytes, out.freed);
+        }
+        match sync_err.or(free_err) {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Checkpoint (§4.6): synchronize every dirty device-resident entry to
     /// the swap area *without* evicting it, leaving the context restartable.
+    /// Dirty entries are synchronized as one pipelined D2H plan.
     pub fn checkpoint(&self, ctx: CtxId, binding: &Binding) -> CudaResult<()> {
-        loop {
-            let plan = {
-                let st = self.state.lock();
-                st.tables.get(&ctx).and_then(|table| {
+        let ops: Vec<TransferOp> = {
+            let st = self.state.lock();
+            st.tables
+                .get(&ctx)
+                .map(|table| {
                     table
                         .iter()
-                        .find(|e| e.flags.allocated && e.flags.to_swap)
-                        .map(|e| (e.vaddr, e.device_ptr.expect("allocated without ptr"), e.size))
+                        .filter(|e| e.flags.allocated && e.flags.to_swap)
+                        .map(|e| TransferOp {
+                            base: e.vaddr.0,
+                            dptr: e.device_ptr.expect("allocated without ptr"),
+                            size: e.size,
+                            payload: None,
+                        })
+                        .collect()
                 })
-            };
-            let Some((base, dptr, size)) = plan else { break };
-            let bytes =
-                binding.gpu.memcpy_d2h(binding.gpu_ctx, dptr, size).map_err(CudaError::from_gpu)?;
+                .unwrap_or_default()
+        };
+        let mut first_err = None;
+        if !ops.is_empty() {
+            let lanes = self.plan_lanes(binding, ops.len());
+            let (outcomes, shape) = transfer::execute(&binding.gpu, binding.gpu_ctx, ops, lanes);
+            self.note_plan(ctx, &shape);
             let mut st = self.state.lock();
-            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
-                entry.slab.write(0, &bytes);
-                entry.flags = entry.flags.on_copy_dh();
+            for out in outcomes {
+                match out.result {
+                    Ok(bytes) => {
+                        let bytes = bytes.expect("D2H op returns data");
+                        if let Some(entry) =
+                            st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
+                        {
+                            entry.slab.write(0, &bytes);
+                            entry.flags = entry.flags.on_copy_dh();
+                        }
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
             }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         RuntimeMetrics::bump(&self.metrics.checkpoints);
         Ok(())
@@ -872,8 +1081,10 @@ mod tests {
         let c = m.launch_closure(CTX, &[KernelArg::Ptr(v)]).unwrap();
         m.materialize(CTX, &c, &b).unwrap();
         m.mark_launched(CTX, &c); // dirty on device
-        let freed = m.swap_out_ctx(CTX, &b, SwapReason::Unbind).unwrap();
-        assert_eq!(freed, 512);
+        let out = m.swap_out_ctx(CTX, &b, SwapReason::Unbind).unwrap();
+        assert_eq!(out.freed, 512);
+        assert_eq!(out.writeback_bytes, 512);
+        assert_eq!(out.clean_bytes, 0);
         assert_eq!(m.resident_bytes(CTX), 0);
         // Data must have been synchronized down before the free.
         let back = m.copy_d2h(CTX, v, 512, None).unwrap();
@@ -942,6 +1153,157 @@ mod tests {
         m.copy_h2d(CTX, src, &HostBuf::from_slice(&[9u8; 128]), None).unwrap();
         m.copy_d2d(CTX, dst, src, 128, None).unwrap();
         assert_eq!(m.copy_d2h(CTX, dst, 128, None).unwrap().payload, vec![9u8; 128]);
+    }
+
+    #[test]
+    fn copy_d2d_uses_device_route_when_both_resident() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let src = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        let dst = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        m.copy_h2d(CTX, src, &HostBuf::from_slice(&[4u8; 128]), None).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(src), KernelArg::Ptr(dst)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        let before = b.gpu.stats().snapshot();
+        m.copy_d2d(CTX, dst, src, 128, Some(&b)).unwrap();
+        let after = b.gpu.stats().snapshot();
+        // One device-internal copy: no PCIe traffic at all.
+        assert_eq!(after.d2d_bytes - before.d2d_bytes, 128);
+        assert_eq!(after.h2d_bytes, before.h2d_bytes);
+        assert_eq!(after.d2h_bytes, before.d2h_bytes);
+        // The destination is now device-authoritative (like a kernel write).
+        let f = m.flags_of(CTX, dst).unwrap();
+        assert!(f.allocated && !f.to_dev && f.to_swap, "{f:?}");
+        // Reading it back syncs the device copy down and sees the data.
+        assert_eq!(m.copy_d2h(CTX, dst, 128, Some(&b)).unwrap().payload, vec![4u8; 128]);
+    }
+
+    #[test]
+    fn copy_d2d_falls_back_to_host_route_when_swapped_out() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let src = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        let dst = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        m.copy_h2d(CTX, src, &HostBuf::from_slice(&[5u8; 128]), None).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(src), KernelArg::Ptr(dst)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        m.swap_out_ctx(CTX, &b, SwapReason::Unbind).unwrap();
+        let before = b.gpu.stats().snapshot();
+        m.copy_d2d(CTX, dst, src, 128, Some(&b)).unwrap();
+        let after = b.gpu.stats().snapshot();
+        assert_eq!(after.d2d_bytes, before.d2d_bytes, "swapped-out entries go via the host");
+        assert_eq!(m.copy_d2h(CTX, dst, 128, Some(&b)).unwrap().payload, vec![5u8; 128]);
+    }
+
+    #[test]
+    fn copy_d2d_validates_bounds_up_front() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let src = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        let dst = m.malloc(CTX, 64, AllocKind::Linear).unwrap();
+        assert_eq!(m.copy_d2d(CTX, dst, src, 0, None), Err(CudaError::InvalidValue));
+        assert_eq!(m.copy_d2d(CTX, dst, src, 130, None), Err(CudaError::OutOfBounds));
+        assert_eq!(m.copy_d2d(CTX, dst, src, 100, None), Err(CudaError::SizeMismatch));
+    }
+
+    fn binding_with(spec: GpuSpec) -> Binding {
+        let gpu = Gpu::new(spec, Clock::with_scale(1e-7), 0);
+        let gpu_ctx = gpu.create_context().unwrap();
+        Binding { vgpu: VGpuId { device: DeviceId(0), index: 0 }, gpu, gpu_ctx }
+    }
+
+    #[test]
+    fn pipelined_materialize_uploads_every_buffer_once() {
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let m = MemoryManager::new(MemoryConfig::default(), Arc::clone(&metrics));
+        m.register_ctx(CTX);
+        let b = binding_with(GpuSpec::tesla_c2050());
+        let mut ptrs = Vec::new();
+        for i in 0..8u8 {
+            let v = m.malloc(CTX, 4096, AllocKind::Linear).unwrap();
+            m.copy_h2d(CTX, v, &HostBuf::from_slice(&[i; 4096]), None).unwrap();
+            ptrs.push(KernelArg::Ptr(v));
+        }
+        let c = m.launch_closure(CTX, &ptrs).unwrap();
+        assert_eq!(m.materialize(CTX, &c, &b).unwrap(), Materialize::Ready);
+        assert_eq!(b.gpu.stats().snapshot().h2d_bytes, 8 * 4096);
+        // Idempotent, and the plan overlapped on the 2-engine device.
+        assert_eq!(m.materialize(CTX, &c, &b).unwrap(), Materialize::Ready);
+        assert_eq!(b.gpu.stats().snapshot().h2d_bytes, 8 * 4096);
+        let snap = metrics.snapshot();
+        assert!(snap.transfer_plans >= 1);
+        assert!(snap.transfer_overlap_events >= 1);
+        // Every buffer's data reached the device intact.
+        for (i, arg) in ptrs.iter().enumerate() {
+            let KernelArg::Ptr(v) = arg else { unreachable!() };
+            let args = m.translate_args(CTX, &[KernelArg::Ptr(*v)]).unwrap();
+            let KernelArg::Ptr(dptr) = args[0] else { unreachable!() };
+            assert_eq!(b.gpu.peek(dptr, 16).unwrap(), vec![i as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn single_engine_plans_never_report_overlap() {
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let m = MemoryManager::new(MemoryConfig::default(), Arc::clone(&metrics));
+        m.register_ctx(CTX);
+        let b = binding_with(GpuSpec::tesla_c1060());
+        let mut ptrs = Vec::new();
+        for _ in 0..6 {
+            let v = m.malloc(CTX, 1024, AllocKind::Linear).unwrap();
+            m.copy_h2d(CTX, v, &HostBuf::from_slice(&[1u8; 1024]), None).unwrap();
+            ptrs.push(KernelArg::Ptr(v));
+        }
+        let c = m.launch_closure(CTX, &ptrs).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        let snap = metrics.snapshot();
+        assert!(snap.transfer_plans >= 1);
+        assert_eq!(snap.transfer_overlap_events, 0, "one engine cannot overlap");
+    }
+
+    #[test]
+    fn pipelining_toggle_forces_serial_plans() {
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let cfg = MemoryConfig { pipelined_transfers: false, ..MemoryConfig::default() };
+        let m = MemoryManager::new(cfg, Arc::clone(&metrics));
+        m.register_ctx(CTX);
+        let b = binding_with(GpuSpec::tesla_c2050());
+        let mut ptrs = Vec::new();
+        for _ in 0..4 {
+            let v = m.malloc(CTX, 1024, AllocKind::Linear).unwrap();
+            m.copy_h2d(CTX, v, &HostBuf::from_slice(&[1u8; 1024]), None).unwrap();
+            ptrs.push(KernelArg::Ptr(v));
+        }
+        let c = m.launch_closure(CTX, &ptrs).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        assert_eq!(metrics.snapshot().transfer_overlap_events, 0);
+    }
+
+    #[test]
+    fn swap_out_skips_writeback_for_clean_entries() {
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let m = MemoryManager::new(MemoryConfig::default(), Arc::clone(&metrics));
+        m.register_ctx(CTX);
+        let b = binding_with(GpuSpec::tesla_c2050());
+        let clean = m.malloc(CTX, 1024, AllocKind::Linear).unwrap();
+        let dirty = m.malloc(CTX, 512, AllocKind::Linear).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(clean), KernelArg::Ptr(dirty)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        // Only `dirty` gets a kernel write; `clean` stays synchronized.
+        m.mark_launched(CTX, &[dirty]);
+        let d2h_before = b.gpu.stats().snapshot().d2h_bytes;
+        let out = m.swap_out_ctx(CTX, &b, SwapReason::Unbind).unwrap();
+        assert_eq!(out.freed, 1536);
+        assert_eq!(out.writeback_bytes, 512);
+        assert_eq!(out.clean_bytes, 1024);
+        assert_eq!(metrics.snapshot().swap_bytes_skipped_clean, 1024);
+        assert_eq!(
+            b.gpu.stats().snapshot().d2h_bytes - d2h_before,
+            512,
+            "only the dirty entry crosses PCIe"
+        );
     }
 
     #[test]

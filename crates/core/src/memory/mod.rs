@@ -3,7 +3,9 @@
 pub mod manager;
 pub mod page_table;
 pub mod swap;
+pub mod transfer;
 
-pub use manager::{Materialize, MemoryConfig, MemoryManager, Recovery, SwapReason};
+pub use manager::{Materialize, MemoryConfig, MemoryManager, Recovery, SwapOutcome, SwapReason};
 pub use page_table::{Flags, PageTable, PageTableEntry, SwapSlab};
 pub use swap::SwapArea;
+pub use transfer::{PlanShape, TransferOp, TransferOutcome};

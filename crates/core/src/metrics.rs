@@ -13,6 +13,18 @@ pub struct RuntimeMetrics {
     pub inter_app_swaps: AtomicU64,
     /// Bytes moved device→swap by swap operations.
     pub swap_bytes: AtomicU64,
+    /// Bytes freed by `swap_out_ctx` without a writeback because the entry
+    /// was clean (swap slab already current) — bandwidth the deferral
+    /// machinery saved.
+    pub swap_bytes_skipped_clean: AtomicU64,
+    /// Transfer plans (materialize/swap/checkpoint batches) executed.
+    pub transfer_plans: AtomicU64,
+    /// Plans that put more than one transfer in flight at once (≥2 ops on
+    /// ≥2 copy-engine lanes).
+    pub transfer_overlap_events: AtomicU64,
+    /// `copy_d2d` calls served device-side (one bus copy) instead of the
+    /// host D2H+H2D double hop.
+    pub d2d_device_copies: AtomicU64,
     /// Contexts migrated between devices (dynamic binding), §5.3.4.
     pub migrations: AtomicU64,
     /// Connections relayed to another node, §4.7.
@@ -52,6 +64,10 @@ pub struct MetricsSnapshot {
     pub intra_app_swaps: u64,
     pub inter_app_swaps: u64,
     pub swap_bytes: u64,
+    pub swap_bytes_skipped_clean: u64,
+    pub transfer_plans: u64,
+    pub transfer_overlap_events: u64,
+    pub d2d_device_copies: u64,
     pub migrations: u64,
     pub offloaded_connections: u64,
     pub bindings: u64,
@@ -94,6 +110,10 @@ impl RuntimeMetrics {
             intra_app_swaps: self.intra_app_swaps.load(Ordering::Relaxed),
             inter_app_swaps: self.inter_app_swaps.load(Ordering::Relaxed),
             swap_bytes: self.swap_bytes.load(Ordering::Relaxed),
+            swap_bytes_skipped_clean: self.swap_bytes_skipped_clean.load(Ordering::Relaxed),
+            transfer_plans: self.transfer_plans.load(Ordering::Relaxed),
+            transfer_overlap_events: self.transfer_overlap_events.load(Ordering::Relaxed),
+            d2d_device_copies: self.d2d_device_copies.load(Ordering::Relaxed),
             migrations: self.migrations.load(Ordering::Relaxed),
             offloaded_connections: self.offloaded_connections.load(Ordering::Relaxed),
             bindings: self.bindings.load(Ordering::Relaxed),

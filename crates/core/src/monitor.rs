@@ -129,11 +129,11 @@ fn migrate_one(rt: &NodeRuntime, slow: &DeviceView, fast: &DeviceView) -> bool {
         // Reserve the fast slot first so we never strand the context.
         let Some(new) = rt.bindings().try_acquire_on(*ctx_id, fast.id) else { return false };
         match rt.memory().swap_out_ctx(*ctx_id, &old, SwapReason::Migration) {
-            Ok(bytes) => {
+            Ok(out) => {
                 rt.bindings().release(*ctx_id, old.vgpu);
                 rt.tracer().record(TraceEvent::SwappedOut {
                     ctx: *ctx_id,
-                    bytes,
+                    bytes: out.freed,
                     reason: SwapReason::Migration.into(),
                 });
                 rt.tracer().record(TraceEvent::Unbound {

@@ -68,7 +68,7 @@ pub struct NodeRuntime {
     /// if the number of pending contexts is below a given threshold").
     /// `i64::MAX` when offloading is disabled.
     local_slots: std::sync::atomic::AtomicI64,
-    tracer: Tracer,
+    tracer: Arc<Tracer>,
 }
 
 impl NodeRuntime {
@@ -80,24 +80,27 @@ impl NodeRuntime {
     /// misconfiguration: more vGPUs than the device supports contexts).
     pub fn start(driver: Arc<Driver>, cfg: RuntimeConfig) -> Arc<NodeRuntime> {
         let metrics = Arc::new(RuntimeMetrics::default());
+        let clock = driver.clock().clone();
+        let tracer = Arc::new(Tracer::new(clock.clone(), cfg.trace_capacity));
         let mm = MemoryManager::new(
             MemoryConfig {
                 defer_transfers: cfg.defer_transfers,
                 coalesce_transfers: cfg.coalesce_transfers,
                 intra_app_swap: cfg.intra_app_swap,
+                pipelined_transfers: cfg.pipelined_transfers,
+                max_inflight_transfers: cfg.max_inflight_transfers,
                 max_ptes_per_context: cfg.max_ptes_per_context,
                 swap_capacity: cfg.swap_capacity,
                 ..MemoryConfig::default()
             },
             Arc::clone(&metrics),
-        );
+        )
+        .with_tracer(Arc::clone(&tracer));
         let bm = BindingManager::new_seeded(cfg.scheduler, Arc::clone(&metrics), cfg.seed);
-        let clock = driver.clock().clone();
         let local_slots = match (cfg.offload_threshold, cfg.offload_peers.is_empty()) {
             (Some(t), false) => t as i64,
             _ => i64::MAX,
         };
-        let tracer = Tracer::new(clock.clone(), cfg.trace_capacity);
         let rt = Arc::new(NodeRuntime {
             cfg,
             clock,

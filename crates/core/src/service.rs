@@ -363,9 +363,11 @@ fn unbind_self(
     reason: SwapReason,
 ) -> Result<(), CudaError> {
     match rt.memory().swap_out_ctx(ctx.id, binding, reason) {
-        Ok(bytes) => {
-            rt.tracer().record(TraceEvent::SwappedOut { ctx: ctx.id, bytes, reason: reason.into() })
-        }
+        Ok(out) => rt.tracer().record(TraceEvent::SwappedOut {
+            ctx: ctx.id,
+            bytes: out.freed,
+            reason: reason.into(),
+        }),
         Err(CudaError::DeviceUnavailable) => {}
         Err(e) => return Err(e),
     }
@@ -440,13 +442,13 @@ fn try_inter_app_swap(rt: &NodeRuntime, requester: CtxId, binding: &Binding, nee
             continue;
         }
         match rt.memory().swap_out_ctx(victim_id, &vb, SwapReason::InterAppVictim) {
-            Ok(bytes) => {
+            Ok(out) => {
                 victim.inner().binding = None;
                 victim.stats.times_swapped_out.fetch_add(1, Ordering::Relaxed);
                 rt.bindings().release(victim_id, vb.vgpu);
                 rt.tracer().record(TraceEvent::SwappedOut {
                     ctx: victim_id,
-                    bytes,
+                    bytes: out.freed,
                     reason: SwapReason::InterAppVictim.into(),
                 });
                 rt.tracer().record(TraceEvent::Unbound {

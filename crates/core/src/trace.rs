@@ -31,6 +31,10 @@ pub enum TraceEvent {
     Unbound { ctx: CtxId, vgpu: VGpuId, reason: UnbindReason },
     /// A context's device-resident data was swapped out.
     SwappedOut { ctx: CtxId, bytes: u64, reason: SwapKindTag },
+    /// A transfer plan (materialize/swap/checkpoint batch) was executed:
+    /// `ops` transfers totalling `bytes`, spread over `lanes` copy-engine
+    /// lanes (`lanes > 1` means the plan overlapped transfers).
+    TransferPlan { ctx: CtxId, ops: u32, lanes: u32, bytes: u64 },
     /// A context migrated between devices (§5.3.4 dynamic binding).
     Migrated { ctx: CtxId, from: DeviceId, to: DeviceId },
     /// A checkpoint synchronized the context's dirty data (§4.6).

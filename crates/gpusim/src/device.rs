@@ -327,6 +327,17 @@ impl Gpu {
             + SimDuration::from_secs_f64(declared_len as f64 / self.spec.pcie_bytes_per_sec)
     }
 
+    /// Occupies one copy engine for a PCIe transfer of `declared_len`
+    /// bytes: round-robin placement by default, lane-pinned when a plan
+    /// executor dictates canonical placement.
+    fn occupy_copy(&self, declared_len: u64, lane: Option<usize>) {
+        let dur = self.copy_duration(declared_len);
+        match lane {
+            Some(l) => self.copy.occupy_on(l, dur),
+            None => self.copy.occupy(dur),
+        };
+    }
+
     /// Host-to-device transfer: `declared_len` bytes are charged against the
     /// PCIe model; `payload` (≤ `declared_len` real bytes) is stored at the
     /// target offset, clamped to the materialized prefix.
@@ -336,6 +347,31 @@ impl Gpu {
         dst: DeviceAddr,
         declared_len: u64,
         payload: &[u8],
+    ) -> Result<()> {
+        self.memcpy_h2d_inner(ctx, dst, declared_len, payload, None)
+    }
+
+    /// [`Gpu::memcpy_h2d`] pinned to copy-engine lane `lane % copy_engines`.
+    /// Transfer-plan executors use this so engine assignment follows plan
+    /// order, not thread scheduling.
+    pub fn memcpy_h2d_on(
+        &self,
+        ctx: GpuContextId,
+        dst: DeviceAddr,
+        declared_len: u64,
+        payload: &[u8],
+        lane: usize,
+    ) -> Result<()> {
+        self.memcpy_h2d_inner(ctx, dst, declared_len, payload, Some(lane))
+    }
+
+    fn memcpy_h2d_inner(
+        &self,
+        ctx: GpuContextId,
+        dst: DeviceAddr,
+        declared_len: u64,
+        payload: &[u8],
+        lane: Option<usize>,
     ) -> Result<()> {
         self.check_alive()?;
         if declared_len == 0 || payload.len() as u64 > declared_len {
@@ -355,7 +391,7 @@ impl Gpu {
                 });
             }
         }
-        self.copy.occupy(self.copy_duration(declared_len));
+        self.occupy_copy(declared_len, lane);
         self.check_alive()?;
         let mut st = self.state.lock();
         let (base, offset, _) = Self::resolve(&st, self.addr_salt, Some(ctx), dst)?;
@@ -379,6 +415,27 @@ impl Gpu {
         src: DeviceAddr,
         declared_len: u64,
     ) -> Result<Vec<u8>> {
+        self.memcpy_d2h_inner(ctx, src, declared_len, None)
+    }
+
+    /// [`Gpu::memcpy_d2h`] pinned to copy-engine lane `lane % copy_engines`.
+    pub fn memcpy_d2h_on(
+        &self,
+        ctx: GpuContextId,
+        src: DeviceAddr,
+        declared_len: u64,
+        lane: usize,
+    ) -> Result<Vec<u8>> {
+        self.memcpy_d2h_inner(ctx, src, declared_len, Some(lane))
+    }
+
+    fn memcpy_d2h_inner(
+        &self,
+        ctx: GpuContextId,
+        src: DeviceAddr,
+        declared_len: u64,
+        lane: Option<usize>,
+    ) -> Result<Vec<u8>> {
         self.check_alive()?;
         if declared_len == 0 {
             return Err(GpuError::InvalidValue);
@@ -397,7 +454,7 @@ impl Gpu {
                 });
             }
         }
-        self.copy.occupy(self.copy_duration(declared_len));
+        self.occupy_copy(declared_len, lane);
         self.check_alive()?;
         let st = self.state.lock();
         let (base, offset, _) = Self::resolve(&st, self.addr_salt, Some(ctx), src)?;
@@ -406,6 +463,63 @@ impl Gpu {
         let end = ((offset + declared_len) as usize).min(alloc.data.len());
         DeviceStats::add(&self.stats.d2h_bytes, declared_len);
         Ok(alloc.data[start..end].to_vec())
+    }
+
+    /// Device-internal copy between two allocations owned by `ctx`: charges
+    /// `declared_len` against the memory bus (not PCIe), moves the
+    /// materialized bytes available at the source offset, and never touches
+    /// the host. One copy engine is occupied for the duration.
+    pub fn memcpy_d2d(
+        &self,
+        ctx: GpuContextId,
+        dst: DeviceAddr,
+        src: DeviceAddr,
+        declared_len: u64,
+    ) -> Result<()> {
+        self.check_alive()?;
+        if declared_len == 0 {
+            return Err(GpuError::InvalidValue);
+        }
+        {
+            let st = self.state.lock();
+            if !st.contexts.contains_key(&ctx) {
+                return Err(GpuError::InvalidContext);
+            }
+            for addr in [src, dst] {
+                let (_, offset, alloc_len) = Self::resolve(&st, self.addr_salt, Some(ctx), addr)?;
+                if offset + declared_len > alloc_len {
+                    return Err(GpuError::OutOfBounds {
+                        addr: addr.0,
+                        len: declared_len,
+                        alloc_size: alloc_len,
+                    });
+                }
+            }
+        }
+        let dur = COPY_OVERHEAD
+            + SimDuration::from_secs_f64(declared_len as f64 / self.spec.mem_bytes_per_sec);
+        self.copy.occupy(dur);
+        self.check_alive()?;
+        let mut st = self.state.lock();
+        let (src_base, src_off, _) = Self::resolve(&st, self.addr_salt, Some(ctx), src)?;
+        // Stage through a temporary so src and dst may live in the same
+        // allocation (BTreeMap won't hand out two &mut into it anyway).
+        let bytes = {
+            let alloc = st.allocs.get(&src_base).expect("resolved allocation vanished");
+            let start = (src_off as usize).min(alloc.data.len());
+            let end = ((src_off + declared_len) as usize).min(alloc.data.len());
+            alloc.data[start..end].to_vec()
+        };
+        let (dst_base, dst_off, _) = Self::resolve(&st, self.addr_salt, Some(ctx), dst)?;
+        let alloc = st.allocs.get_mut(&dst_base).expect("resolved allocation vanished");
+        alloc.ensure_len(dst_off + bytes.len() as u64);
+        let start = dst_off as usize;
+        if start < alloc.data.len() {
+            let n = bytes.len().min(alloc.data.len() - start);
+            alloc.data[start..start + n].copy_from_slice(&bytes[..n]);
+        }
+        DeviceStats::add(&self.stats.d2d_bytes, declared_len);
+        Ok(())
     }
 
     /// Computes the simulated execution time of `work` on this device.
@@ -556,6 +670,59 @@ mod tests {
         gpu.memcpy_h2d(ctx, DeviceAddr(ptr.0 + 512), 4, &[1, 2, 3, 4]).unwrap();
         let back = gpu.memcpy_d2h(ctx, DeviceAddr(ptr.0 + 512), 4).unwrap();
         assert_eq!(back, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn d2d_copies_between_allocations() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let src = gpu.malloc(ctx, 1024).unwrap();
+        let dst = gpu.malloc(ctx, 1024).unwrap();
+        let data: Vec<u8> = (0..=255).cycle().take(1024).collect();
+        gpu.memcpy_h2d(ctx, src, 1024, &data).unwrap();
+        gpu.memcpy_d2d(ctx, dst, src, 1024).unwrap();
+        assert_eq!(gpu.memcpy_d2h(ctx, dst, 1024).unwrap(), data);
+        let snap = gpu.stats().snapshot();
+        assert_eq!(snap.d2d_bytes, 1024);
+        // D2D is charged against the memory bus, not the PCIe counters.
+        assert_eq!(snap.h2d_bytes, 1024);
+        assert_eq!(snap.d2h_bytes, 1024);
+    }
+
+    #[test]
+    fn d2d_within_one_allocation_and_bounds() {
+        let gpu = test_gpu();
+        let ctx = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(ctx, 1024).unwrap();
+        gpu.memcpy_h2d(ctx, ptr, 4, &[9, 8, 7, 6]).unwrap();
+        gpu.memcpy_d2d(ctx, DeviceAddr(ptr.0 + 512), ptr, 4).unwrap();
+        assert_eq!(gpu.memcpy_d2h(ctx, DeviceAddr(ptr.0 + 512), 4).unwrap(), vec![9, 8, 7, 6]);
+        let err = gpu.memcpy_d2d(ctx, DeviceAddr(ptr.0 + 1000), ptr, 100).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfBounds { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn d2d_respects_context_isolation() {
+        let gpu = test_gpu();
+        let a = gpu.create_context().unwrap();
+        let b = gpu.create_context().unwrap();
+        let theirs = gpu.malloc(a, 256).unwrap();
+        let mine = gpu.malloc(b, 256).unwrap();
+        assert_eq!(gpu.memcpy_d2d(b, mine, theirs, 16), Err(GpuError::InvalidAddress));
+        assert_eq!(gpu.memcpy_d2d(b, theirs, mine, 16), Err(GpuError::InvalidAddress));
+        assert_eq!(gpu.stats().snapshot().d2d_bytes, 0);
+    }
+
+    #[test]
+    fn lane_pinned_copies_are_functionally_identical() {
+        let gpu = Gpu::new(GpuSpec::tesla_c2050(), Clock::with_scale(1e-7), 0);
+        let ctx = gpu.create_context().unwrap();
+        let ptr = gpu.malloc(ctx, 256).unwrap();
+        // Lane indices far beyond the engine count wrap modulo the bank.
+        gpu.memcpy_h2d_on(ctx, ptr, 256, &[5u8; 256], 7).unwrap();
+        assert_eq!(gpu.memcpy_d2h_on(ctx, ptr, 256, 0).unwrap(), vec![5u8; 256]);
+        assert_eq!(gpu.stats().snapshot().h2d_bytes, 256);
+        assert_eq!(gpu.stats().snapshot().d2h_bytes, 256);
     }
 
     #[test]

@@ -9,6 +9,9 @@ pub struct DeviceStats {
     pub kernels_launched: AtomicU64,
     pub h2d_bytes: AtomicU64,
     pub d2h_bytes: AtomicU64,
+    /// Bytes moved device-internally (same-device `memcpy_d2d`), over the
+    /// memory bus rather than PCIe.
+    pub d2d_bytes: AtomicU64,
     pub allocs: AtomicU64,
     pub frees: AtomicU64,
     pub failed_allocs: AtomicU64,
@@ -22,6 +25,7 @@ pub struct DeviceStatsSnapshot {
     pub kernels_launched: u64,
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
+    pub d2d_bytes: u64,
     pub allocs: u64,
     pub frees: u64,
     pub failed_allocs: u64,
@@ -36,6 +40,7 @@ impl DeviceStats {
             kernels_launched: self.kernels_launched.load(Ordering::Relaxed),
             h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
             d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            d2d_bytes: self.d2d_bytes.load(Ordering::Relaxed),
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
             failed_allocs: self.failed_allocs.load(Ordering::Relaxed),

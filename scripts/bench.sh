@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the serial-vs-pipelined memory transfer benchmark and writes
+# results/BENCH_memory.json. Fails (nonzero exit) when the 2-engine
+# pipelined materialize misses the 1.4x gate or the 1-engine path drifts
+# more than 5% from its serial baseline. Extra args pass through to the
+# bench binary (e.g. --quick).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+# Absolute path: cargo runs the bench binary from the package dir, not
+# the workspace root.
+cargo bench -q -p mtgpu-bench --bench memory -- --gate 1.4 \
+    --out "$PWD/results/BENCH_memory.json" "$@"

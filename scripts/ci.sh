@@ -7,10 +7,14 @@
 #   tier 2  tests                cargo test -q --workspace
 #   tier 3  determinism smoke    fig7 --quick --virtual-clock --seed 42 runs
 #                                clean, then the sequential det-harness replay
-#                                of the fig7 shape must be bit-identical
+#                                of the fig7 shape must be bit-identical, and
+#                                the pipelined-transfer fingerprint must be
+#                                stable across three runs
 #   tier 4  dispatch stress      256-client TCP stress under a 60s timeout,
-#                                then a --quick loadgen smoke that fails if
-#                                the tenant fairness ratio exceeds 2.0
+#                                a --quick loadgen smoke that fails if the
+#                                tenant fairness ratio exceeds 2.0, then a
+#                                --quick memory-transfer bench gated on
+#                                pipelined >= serial on the 2-engine spec
 #
 # Usage: scripts/ci.sh [tier]   (default: all tiers)
 
@@ -54,7 +58,11 @@ if [[ "$tier" == "all" || "$tier" == "3" ]]; then
     # Bit-for-bit replay is the sequential det harness's contract:
     cargo test -q --test deterministic_repro fig7_shape_seed42 -- --exact \
         fig7_shape_seed42_replays_bit_for_bit > /dev/null
-    echo "fig7 smoke + seed-42 det-harness replay: ok"
+    # Copy-engine pipelining must not perturb replay: three runs of a
+    # multi-engine shape must produce one canonical fingerprint.
+    cargo test -q --test deterministic_repro pipelined -- --exact \
+        pipelined_path_fingerprint_stable_across_three_runs > /dev/null
+    echo "fig7 smoke + seed-42 det-harness replay + pipelined fingerprint: ok"
 fi
 
 if [[ "$tier" == "all" || "$tier" == "4" ]]; then
@@ -68,7 +76,11 @@ if [[ "$tier" == "all" || "$tier" == "4" ]]; then
     # tenant completion-time ratio gates scheduling fairness.
     ./target/release/loadgen --quick --max-fairness 2.0 \
         --out target/ci-loadgen-quick.json > /dev/null
-    echo "256-client stress + loadgen fairness smoke: ok"
+    # Transfer-pipelining smoke: on the 2-engine spec pipelined materialize
+    # must at least match serial (the full 1.4x gate runs via bench.sh).
+    cargo bench -q -p mtgpu-bench --bench memory -- --quick --gate 1.0 \
+        --out "$PWD/target/ci-bench-memory.json" 2> /dev/null
+    echo "256-client stress + loadgen fairness + memory bench smoke: ok"
 fi
 
 echo "CI: all requested tiers passed"

@@ -27,6 +27,47 @@ fn fig7_shape_seed42_replays_bit_for_bit() {
 }
 
 #[test]
+fn pipelined_path_fingerprint_stable_across_three_runs() {
+    // Copy-engine pipelining threads the materialize/swap hot path, so this
+    // shape forces multi-lane plans: every device gets two copy engines and
+    // each client carries enough buffers that round-end checkpoints and
+    // victim swap-outs sync several dirty entries in one plan. Footprints
+    // are sized so the node almost fits — co-tenants that fit accumulate
+    // four dirty buffers (multi-op plans), while the tightest device still
+    // overflows and swaps. Lane assignment is canonical (op i -> lane
+    // i % lanes), so three full runs must still collapse to one
+    // fingerprint.
+    let mk = || {
+        let mut spec = mtgpu::gpusim::GpuSpec::test_small();
+        spec.copy_engines = 2;
+        DetScenario {
+            clients: 6,
+            rounds: 2,
+            buffers_per_client: 4,
+            declared_base: 6656 * 1024,
+            checkpoint_each_round: true,
+            devices: vec![spec.clone(), spec.clone(), spec],
+            ..DetScenario::fig7_shape(42)
+        }
+    };
+    let runs = [run(mk()), run(mk()), run(mk())];
+    assert_eq!(runs[0].canonical(), runs[1].canonical(), "run 2 diverged");
+    assert_eq!(runs[0].canonical(), runs[2].canonical(), "run 3 diverged");
+
+    // The fingerprint must come out of the regime under test: overlapped
+    // multi-lane transfer plans, with swap traffic in the mix.
+    let a = &runs[0];
+    assert!(a.clients.iter().all(|c| c.verified), "data integrity under pipelining");
+    assert!(a.metrics.transfer_plans > 0, "no transfer plans recorded");
+    assert!(
+        a.metrics.transfer_overlap_events > 0,
+        "two-engine shape never overlapped: {} plans",
+        a.metrics.transfer_plans
+    );
+    assert!(a.metrics.total_swaps() > 0, "shape must swap");
+}
+
+#[test]
 fn fig9_unbalanced_shape_replays_bit_for_bit() {
     let a = run(DetScenario::fig9_shape(42));
     let b = run(DetScenario::fig9_shape(42));

@@ -135,3 +135,91 @@ fn combined_fault_timeline_replays_bit_for_bit() {
     assert!(a.clients[5].dropped);
     assert!(a.clients.iter().filter(|c| !c.dropped).all(|c| c.verified));
 }
+
+#[test]
+fn device_failure_mid_swap_leaves_page_table_consistent() {
+    // Direct manager-level probe of the pipelined swap-out path: the
+    // device dies while a two-lane writeback plan is in flight, so some
+    // entries have synced to their slabs and some have not. The failed
+    // `swap_out_ctx` must surface the error, never free an unsynced dirty
+    // entry, and leave every page-table entry in a state `on_device_lost`
+    // can classify — no silent data loss, no `allocated` entry without a
+    // device pointer.
+    use mtgpu::api::protocol::AllocKind;
+    use mtgpu::api::HostBuf;
+    use mtgpu::core::{
+        Binding, CtxId, MemoryConfig, MemoryManager, Recovery, RuntimeMetrics, SwapReason, VGpuId,
+    };
+    use mtgpu::gpusim::{Gpu, GpuSpec};
+    use mtgpu::simtime::Clock;
+    use std::sync::Arc;
+
+    const CTX: CtxId = CtxId(1);
+    // 128 MiB over the C2050's 4 GB/s PCIe model is ~33 ms of real wall
+    // time per writeback at clock scale 1.0; six of them across two lanes
+    // keep the plan in flight for ~100 ms — plenty of room to land a
+    // fault mid-plan.
+    const DECLARED: u64 = 128 << 20;
+    const PAYLOAD: usize = 2048;
+
+    let m = MemoryManager::new(MemoryConfig::default(), Arc::new(RuntimeMetrics::default()));
+    m.register_ctx(CTX);
+    let gpu = Gpu::new(GpuSpec::tesla_c2050(), Clock::with_scale(1.0), 0);
+    let gpu_ctx = gpu.create_context().unwrap();
+    let binding = Binding {
+        vgpu: VGpuId { device: mtgpu::gpusim::DeviceId(0), index: 0 },
+        gpu: Arc::clone(&gpu),
+        gpu_ctx,
+    };
+    let payloads: Vec<Vec<u8>> = (0..6).map(|i| vec![0xA0 + i as u8; PAYLOAD]).collect();
+    let bases: Vec<_> = payloads
+        .iter()
+        .map(|p| {
+            let v = m.malloc(CTX, DECLARED, AllocKind::Linear).unwrap();
+            m.copy_h2d(CTX, v, &HostBuf::with_shadow(DECLARED, p.clone()), None).unwrap();
+            v
+        })
+        .collect();
+    assert_eq!(m.materialize(CTX, &bases, &binding).unwrap(), mtgpu::core::Materialize::Ready);
+    m.mark_launched(CTX, &bases);
+
+    // Fault timer: fires ~40 ms into the ~100 ms writeback plan, after the
+    // first op per lane (~33 ms) but long before the later ones.
+    let killer = {
+        let gpu = Arc::clone(&gpu);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            gpu.fail();
+        })
+    };
+    let res = m.swap_out_ctx(CTX, &binding, SwapReason::Unbind);
+    killer.join().unwrap();
+    assert!(res.is_err(), "mid-plan device failure must surface: {res:?}");
+
+    // Per-entry consistency after the failed swap: an entry is either
+    // still allocated (sync or free never completed) or was fully swapped
+    // (freed, host-authoritative, marked for re-upload). Nothing in
+    // between.
+    let mut still_allocated = 0;
+    for &base in &bases {
+        let f = m.flags_of(CTX, base).unwrap();
+        if f.allocated {
+            still_allocated += 1;
+        } else {
+            assert!(f.to_dev && !f.to_swap, "freed entry must be host-authoritative: {f:?}");
+        }
+    }
+    assert!(still_allocated > 0, "a 40 ms fault cannot have let all six writebacks finish");
+
+    // The timer beat at least one writeback, so dirty device state was
+    // lost — recovery must say so explicitly rather than resume silently.
+    assert_eq!(m.on_device_lost(CTX), Recovery::LostDirtyData);
+    for (i, &base) in bases.iter().enumerate() {
+        let f = m.flags_of(CTX, base).unwrap();
+        assert!(!f.allocated && f.to_dev && !f.to_swap, "entry {i} not reset: {f:?}");
+        // Slabs still serve the last host-authoritative bytes — the upload
+        // payload — with no torn or partial writeback on top.
+        let buf = m.copy_d2h(CTX, base, PAYLOAD as u64, None).unwrap();
+        assert_eq!(buf.payload, payloads[i], "entry {i} slab corrupted");
+    }
+}
