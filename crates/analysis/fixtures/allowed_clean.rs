@@ -1,0 +1,12 @@
+// mtlint fixture: every hazard carries a well-formed allow, so the file
+// must lint clean (zero violations, several reported-but-allowed findings).
+use std::time::{Duration, Instant};
+
+fn allowed_hazards() {
+    // mtlint: allow(wall-clock, reason = "fixture: real-time watchdog deadline only")
+    let _t0 = Instant::now();
+    // mtlint: allow(thread-sleep, reason = "fixture: backoff outside any replay path")
+    std::thread::sleep(Duration::from_millis(1));
+    // mtlint: allow(notify-all, reason = "fixture: turnstile requires waking every waiter")
+    cv.notify_all();
+}

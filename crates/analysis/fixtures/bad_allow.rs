@@ -1,0 +1,10 @@
+// mtlint fixture: both annotations are malformed and must trip `bad-allow`
+// (and must NOT suppress the hazards they sit on).
+use std::time::Instant;
+
+fn hazards() {
+    // mtlint: allow(wall-clock)
+    let _a = Instant::now();
+    // mtlint: allow(wall-clock, reason = "")
+    let _b = Instant::now();
+}

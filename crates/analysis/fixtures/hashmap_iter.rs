@@ -1,0 +1,27 @@
+// mtlint fixture: every hazard below must trip `hashmap-iter`.
+// Not compiled — consumed as text by the lint's unit tests.
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    slots: HashMap<u32, String>,
+}
+
+fn hazards(t: &Table) -> usize {
+    let mut total = 0;
+    for (_k, v) in t.slots.iter() {
+        total += v.len(); // hazard 1: method iteration over a HashMap field
+    }
+    let mut seen = HashSet::new();
+    seen.insert(7u32);
+    for v in &seen {
+        total += *v as usize; // hazard 2: direct for-in over a HashSet
+    }
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    m.retain(|_, v| *v > 0); // hazard 3: retain visits in hash order
+    total
+}
+
+fn clean(t: &Table) -> Option<&String> {
+    t.slots.get(&1) // key access never observes iteration order
+}

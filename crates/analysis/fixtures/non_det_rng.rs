@@ -1,0 +1,6 @@
+// mtlint fixture: every line below must trip `non-det-rng`.
+fn hazards() {
+    let _r = rand::thread_rng();
+    let _s = StdRng::from_entropy();
+    let _h: std::collections::hash_map::RandomState = Default::default();
+}

@@ -1,0 +1,18 @@
+// mtlint fixture: hazards confined to #[cfg(test)] items are exempt — the
+// lint's contract covers shipped runtime code only.
+fn shipped() -> u32 {
+    41 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn timing_helper() {
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        cv.notify_all();
+        assert!(t0.elapsed() >= Duration::from_millis(1));
+    }
+}

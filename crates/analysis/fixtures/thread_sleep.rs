@@ -1,0 +1,6 @@
+// mtlint fixture: the sleep below must trip `thread-sleep`.
+use std::time::Duration;
+
+fn hazard() {
+    std::thread::sleep(Duration::from_millis(5));
+}

@@ -1,0 +1,8 @@
+// mtlint fixture: both reads below must trip `wall-clock`.
+use std::time::{Instant, SystemTime};
+
+fn hazards() -> u64 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    t0.elapsed().as_nanos() as u64
+}

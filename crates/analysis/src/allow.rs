@@ -1,0 +1,160 @@
+//! The inline escape hatch: `// mtlint: allow(<rule>, reason = "…")`.
+//!
+//! An allow suppresses findings of `<rule>` on its own line or on the line
+//! directly below it (the idiomatic placement is the line above the flagged
+//! code). The `reason` is mandatory and must be non-empty: an allow is a
+//! reviewed claim that the hazard is intentional, and the claim has to say
+//! why. A malformed or reason-less allow is itself reported as a
+//! `bad-allow` finding so `--deny` refuses it.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    pub line: usize,
+}
+
+/// All allows in one file, indexed by line, plus the malformed ones
+/// (already converted to findings).
+#[derive(Debug, Default)]
+pub struct AllowSet {
+    by_line: BTreeMap<usize, Vec<Allow>>,
+    pub bad: Vec<Finding>,
+}
+
+impl AllowSet {
+    /// Whether a finding of `rule` at `line` is suppressed.
+    pub fn permits(&self, rule: &str, line: usize) -> bool {
+        let at = |l: usize| self.by_line.get(&l).is_some_and(|v| v.iter().any(|a| a.rule == rule));
+        at(line) || (line > 1 && at(line - 1))
+    }
+
+    /// Every well-formed allow, in line order (used for reporting).
+    pub fn all(&self) -> impl Iterator<Item = &Allow> {
+        self.by_line.values().flatten()
+    }
+}
+
+const MARKER: &str = "mtlint:";
+
+/// Scans raw source lines for allow annotations. Line-based on purpose:
+/// allows live in comments, which the lexer strips.
+pub fn parse(path: &str, src: &str) -> AllowSet {
+    let mut set = AllowSet::default();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let Some(pos) = raw.find(MARKER) else { continue };
+        let rest = raw[pos + MARKER.len()..].trim_start();
+        match parse_clause(rest) {
+            Ok(Some((rule, reason))) => {
+                set.by_line.entry(line).or_default().push(Allow { rule, reason, line });
+            }
+            Ok(None) => {}
+            Err(why) => set.bad.push(Finding {
+                file: path.to_string(),
+                line,
+                rule: "bad-allow".to_string(),
+                message: why,
+                allowed: false,
+            }),
+        }
+    }
+    set
+}
+
+/// Parses the text after `mtlint:`. `Ok(None)` means the marker introduces
+/// something other than an allow (reserved for future directives).
+fn parse_clause(rest: &str) -> Result<Option<(String, String)>, String> {
+    let Some(body) = rest.strip_prefix("allow") else {
+        return Err(format!("unrecognized mtlint directive: `{}`", rest.trim()));
+    };
+    let body = body.trim_start();
+    let Some(body) = body.strip_prefix('(') else {
+        return Err("allow needs the form `allow(<rule>, reason = \"…\")`".to_string());
+    };
+    let Some(close) = body.rfind(')') else {
+        return Err("unterminated allow(…) clause".to_string());
+    };
+    let inner = &body[..close];
+    let (rule, tail) = match inner.split_once(',') {
+        Some((r, t)) => (r.trim(), t.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return Err("allow(…) names no rule".to_string());
+    }
+    if !crate::rules::RULES.contains(&rule) {
+        return Err(format!("allow(…) names unknown rule `{rule}`"));
+    }
+    let Some(reason) = tail.strip_prefix("reason") else {
+        return Err(format!("allow({rule}) is missing the mandatory `reason = \"…\"`"));
+    };
+    let reason = reason.trim_start();
+    let Some(reason) = reason.strip_prefix('=') else {
+        return Err(format!("allow({rule}): expected `reason = \"…\"`"));
+    };
+    let reason = reason.trim();
+    let unquoted = reason.strip_prefix('"').and_then(|r| r.strip_suffix('"'));
+    let Some(text) = unquoted else {
+        return Err(format!("allow({rule}): reason must be a quoted string"));
+    };
+    if text.trim().is_empty() {
+        return Err(format!("allow({rule}): reason must not be empty"));
+    }
+    Ok(Some((rule.to_string(), text.to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_allow_parses_and_permits_line_below() {
+        let set = parse(
+            "f.rs",
+            "// mtlint: allow(thread-sleep, reason = \"monitor cadence\")\nsleep();\n",
+        );
+        assert!(set.bad.is_empty());
+        assert!(set.permits("thread-sleep", 1));
+        assert!(set.permits("thread-sleep", 2));
+        assert!(!set.permits("thread-sleep", 3));
+        assert!(!set.permits("wall-clock", 2));
+    }
+
+    #[test]
+    fn missing_reason_is_bad_allow() {
+        let set = parse("f.rs", "// mtlint: allow(wall-clock)\n");
+        assert_eq!(set.bad.len(), 1);
+        assert!(set.bad[0].message.contains("mandatory"));
+        assert!(!set.permits("wall-clock", 1));
+    }
+
+    #[test]
+    fn empty_reason_is_bad_allow() {
+        let set = parse("f.rs", "// mtlint: allow(wall-clock, reason = \"  \")\n");
+        assert_eq!(set.bad.len(), 1);
+        assert!(set.bad[0].message.contains("empty"));
+    }
+
+    #[test]
+    fn unknown_rule_is_bad_allow() {
+        let set = parse("f.rs", "// mtlint: allow(made-up, reason = \"x\")\n");
+        assert_eq!(set.bad.len(), 1);
+        assert!(set.bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn reason_may_contain_commas_and_parens() {
+        let set = parse(
+            "f.rs",
+            "// mtlint: allow(notify-all, reason = \"turnstile (all waiters, on purpose)\")\n",
+        );
+        assert!(set.bad.is_empty(), "{:?}", set.bad);
+        assert!(set.permits("notify-all", 1));
+        assert_eq!(set.all().next().unwrap().reason, "turnstile (all waiters, on purpose)");
+    }
+}

@@ -1,0 +1,352 @@
+//! A minimal hand-rolled Rust lexer — just enough fidelity for mtlint's
+//! token-pattern rules.
+//!
+//! Produces identifiers, punctuation, and literals with their 1-based line
+//! numbers; comments and whitespace are stripped. The tricky corners that
+//! matter for not mis-lexing real workspace code are handled: nested block
+//! comments, string escapes, raw strings (`r"…"`, `r#"…"#`), byte strings,
+//! and the lifetime-vs-char-literal ambiguity after `'`.
+
+/// Token category. Rules mostly match on [`Token::text`]; the kind
+/// disambiguates `'a` (lifetime) from `'a'` (literal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    Literal,
+    Lifetime,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: impl Into<String>, line: usize) -> Self {
+        Token { kind, text: text.into(), line }
+    }
+}
+
+/// Lexes `src` into a token stream. Never panics on malformed input; an
+/// unterminated literal simply consumes to end of file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            let l = line;
+            i = skip_string(&b, i, &mut line);
+            out.push(Token::new(TokKind::Literal, "\"\"", l));
+        } else if c == '\'' {
+            let l = line;
+            if b.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: '\n', '\u{..}', …
+                i += 2;
+                while i < b.len() && b[i] != '\'' {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                out.push(Token::new(TokKind::Literal, "''", l));
+            } else if b.get(i + 2) == Some(&'\'') {
+                // Simple char literal: 'a'.
+                i += 3;
+                out.push(Token::new(TokKind::Literal, "''", l));
+            } else {
+                // Lifetime: 'a, 'static, '_.
+                i += 1;
+                let start = i;
+                while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                out.push(Token::new(TokKind::Lifetime, text, l));
+            }
+        } else if c.is_ascii_digit() {
+            let l = line;
+            let start = i;
+            while i < b.len() {
+                let d = b[i];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                    // Consume `1.5` but stop before `0..n` and `x.0.iter()`.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            out.push(Token::new(TokKind::Literal, text, l));
+        } else if c == '_' || c.is_alphanumeric() {
+            let l = line;
+            let start = i;
+            while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            if (text == "r" || text == "br") && matches!(b.get(i), Some('"') | Some('#')) {
+                let mut hashes = 0;
+                while b.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                if b.get(i) == Some(&'"') {
+                    // Raw (byte) string: scan for `"` followed by `hashes` #s.
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == '\n' {
+                            line += 1;
+                            i += 1;
+                        } else if b[i] == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#'))
+                        {
+                            i += 1 + hashes;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    out.push(Token::new(TokKind::Literal, "\"\"", l));
+                } else {
+                    // Raw identifier (`r#type`): lex the ident after the #s.
+                    let start = i;
+                    while i < b.len() && (b[i] == '_' || b[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                    let text: String = b[start..i].iter().collect();
+                    out.push(Token::new(TokKind::Ident, text, l));
+                }
+            } else if text == "b" && b.get(i) == Some(&'"') {
+                i = skip_string(&b, i, &mut line);
+                out.push(Token::new(TokKind::Literal, "\"\"", l));
+            } else {
+                out.push(Token::new(TokKind::Ident, text, l));
+            }
+        } else if c == ':' && b.get(i + 1) == Some(&':') {
+            out.push(Token::new(TokKind::Punct, "::", line));
+            i += 2;
+        } else {
+            out.push(Token::new(TokKind::Punct, c.to_string(), line));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// just past the closing quote and updates `line` for embedded newlines.
+fn skip_string(b: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            // An escape may hide a newline (string line-continuation).
+            '\\' => {
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Removes every `#[cfg(test)]`-gated item (attribute through closing brace
+/// or semicolon) from the stream. Test modules are full of deliberate
+/// sleeps, wall-clock reads, and raw locks; the lint's contract covers
+/// shipped runtime code only.
+pub fn strip_test_regions(toks: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(&toks, i) {
+            i = skip_attr(&toks, i);
+            while i < toks.len() && toks[i].text == "#" {
+                i = skip_attr(&toks, i);
+            }
+            let mut depth = 0usize;
+            while i < toks.len() {
+                match toks[i].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
+    let t = |k: usize| toks.get(i + k).map(|t| t.text.as_str());
+    t(0) == Some("#")
+        && t(1) == Some("[")
+        && t(2) == Some("cfg")
+        && t(3) == Some("(")
+        && t(4) == Some("test")
+        && t(5) == Some(")")
+        && t(6) == Some("]")
+}
+
+/// Skips a `#[…]` attribute starting at `#`; returns the index just past
+/// the matching `]`.
+fn skip_attr(toks: &[Token], mut i: usize) -> usize {
+    debug_assert_eq!(toks[i].text, "#");
+    i += 1;
+    if toks.get(i).map(|t| t.text.as_str()) != Some("[") {
+        return i;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        assert_eq!(texts("a.b::c()"), ["a", ".", "b", "::", "c", "(", ")"]);
+    }
+
+    #[test]
+    fn comments_are_stripped_and_lines_tracked() {
+        let toks = lex("// top\nfoo /* multi\nline */ bar");
+        assert_eq!(toks.len(), 2);
+        assert_eq!((toks[0].text.as_str(), toks[0].line), ("foo", 2));
+        assert_eq!((toks[1].text.as_str(), toks[1].line), ("bar", 3));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        assert_eq!(texts("/* a /* b */ c */ x"), ["x"]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        assert_eq!(texts(r#"f("a\"b") g"#), ["f", "(", "\"\"", ")", "g"]);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        let toks = lex("let s = \"a \\\n   b \\\n   c\";\nnext");
+        let next = toks.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 4);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        assert_eq!(texts(r###"x r#"quote " inside"# y"###), ["x", "\"\"", "y"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'q'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.clone()).collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(toks.iter().filter(|t| t.text == "''").count(), 1);
+    }
+
+    #[test]
+    fn tuple_index_method_call_survives() {
+        // `.0.iter()` must not swallow `iter` into the number literal.
+        assert!(texts("t.0.iter()").contains(&"iter".to_string()));
+    }
+
+    #[test]
+    fn float_and_range_literals() {
+        assert_eq!(texts("1.5 0..10"), ["1.5", "0", ".", ".", "10"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn dead() { sleep(); } }\nfn tail() {}";
+        let toks = strip_test_regions(lex(src));
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"live"));
+        assert!(texts.contains(&"tail"));
+        assert!(!texts.contains(&"sleep"));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attr_and_semicolon_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nuse std::thread::sleep;\nfn live() {}";
+        let toks = strip_test_regions(lex(src));
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(!texts.contains(&"sleep"));
+        assert!(texts.contains(&"live"));
+    }
+}

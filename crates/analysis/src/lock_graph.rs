@@ -1,0 +1,242 @@
+//! The workspace lock graph.
+//!
+//! Rank declarations are harvested from `crates/simtime/src/sync.rs`
+//! (`pub const NAME: LockRank = LockRank { value: N, name: "…" }`) and
+//! construction sites from the runtime crates
+//! (`RankedMutex::new(lock_rank::NAME, …)` / `RankedRwLock::new(…)`).
+//!
+//! Because ranks impose a total acquisition order, the legal graph is the
+//! chain of declared ranks in ascending order; an edge `A → B` reads "A may
+//! be held while acquiring B". A *cycle* in this model is a pair of locks
+//! with equal rank values — neither orders before the other, so the runtime
+//! checker cannot separate them and the order is ambiguous. Undeclared
+//! ranks referenced at a construction site are also errors.
+
+use crate::lexer::{self, Token};
+use crate::report::json_escape;
+
+/// One declared rank with every construction site that uses it.
+#[derive(Debug, Clone)]
+pub struct LockNode {
+    pub name: String,
+    pub rank: u64,
+    pub sites: Vec<Site>,
+}
+
+/// One `Ranked*::new(lock_rank::…, …)` construction site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub rank_name: String,
+    pub kind: String,
+    pub file: String,
+    pub line: usize,
+}
+
+/// The assembled graph plus any consistency errors.
+#[derive(Debug)]
+pub struct LockGraph {
+    pub nodes: Vec<LockNode>,
+    /// Ascending-rank chain: `(outer, inner)` pairs.
+    pub edges: Vec<(String, String)>,
+    pub errors: Vec<String>,
+}
+
+impl LockGraph {
+    pub fn acyclic(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Extracts `(name, value)` pairs from the `lock_rank` module source.
+/// Test-only ranks (sync.rs's own unit tests declare a few) are excluded.
+pub fn parse_ranks(sync_src: &str) -> Vec<(String, u64)> {
+    let toks = lexer::strip_test_regions(lexer::lex(sync_src));
+    let text = |k: usize| toks.get(k).map(|t| t.text.as_str());
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text == "const"
+            && text(i + 2) == Some(":")
+            && text(i + 3) == Some("LockRank")
+            && text(i + 4) == Some("=")
+            && text(i + 5) == Some("LockRank")
+            && text(i + 6) == Some("{")
+            && text(i + 7) == Some("value")
+            && text(i + 8) == Some(":")
+        {
+            let name = toks[i + 1].text.clone();
+            if let Some(value) = toks.get(i + 9).and_then(|t| t.text.parse::<u64>().ok()) {
+                out.push((name, value));
+            }
+        }
+    }
+    out
+}
+
+/// Harvests ranked-lock construction sites from one file's token stream.
+pub fn collect_sites(path: &str, toks: &[Token], out: &mut Vec<Site>) {
+    let text = |k: usize| toks.get(k).map(|t| t.text.as_str());
+    for i in 0..toks.len() {
+        if matches!(toks[i].text.as_str(), "RankedMutex" | "RankedRwLock")
+            && text(i + 1) == Some("::")
+            && text(i + 2) == Some("new")
+            && text(i + 3) == Some("(")
+            && text(i + 4) == Some("lock_rank")
+            && text(i + 5) == Some("::")
+        {
+            if let Some(rank_tok) = toks.get(i + 6) {
+                out.push(Site {
+                    rank_name: rank_tok.text.clone(),
+                    kind: toks[i].text.clone(),
+                    file: path.to_string(),
+                    line: toks[i].line,
+                });
+            }
+        }
+    }
+}
+
+/// Assembles the graph and runs the consistency checks.
+pub fn build(ranks: &[(String, u64)], sites: Vec<Site>) -> LockGraph {
+    let mut errors = Vec::new();
+    let mut nodes: Vec<LockNode> = ranks
+        .iter()
+        .map(|(name, rank)| LockNode { name: name.clone(), rank: *rank, sites: Vec::new() })
+        .collect();
+    nodes.sort_by_key(|n| (n.rank, n.name.clone()));
+    for pair in nodes.windows(2) {
+        if pair[0].rank == pair[1].rank {
+            errors.push(format!(
+                "rank cycle: {} and {} share rank {} — neither orders before the other",
+                pair[0].name, pair[1].name, pair[0].rank
+            ));
+        }
+    }
+    for site in sites {
+        match nodes.iter_mut().find(|n| n.name == site.rank_name) {
+            Some(node) => node.sites.push(site),
+            None => errors.push(format!(
+                "{}:{}: {}::new references undeclared rank lock_rank::{}",
+                site.file, site.line, site.kind, site.rank_name
+            )),
+        }
+    }
+    for node in &mut nodes {
+        node.sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+    let edges = nodes.windows(2).map(|pair| (pair[0].name.clone(), pair[1].name.clone())).collect();
+    LockGraph { nodes, edges, errors }
+}
+
+impl LockGraph {
+    /// Machine-readable form, written to `results/lock_graph.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"acyclic\": ");
+        s.push_str(if self.acyclic() { "true" } else { "false" });
+        s.push_str(",\n  \"nodes\": [\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"rank\": {}, \"sites\": [",
+                json_escape(&n.name),
+                n.rank
+            ));
+            for (j, site) in n.sites.iter().enumerate() {
+                s.push_str(&format!(
+                    "{{\"kind\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                    json_escape(&site.kind),
+                    json_escape(&site.file),
+                    site.line
+                ));
+                if j + 1 < n.sites.len() {
+                    s.push_str(", ");
+                }
+            }
+            s.push_str("]}");
+            s.push_str(if i + 1 < self.nodes.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n  \"edges\": [\n");
+        for (i, (a, b)) in self.edges.iter().enumerate() {
+            s.push_str(&format!("    [\"{}\", \"{}\"]", json_escape(a), json_escape(b)));
+            s.push_str(if i + 1 < self.edges.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n  \"errors\": [\n");
+        for (i, e) in self.errors.iter().enumerate() {
+            s.push_str(&format!("    \"{}\"", json_escape(e)));
+            s.push_str(if i + 1 < self.errors.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Graphviz form, written to `results/lock_graph.dot`.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from(
+            "digraph lock_order {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
+        for n in &self.nodes {
+            let files: Vec<&str> = {
+                let mut fs: Vec<&str> = n.sites.iter().map(|s| s.file.as_str()).collect();
+                fs.dedup();
+                fs
+            };
+            let label = if files.is_empty() {
+                format!("{} ({})", n.name, n.rank)
+            } else {
+                format!("{} ({})\\n{}", n.name, n.rank, files.join("\\n"))
+            };
+            s.push_str(&format!("  \"{}\" [label=\"{}\"];\n", n.name, label));
+        }
+        for (a, b) in &self.edges {
+            s.push_str(&format!("  \"{a}\" -> \"{b}\";\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SYNC_SRC: &str = r#"
+        pub mod lock_rank {
+            pub const OUTER: LockRank = LockRank { value: 10, name: "OUTER" };
+            pub const INNER: LockRank = LockRank { value: 20, name: "INNER" };
+            pub const ALL: &[LockRank] = &[OUTER, INNER];
+        }
+    "#;
+
+    #[test]
+    fn ranks_parse_and_all_is_skipped() {
+        let ranks = parse_ranks(SYNC_SRC);
+        assert_eq!(ranks, [("OUTER".to_string(), 10), ("INNER".to_string(), 20)]);
+    }
+
+    #[test]
+    fn chain_edges_follow_ascending_rank() {
+        let g = build(&parse_ranks(SYNC_SRC), Vec::new());
+        assert!(g.acyclic());
+        assert_eq!(g.edges, [("OUTER".to_string(), "INNER".to_string())]);
+    }
+
+    #[test]
+    fn duplicate_rank_is_a_cycle() {
+        let ranks = vec![("A".to_string(), 10), ("B".to_string(), 10)];
+        let g = build(&ranks, Vec::new());
+        assert!(!g.acyclic());
+        assert!(g.errors[0].contains("share rank 10"));
+    }
+
+    #[test]
+    fn sites_attach_to_nodes_and_unknown_ranks_error() {
+        let src = "let a = RankedMutex::new(lock_rank::OUTER, ());\nlet b = RankedRwLock::new(lock_rank::GHOST, ());";
+        let mut sites = Vec::new();
+        collect_sites("core/x.rs", &lexer::lex(src), &mut sites);
+        assert_eq!(sites.len(), 2);
+        let g = build(&parse_ranks(SYNC_SRC), sites);
+        assert_eq!(g.nodes.iter().find(|n| n.name == "OUTER").unwrap().sites.len(), 1);
+        assert!(g.errors.iter().any(|e| e.contains("GHOST")));
+        let json = g.to_json();
+        assert!(json.contains("\"acyclic\": false"));
+        assert!(g.to_dot().contains("\"OUTER\" -> \"INNER\""));
+    }
+}

@@ -1,0 +1,92 @@
+//! Hand-rolled JSON emission for the machine-readable reports. The crate
+//! is dependency-free, so the small amount of JSON it writes is assembled
+//! by hand; `json_escape` covers the full set of mandatory escapes.
+
+use crate::rules::Finding;
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The full lint report (`results/mtlint.json`): per-rule totals plus every
+/// finding, suppressed ones included with their `allowed` flag so tooling
+/// can audit the escape hatches.
+pub fn lint_json(files_scanned: usize, findings: &[Finding]) -> String {
+    let violations = findings.iter().filter(|f| !f.allowed).count();
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    s.push_str(&format!("  \"violations\": {violations},\n"));
+    s.push_str(&format!("  \"allowed\": {},\n", findings.len() - violations));
+    s.push_str("  \"by_rule\": {");
+    let mut rules: Vec<&str> = crate::rules::RULES.to_vec();
+    rules.push("bad-allow");
+    for (i, rule) in rules.iter().enumerate() {
+        let n = findings.iter().filter(|f| f.rule == *rule && !f.allowed).count();
+        s.push_str(&format!("\"{rule}\": {n}"));
+        if i + 1 < rules.len() {
+            s.push_str(", ");
+        }
+    }
+    s.push_str("},\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"allowed\": {}, \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            f.allowed,
+            json_escape(&f.message)
+        ));
+        s.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_backslash_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn report_counts_violations_and_allowed_separately() {
+        let findings = vec![
+            Finding {
+                file: "a.rs".into(),
+                line: 1,
+                rule: "wall-clock".into(),
+                message: "m".into(),
+                allowed: false,
+            },
+            Finding {
+                file: "a.rs".into(),
+                line: 2,
+                rule: "thread-sleep".into(),
+                message: "m".into(),
+                allowed: true,
+            },
+        ];
+        let json = lint_json(1, &findings);
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"allowed\": 1"));
+        assert!(json.contains("\"wall-clock\": 1"));
+        assert!(json.contains("\"thread-sleep\": 0"));
+    }
+}

@@ -1,26 +1,69 @@
-//! Dispatcher throughput: the seed (single-lock, broadcast-wakeup)
-//! binding manager against the sharded one, under acquire/release churn
-//! from 8, 64 and 256 client threads on a 4-device node.
+//! Dispatcher throughput + ranked-lock overhead gate.
 //!
-//! Every episode performs the same total number of bind/unbind cycles
-//! (spread across the client threads), so times are directly comparable
-//! across client counts: growth with the thread count is pure contention
-//! cost. The seed implementation wakes every parked waiter on each release
-//! (O(W²) re-scans); the sharded one wakes exactly the granted waiter.
+//! Part 1 (throughput): the seed (single-lock, broadcast-wakeup) binding
+//! manager against the sharded one, under acquire/release churn from 8, 64
+//! and 256 client threads on a 4-device node. Every episode performs the
+//! same total number of bind/unbind cycles, so times are directly
+//! comparable across client counts: growth with the thread count is pure
+//! contention cost.
+//!
+//! Part 2 (rank gate): the runtime lock-order checker lives behind
+//! `#[cfg(debug_assertions)]`, so release builds must compile
+//! `RankedMutex` down to the raw mutex it wraps. This bench measures
+//! uncontended lock/unlock on both and fails (`--gate-rank RATIO`,
+//! default 1.02) if the ranked wrapper costs more than RATIO× the raw
+//! shim mutex — i.e. the rank bookkeeping must be zero overhead within 2%.
+//! Debug builds report the ratio but never gate on it (the bookkeeping is
+//! supposed to cost something there).
+//!
+//! Emits a JSON report (default `results/BENCH_dispatch.json`) and exits
+//! nonzero on gate failure.
+//!
+//! Usage: dispatch [--quick] [--gate-rank RATIO] [--out PATH]
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mtgpu_core::{
     AppContext, BindingManager, CtxId, LegacyBindingManager, RuntimeMetrics, SchedulerPolicy,
 };
 use mtgpu_gpusim::{DeviceId, Gpu, GpuSpec};
-use mtgpu_simtime::Clock;
+use mtgpu_simtime::{lock_rank, Clock, RankedMutex};
+use serde::Serialize;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const DEVICES: u32 = 4;
 const VGPUS_PER_DEVICE: u32 = 4;
 /// Total acquire/release cycles per episode, split across clients.
 const EPISODE_OPS: usize = 2048;
+
+#[derive(Serialize)]
+struct ThroughputCase {
+    dispatcher: String,
+    clients: usize,
+    episode_ops: usize,
+    best_nanos: u64,
+    ops_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct RankGate {
+    iters: u64,
+    raw_nanos_per_op: f64,
+    ranked_nanos_per_op: f64,
+    /// ranked / raw (1.0 = identical cost).
+    overhead_ratio: f64,
+    max_ratio: f64,
+    debug_build: bool,
+    /// Always true in debug builds (the gate only binds in release).
+    pass: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    quick: bool,
+    throughput: Vec<ThroughputCase>,
+    rank_gate: RankGate,
+}
 
 /// The surface both dispatchers share, for generic episodes.
 trait Dispatcher: Send + Sync + 'static {
@@ -69,30 +112,132 @@ fn episode<D: Dispatcher>(bm: &Arc<D>, clients: usize) {
     }
 }
 
-fn bench_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dispatch");
-    group.sample_size(10);
-    for clients in [8usize, 64, 256] {
+/// Best-of-`samples` episode time for one dispatcher at one client count.
+fn measure<D: Dispatcher>(bm: &Arc<D>, clients: usize, samples: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        episode(bm, clients);
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Best-of-`samples` time for `iters` uncontended lock/unlock pairs.
+fn lock_loop(iters: u64, samples: usize, mut lock_unlock: impl FnMut()) -> f64 {
+    let mut best = u64::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            lock_unlock();
+        }
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best as f64 / iters as f64
+}
+
+fn rank_gate(iters: u64, samples: usize, max_ratio: f64) -> RankGate {
+    let raw = parking_lot::Mutex::new(0u64);
+    let raw_nanos = lock_loop(iters, samples, || {
+        *std::hint::black_box(&raw).lock() += 1;
+    });
+    let ranked = RankedMutex::new(lock_rank::MM_STATE, 0u64);
+    let ranked_nanos = lock_loop(iters, samples, || {
+        *std::hint::black_box(&ranked).lock() += 1;
+    });
+    let overhead_ratio = ranked_nanos / raw_nanos;
+    let debug_build = cfg!(debug_assertions);
+    RankGate {
+        iters,
+        raw_nanos_per_op: raw_nanos,
+        ranked_nanos_per_op: ranked_nanos,
+        overhead_ratio,
+        max_ratio,
+        debug_build,
+        pass: debug_build || overhead_ratio <= max_ratio,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut max_ratio = 1.02f64;
+    let mut out_path = "results/BENCH_dispatch.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--gate-rank" => {
+                max_ratio = it.next().expect("--gate-rank RATIO").parse().expect("ratio")
+            }
+            "--out" => out_path = it.next().expect("--out PATH").clone(),
+            // cargo bench passes --bench through to the harness binary.
+            "--bench" => {}
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let client_counts: &[usize] = if quick { &[8, 64] } else { &[8, 64, 256] };
+    let samples = if quick { 3 } else { 10 };
+
+    let mut throughput = Vec::new();
+    for &clients in client_counts {
         let seed = Arc::new(LegacyBindingManager::new(
             SchedulerPolicy::FcfsRoundRobin,
             Arc::new(RuntimeMetrics::default()),
         ));
         add_devices(|id, gpu, n| seed.add_device(id, gpu, n).unwrap());
-        group.bench_function(format!("seed/{clients}_clients"), |b| {
-            b.iter(|| episode(&seed, clients));
-        });
+        let seed_best = measure(&seed, clients, samples);
 
         let sharded = Arc::new(BindingManager::new(
             SchedulerPolicy::FcfsRoundRobin,
             Arc::new(RuntimeMetrics::default()),
         ));
         add_devices(|id, gpu, n| sharded.add_device(id, gpu, n).unwrap());
-        group.bench_function(format!("sharded/{clients}_clients"), |b| {
-            b.iter(|| episode(&sharded, clients));
-        });
-    }
-    group.finish();
-}
+        let sharded_best = measure(&sharded, clients, samples);
 
-criterion_group!(benches, bench_dispatch);
-criterion_main!(benches);
+        for (name, best) in [("seed", seed_best), ("sharded", sharded_best)] {
+            eprintln!(
+                "{name:<8} clients={clients:<4} best={:>8.2}ms ({:>10.0} ops/s)",
+                best as f64 / 1e6,
+                EPISODE_OPS as f64 * 1e9 / best as f64
+            );
+            throughput.push(ThroughputCase {
+                dispatcher: name.to_string(),
+                clients,
+                episode_ops: EPISODE_OPS,
+                best_nanos: best,
+                ops_per_sec: EPISODE_OPS as f64 * 1e9 / best as f64,
+            });
+        }
+    }
+
+    let (iters, rank_samples) = if quick { (500_000, 3) } else { (2_000_000, 5) };
+    let gate = rank_gate(iters, rank_samples, max_ratio);
+    eprintln!(
+        "rank overhead: raw={:.2}ns ranked={:.2}ns ratio={:.4} (max {:.2}, {} build) => {}",
+        gate.raw_nanos_per_op,
+        gate.ranked_nanos_per_op,
+        gate.overhead_ratio,
+        gate.max_ratio,
+        if gate.debug_build { "debug" } else { "release" },
+        if gate.pass { "PASS" } else { "FAIL" }
+    );
+
+    let report = Report { bench: "dispatch".to_string(), quick, throughput, rank_gate: gate };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("report: {out_path}");
+    if !report.rank_gate.pass {
+        eprintln!(
+            "FAIL: RankedMutex costs {:.2}% over the raw mutex in release; rank bookkeeping must compile out",
+            (report.rank_gate.overhead_ratio - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+}

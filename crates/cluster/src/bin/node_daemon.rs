@@ -127,6 +127,7 @@ fn main() {
     );
     // Serve until killed, reporting load periodically on stderr.
     loop {
+        // mtlint: allow(thread-sleep, reason = "daemon load-report cadence in real wall time; the daemon serves live TCP clients and is never replayed")
         std::thread::sleep(Duration::from_secs(5));
         let load = node.runtime().load();
         eprintln!(

@@ -77,6 +77,7 @@ impl ClusterNode {
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            // mtlint: allow(thread-sleep, reason = "non-blocking TCP accept backoff on a real OS socket; outside every deterministic replay path")
                             std::thread::sleep(Duration::from_millis(1));
                         }
                         Err(_) => break,

@@ -13,7 +13,7 @@ use crate::torque::GpuVisibility;
 use mtgpu_simtime::{Clock, Stopwatch};
 use mtgpu_workloads::{register_workload, Workload, WorkloadReport};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -48,7 +48,8 @@ impl JobState {
 }
 
 struct QueueState {
-    jobs: HashMap<JobId, JobState>,
+    /// Ordered by id so `qstat`-style iteration is deterministic.
+    jobs: BTreeMap<JobId, JobState>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -87,7 +88,7 @@ impl JobQueue {
             visibility,
             next_id: AtomicU64::new(1),
             rr: AtomicU64::new(0),
-            state: Mutex::new(QueueState { jobs: HashMap::new(), handles: Vec::new() }),
+            state: Mutex::new(QueueState { jobs: BTreeMap::new(), handles: Vec::new() }),
             cv: Condvar::new(),
         })
     }
@@ -128,6 +129,7 @@ impl JobQueue {
 
     fn set_state(&self, id: JobId, state: JobState) {
         self.state.lock().jobs.insert(id, state);
+        // mtlint: allow(notify-all, reason = "qstat waiters block on distinct job ids; every waiter must re-check its own job after any state change")
         self.cv.notify_all();
     }
 
@@ -136,12 +138,10 @@ impl JobQueue {
         self.state.lock().jobs.get(&id).cloned()
     }
 
-    /// All jobs and their states, sorted by id.
+    /// All jobs and their states, sorted by id (the `BTreeMap` order).
     pub fn qstat(&self) -> Vec<(JobId, JobState)> {
         let st = self.state.lock();
-        let mut jobs: Vec<_> = st.jobs.iter().map(|(&id, s)| (id, s.clone())).collect();
-        jobs.sort_by_key(|&(id, _)| id);
-        jobs
+        st.jobs.iter().map(|(&id, s)| (id, s.clone())).collect()
     }
 
     /// Blocks until `id` reaches a terminal state and returns it.

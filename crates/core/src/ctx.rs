@@ -3,9 +3,9 @@
 use mtgpu_api::CudaError;
 use mtgpu_gpusim::kernel::RegisteredKernel;
 use mtgpu_gpusim::{DeviceId, Gpu, GpuContextId, LaunchConfig};
-use parking_lot::{Mutex, MutexGuard};
+use mtgpu_simtime::{lock_rank, RankedMutex, RankedMutexGuard};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -51,8 +51,9 @@ impl std::fmt::Debug for Binding {
 /// Mutable metadata of a context (short-held lock).
 #[derive(Default)]
 pub struct CtxInner {
-    /// Kernels registered by this application thread.
-    pub kernels: HashMap<String, RegisteredKernel>,
+    /// Kernels registered by this application thread (ordered so that any
+    /// future iteration is deterministic).
+    pub kernels: BTreeMap<String, RegisteredKernel>,
     /// Modules registered so far (handles are 1-based per context).
     pub modules: u64,
     /// Staged `cudaConfigureCall` configuration awaiting its `cudaLaunch`.
@@ -102,9 +103,9 @@ pub struct AppContext {
     /// handler thread takes it around each call; swappers/migrators take it
     /// opportunistically (`try_lock`) — success implies the context is in a
     /// CPU phase with no call in flight (§4.5's victim condition).
-    service: Mutex<()>,
+    service: RankedMutex<()>,
     /// Short-held metadata lock.
-    inner: Mutex<CtxInner>,
+    inner: RankedMutex<CtxInner>,
     /// Counters.
     pub stats: CtxStats,
 }
@@ -116,25 +117,28 @@ impl AppContext {
             id,
             seq,
             label,
-            service: Mutex::new(()),
-            inner: Mutex::new(CtxInner { credits: 4, ..CtxInner::default() }),
+            service: RankedMutex::new(lock_rank::CTX_SERVICE, ()),
+            inner: RankedMutex::new(
+                lock_rank::CTX_INNER,
+                CtxInner { credits: 4, ..CtxInner::default() },
+            ),
             stats: CtxStats::default(),
         })
     }
 
     /// Acquires the service lock (the owning handler thread, blocking).
-    pub fn service_lock(&self) -> MutexGuard<'_, ()> {
+    pub fn service_lock(&self) -> RankedMutexGuard<'_, ()> {
         self.service.lock()
     }
 
     /// Tries to acquire the service lock (swapper/migrator path): `None`
     /// means the context is mid-call and must not be disturbed.
-    pub fn try_service_lock(&self) -> Option<MutexGuard<'_, ()>> {
+    pub fn try_service_lock(&self) -> Option<RankedMutexGuard<'_, ()>> {
         self.service.try_lock()
     }
 
     /// Access to the metadata.
-    pub fn inner(&self) -> MutexGuard<'_, CtxInner> {
+    pub fn inner(&self) -> RankedMutexGuard<'_, CtxInner> {
         self.inner.lock()
     }
 

@@ -28,7 +28,7 @@ use mtgpu_api::protocol::AllocKind;
 use mtgpu_api::{CudaError, CudaResult, HostBuf};
 use mtgpu_gpusim::device::DEFAULT_MATERIALIZE_CAP;
 use mtgpu_gpusim::{DeviceAddr, KernelArg};
-use parking_lot::Mutex;
+use mtgpu_simtime::{lock_rank, RankedMutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -126,7 +126,7 @@ pub struct MemoryManager {
     cfg: MemoryConfig,
     metrics: Arc<RuntimeMetrics>,
     tracer: Option<Arc<Tracer>>,
-    state: Mutex<MmState>,
+    state: RankedMutex<MmState>,
 }
 
 impl MemoryManager {
@@ -137,8 +137,17 @@ impl MemoryManager {
             cfg,
             metrics,
             tracer: None,
-            state: Mutex::new(MmState { tables: HashMap::new(), swap, next_vaddr: VADDR_BASE }),
+            state: RankedMutex::new(
+                lock_rank::MM_STATE,
+                MmState { tables: HashMap::new(), swap, next_vaddr: VADDR_BASE },
+            ),
         }
+    }
+
+    /// Contended `MmState` acquisitions since the last monitor pass (debug
+    /// builds only — the ranked-lock observability hook).
+    pub(crate) fn take_lock_contention(&self) -> u64 {
+        self.state.take_contended()
     }
 
     /// Attaches a tracer so transfer plans emit

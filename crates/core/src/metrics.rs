@@ -56,6 +56,10 @@ pub struct RuntimeMetrics {
     /// Parked waiters asked to re-run placement (device removed, or a slot
     /// freed on another device).
     pub waiter_reroutes: AtomicU64,
+    /// Contended ranked-lock acquisitions observed by the monitor (debug
+    /// builds only; release builds compile the probe out, and sequential
+    /// deterministic drivers never contend, so this stays 0 under replay).
+    pub lock_contention_events: AtomicU64,
 }
 
 /// Serializable snapshot of [`RuntimeMetrics`].
@@ -82,6 +86,7 @@ pub struct MetricsSnapshot {
     pub failed_contexts: u64,
     pub targeted_wakeups: u64,
     pub waiter_reroutes: u64,
+    pub lock_contention_events: u64,
 }
 
 impl MetricsSnapshot {
@@ -128,6 +133,7 @@ impl RuntimeMetrics {
             failed_contexts: self.failed_contexts.load(Ordering::Relaxed),
             targeted_wakeups: self.targeted_wakeups.load(Ordering::Relaxed),
             waiter_reroutes: self.waiter_reroutes.load(Ordering::Relaxed),
+            lock_contention_events: self.lock_contention_events.load(Ordering::Relaxed),
         }
     }
 }

@@ -34,6 +34,8 @@ pub(crate) fn run(rt: Arc<NodeRuntime>) {
         if rt.config().dynamic_load_balancing {
             balance_once(&rt);
         }
+        rt.observe_lock_contention();
+        // mtlint: allow(thread-sleep, reason = "monitor cadence is a real-time polling interval of a background OS thread; deterministic harnesses disable the thread and call monitor_tick instead")
         std::thread::sleep(rt.config().monitor_interval);
     }
 }
@@ -47,6 +49,7 @@ pub(crate) fn recover_failed_devices(rt: &NodeRuntime) {
         }
         let affected = rt.bindings().remove_device(view.id);
         rt.tracer().record(TraceEvent::DeviceLost { device: view.id });
+        // mtlint: allow(notify-all, reason = "device loss: every parked waiter must re-run placement against the surviving devices")
         rt.bindings().notify_all();
         for ctx_id in affected {
             recover_context(rt, ctx_id);

@@ -15,7 +15,7 @@ use crate::metrics::RuntimeMetrics;
 use mtgpu_gpusim::{DeviceId, Gpu};
 use mtgpu_simtime::DetRng;
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,7 +25,9 @@ struct DeviceSlots {
     gpu: Arc<Gpu>,
     vgpus: Vec<VGpu>,
     free: Vec<u32>,
-    bound: HashMap<u32, (CtxId, Option<u64>)>,
+    /// Ordered by vGPU index: this map is iterated (recovery, views), so
+    /// hash order would leak into grant/recovery sequences.
+    bound: BTreeMap<u32, (CtxId, Option<u64>)>,
 }
 
 impl DeviceSlots {
@@ -44,7 +46,10 @@ struct WaitEntry {
 }
 
 struct BmState {
-    devices: HashMap<DeviceId, DeviceSlots>,
+    /// Ordered by device id: placement scans iterate this map, and the
+    /// scan order is part of the policy semantics the sharded manager
+    /// must reproduce.
+    devices: BTreeMap<DeviceId, DeviceSlots>,
     waiting: Vec<WaitEntry>,
     next_seq: u64,
     rr_cursor: usize,
@@ -56,7 +61,12 @@ struct BmState {
 pub struct LegacyBindingManager {
     policy: SchedulerPolicy,
     metrics: Arc<RuntimeMetrics>,
+    /// Raw (unranked) lock, kept deliberately: this type is the seed
+    /// baseline that `benches/dispatch.rs` measures the sharded manager
+    /// against, so it must not pay the debug-build rank bookkeeping.
+    // mtlint: allow(unranked-lock, reason = "seed baseline preserved verbatim for the dispatch bench; never nests inside ranked runtime locks")
     state: Mutex<BmState>,
+    // mtlint: allow(unranked-lock, reason = "seed baseline preserved verbatim for the dispatch bench; never nests inside ranked runtime locks")
     cv: Condvar,
 }
 
@@ -72,14 +82,16 @@ impl LegacyBindingManager {
         LegacyBindingManager {
             policy,
             metrics,
+            // mtlint: allow(unranked-lock, reason = "seed baseline preserved verbatim for the dispatch bench; never nests inside ranked runtime locks")
             state: Mutex::new(BmState {
-                devices: HashMap::new(),
+                devices: BTreeMap::new(),
                 waiting: Vec::new(),
                 next_seq: 0,
                 rr_cursor: 0,
                 rng: (seed != 0).then(|| DetRng::from_seed(seed).fork("sched")),
                 app_devices: HashMap::new(),
             }),
+            // mtlint: allow(unranked-lock, reason = "seed baseline preserved verbatim for the dispatch bench; never nests inside ranked runtime locks")
             cv: Condvar::new(),
         }
     }
@@ -99,9 +111,10 @@ impl LegacyBindingManager {
         let mut st = self.state.lock();
         st.devices.insert(
             id,
-            DeviceSlots { gpu, free: (0..count).collect(), bound: HashMap::new(), vgpus },
+            DeviceSlots { gpu, free: (0..count).collect(), bound: BTreeMap::new(), vgpus },
         );
         drop(st);
+        // mtlint: allow(notify-all, reason = "seed semantics under test: the baseline wakes every waiter per event")
         self.cv.notify_all();
         Ok(())
     }
@@ -141,6 +154,7 @@ impl LegacyBindingManager {
         mem_usage: u64,
         timeout: Duration,
     ) -> Option<Binding> {
+        // mtlint: allow(wall-clock, reason = "acquisition timeout is a real-time liveness bound on parked OS threads, same contract as the sharded manager")
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         let enq_seq = {
@@ -172,6 +186,7 @@ impl LegacyBindingManager {
                 let entry = st.waiting.remove(pos);
                 drop(st);
                 ctx.inner().wait_ticket = None;
+                // mtlint: allow(notify-all, reason = "seed semantics under test: the baseline wakes every waiter per event")
                 self.cv.notify_all();
                 return entry.granted;
             }
@@ -182,6 +197,7 @@ impl LegacyBindingManager {
                     if entry.granted.is_some() {
                         drop(st);
                         ctx.inner().wait_ticket = None;
+                        // mtlint: allow(notify-all, reason = "seed semantics under test: the baseline wakes every waiter per event")
                         self.cv.notify_all();
                         return entry.granted;
                     }
@@ -336,6 +352,7 @@ impl LegacyBindingManager {
         }
         drop(st);
         RuntimeMetrics::bump(&self.metrics.unbindings);
+        // mtlint: allow(notify-all, reason = "seed semantics under test: the O(W²) release broadcast is exactly what the bench measures")
         self.cv.notify_all();
     }
 
@@ -416,6 +433,7 @@ impl LegacyBindingManager {
 
     /// Wakes every parked waiter.
     pub fn notify_all(&self) {
+        // mtlint: allow(notify-all, reason = "seed semantics under test: the baseline wakes every waiter per event")
         self.cv.notify_all();
     }
 }

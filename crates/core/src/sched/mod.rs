@@ -49,8 +49,7 @@ use crate::config::SchedulerPolicy;
 use crate::ctx::{AppContext, Binding, CtxId, VGpuId};
 use crate::metrics::RuntimeMetrics;
 use mtgpu_gpusim::{DeviceId, Gpu, GpuContextId};
-use mtgpu_simtime::DetRng;
-use parking_lot::{Condvar, Mutex, RwLock};
+use mtgpu_simtime::{lock_rank, DetRng, RankedCondvar, RankedMutex, RankedRwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -103,13 +102,16 @@ enum SlotState {
 /// Per-waiter parking spot: the grant path notifies exactly this condvar,
 /// never a global one.
 struct WaitSlot {
-    state: Mutex<SlotState>,
-    cv: Condvar,
+    state: RankedMutex<SlotState>,
+    cv: RankedCondvar,
 }
 
 impl WaitSlot {
     fn new() -> Self {
-        WaitSlot { state: Mutex::new(SlotState::Waiting), cv: Condvar::new() }
+        WaitSlot {
+            state: RankedMutex::new(lock_rank::WAIT_SLOT, SlotState::Waiting),
+            cv: RankedCondvar::new(),
+        }
     }
 }
 
@@ -130,7 +132,9 @@ struct Waiter {
 struct ShardState {
     vgpus: Vec<VGpu>,
     free: Vec<u32>,
-    bound: HashMap<u32, (CtxId, Option<u64>)>,
+    /// Ordered by vGPU index so every walk over the bound set is
+    /// deterministic without a defensive sort at each consumer.
+    bound: BTreeMap<u32, (CtxId, Option<u64>)>,
     /// Waiters parked on this device, unordered; policy order is computed
     /// per drain.
     queue: Vec<Arc<Waiter>>,
@@ -150,7 +154,7 @@ struct Shard {
     free_hint: AtomicUsize,
     /// Mirrors `state.bound.len()`.
     bound_hint: AtomicUsize,
-    state: Mutex<ShardState>,
+    state: RankedMutex<ShardState>,
 }
 
 /// Placement-relevant state shared across shards: the tie-break source and
@@ -180,15 +184,15 @@ pub struct BindingManager {
     metrics: Arc<RuntimeMetrics>,
     /// Ordered so every cross-shard walk (drain nudges, views, specs) is
     /// deterministic.
-    shards: RwLock<BTreeMap<DeviceId, Arc<Shard>>>,
-    global: Mutex<GlobalState>,
+    shards: RankedRwLock<BTreeMap<DeviceId, Arc<Shard>>>,
+    global: RankedMutex<GlobalState>,
     next_seq: AtomicU64,
     /// Waiters currently parked anywhere (shard queues + lobby).
     total_waiting: AtomicUsize,
     /// Generation counter for waiters parked while no device is placeable
     /// at all; bumped by `add_device` and `notify_all`.
-    lobby_gen: Mutex<u64>,
-    lobby_cv: Condvar,
+    lobby_gen: RankedMutex<u64>,
+    lobby_cv: RankedCondvar,
 }
 
 enum Parked {
@@ -211,16 +215,19 @@ impl BindingManager {
         BindingManager {
             policy,
             metrics,
-            shards: RwLock::new(BTreeMap::new()),
-            global: Mutex::new(GlobalState {
-                rr_cursor: 0,
-                rng: (seed != 0).then(|| DetRng::from_seed(seed).fork("sched")),
-                app_devices: HashMap::new(),
-            }),
+            shards: RankedRwLock::new(lock_rank::SHARD_MAP, BTreeMap::new()),
+            global: RankedMutex::new(
+                lock_rank::SCHED_GLOBAL,
+                GlobalState {
+                    rr_cursor: 0,
+                    rng: (seed != 0).then(|| DetRng::from_seed(seed).fork("sched")),
+                    app_devices: HashMap::new(),
+                },
+            ),
             next_seq: AtomicU64::new(0),
             total_waiting: AtomicUsize::new(0),
-            lobby_gen: Mutex::new(0),
-            lobby_cv: Condvar::new(),
+            lobby_gen: RankedMutex::new(lock_rank::SCHED_LOBBY, 0),
+            lobby_cv: RankedCondvar::new(),
         }
     }
 
@@ -243,13 +250,16 @@ impl BindingManager {
             vgpu_count: count as usize,
             free_hint: AtomicUsize::new(count as usize),
             bound_hint: AtomicUsize::new(0),
-            state: Mutex::new(ShardState {
-                vgpus,
-                free: (0..count).collect(),
-                bound: HashMap::new(),
-                queue: Vec::new(),
-                defunct: false,
-            }),
+            state: RankedMutex::new(
+                lock_rank::SHARD_STATE,
+                ShardState {
+                    vgpus,
+                    free: (0..count).collect(),
+                    bound: BTreeMap::new(),
+                    queue: Vec::new(),
+                    defunct: false,
+                },
+            ),
         });
         self.shards.write().insert(id, shard);
         // Wake lobby waiters and pull waiters parked on full devices onto
@@ -257,6 +267,7 @@ impl BindingManager {
         {
             let mut gen = self.lobby_gen.lock();
             *gen += 1;
+            // mtlint: allow(notify-all, reason = "device hot-add: every lobby waiter must observe the generation bump and re-run placement")
             self.lobby_cv.notify_all();
         }
         for _ in 0..count {
@@ -285,7 +296,7 @@ impl BindingManager {
             }
         }
         let mut affected: Vec<CtxId> = st.bound.values().map(|&(c, _)| c).collect();
-        // Hash-map order would make recovery order run-dependent.
+        // vGPU-index order in; recovery wants context-id order.
         affected.sort_unstable();
         st.bound.clear();
         st.free.clear();
@@ -323,6 +334,7 @@ impl BindingManager {
         mem_usage: u64,
         timeout: Duration,
     ) -> Option<Binding> {
+        // mtlint: allow(wall-clock, reason = "acquisition timeout is a real-time liveness bound on parked OS threads, not simulated time; det harnesses drive clients sequentially so it never fires under replay")
         let deadline = Instant::now() + timeout;
         // Keep the context's original FCFS position across re-armed waits
         // and re-placements.
@@ -401,6 +413,7 @@ impl BindingManager {
     /// Parks on the waiter's private slot until granted, rerouted, the
     /// deadline passes, or a re-placement opportunity appears.
     fn park(&self, shard: &Arc<Shard>, waiter: &Arc<Waiter>, deadline: Instant) -> Parked {
+        // mtlint: allow(wall-clock, reason = "re-placement slice bounds real parking staleness of an OS thread; never consulted on the sequential replay path")
         let mut slice_end = Instant::now() + REPLACE_SLICE;
         let mut s = waiter.slot.state.lock();
         loop {
@@ -409,6 +422,7 @@ impl BindingManager {
                 SlotState::Reroute => return Parked::Replace,
                 SlotState::Waiting => {}
             }
+            // mtlint: allow(wall-clock, reason = "deadline/slice checks for a parked OS thread; never consulted on the sequential replay path")
             let now = Instant::now();
             if now >= deadline {
                 drop(s);
@@ -424,6 +438,7 @@ impl BindingManager {
                         return self.abandon(shard, waiter, false);
                     }
                 }
+                // mtlint: allow(wall-clock, reason = "re-arms the real-time re-placement slice; never consulted on the sequential replay path")
                 slice_end = Instant::now() + REPLACE_SLICE;
                 s = waiter.slot.state.lock();
                 continue;
@@ -461,6 +476,7 @@ impl BindingManager {
     /// passes; returns `true` on deadline.
     fn park_in_lobby(&self, deadline: Instant) -> bool {
         self.total_waiting.fetch_add(1, Ordering::SeqCst);
+        // mtlint: allow(wall-clock, reason = "lobby parking slice for an OS thread waiting on device hot-add; never consulted on the sequential replay path")
         let slice_end = Instant::now() + REPLACE_SLICE;
         {
             let mut gen = self.lobby_gen.lock();
@@ -474,6 +490,7 @@ impl BindingManager {
             }
         }
         self.total_waiting.fetch_sub(1, Ordering::SeqCst);
+        // mtlint: allow(wall-clock, reason = "deadline check for a parked OS thread; never consulted on the sequential replay path")
         Instant::now() >= deadline
     }
 
@@ -748,8 +765,8 @@ impl BindingManager {
     }
 
     /// Contexts currently bound to `device`, in context-id order (the
-    /// backing map is hashed; sorting keeps every consumer — victim
-    /// selection, recovery — deterministic across process runs).
+    /// backing map iterates by vGPU index; sorting keeps every consumer —
+    /// victim selection, recovery — in context-id order).
     pub fn bound_on(&self, device: DeviceId) -> Vec<CtxId> {
         let shard = self.shards.read().get(&device).map(Arc::clone);
         let mut bound: Vec<CtxId> = shard
@@ -820,6 +837,7 @@ impl BindingManager {
         {
             let mut gen = self.lobby_gen.lock();
             *gen += 1;
+            // mtlint: allow(notify-all, reason = "shutdown/device-event broadcast: every lobby waiter must observe the generation bump")
             self.lobby_cv.notify_all();
         }
         let shards: Vec<Arc<Shard>> = self.shards.read().values().map(Arc::clone).collect();
@@ -829,6 +847,18 @@ impl BindingManager {
                 w.slot.cv.notify_one();
             }
         }
+    }
+
+    /// Contended acquisitions per scheduler lock since the last monitor
+    /// pass (debug builds only — the ranked-lock observability hook).
+    /// Per-shard counts are aggregated under one `SHARD_STATE` entry.
+    pub(crate) fn take_lock_contention(&self) -> Vec<(&'static str, u64)> {
+        let shard_total: u64 = self.shards.read().values().map(|s| s.state.take_contended()).sum();
+        vec![
+            ("SHARD_STATE", shard_total),
+            ("SCHED_GLOBAL", self.global.take_contended()),
+            ("SCHED_LOBBY", self.lobby_gen.take_contended()),
+        ]
     }
 }
 

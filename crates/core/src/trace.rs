@@ -11,8 +11,7 @@
 use crate::ctx::{CtxId, VGpuId};
 use crate::memory::SwapReason;
 use mtgpu_gpusim::DeviceId;
-use mtgpu_simtime::{Clock, SimDuration};
-use parking_lot::Mutex;
+use mtgpu_simtime::{lock_rank, Clock, RankedMutex, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -47,6 +46,12 @@ pub enum TraceEvent {
     Failed { ctx: CtxId },
     /// The connection was relayed to a peer node (§4.7).
     Offloaded { ctx: CtxId, peer: String },
+    /// Debug-build observability: a ranked lock saw `count` contended
+    /// acquisitions since the last monitor pass. Structural counts only —
+    /// no timings — and never emitted by sequential (deterministic)
+    /// drivers, where nothing contends, so replay fingerprints are
+    /// unaffected.
+    LockContention { lock: String, count: u64 },
 }
 
 /// Why a binding was released.
@@ -104,13 +109,20 @@ impl fmt::Display for TraceRecord {
 pub struct Tracer {
     clock: Clock,
     capacity: usize,
-    ring: Mutex<VecDeque<TraceRecord>>,
+    ring: RankedMutex<VecDeque<TraceRecord>>,
 }
 
 impl Tracer {
     /// Creates a tracer holding up to `capacity` events (oldest evicted).
     pub fn new(clock: Clock, capacity: usize) -> Self {
-        Tracer { clock, capacity, ring: Mutex::new(VecDeque::with_capacity(capacity.min(4096))) }
+        Tracer {
+            clock,
+            capacity,
+            ring: RankedMutex::new(
+                lock_rank::TRACER_RING,
+                VecDeque::with_capacity(capacity.min(4096)),
+            ),
+        }
     }
 
     /// Whether tracing is enabled.

@@ -7,8 +7,7 @@ use crate::kernel::{KernelExec, LaunchSpec, RegisteredKernel};
 use crate::spec::GpuSpec;
 use crate::stats::DeviceStats;
 use crate::Result;
-use mtgpu_simtime::{Clock, SimDuration};
-use parking_lot::Mutex;
+use mtgpu_simtime::{lock_rank, Clock, RankedMutex, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -91,7 +90,7 @@ pub struct Gpu {
     addr_salt: u64,
     compute: FifoEngine,
     copy: EngineBank,
-    state: Mutex<DeviceState>,
+    state: RankedMutex<DeviceState>,
     stats: DeviceStats,
     failed: AtomicBool,
     /// One-shot transient fault: the next kernel launch on this device
@@ -111,11 +110,14 @@ impl Gpu {
             addr_salt: (ordinal as u64 + 1) << 40,
             compute: FifoEngine::new(clock.clone()),
             copy: EngineBank::new(clock.clone(), spec.copy_engines),
-            state: Mutex::new(DeviceState {
-                allocator: BlockAllocator::new(spec.mem_bytes),
-                allocs: BTreeMap::new(),
-                contexts: HashMap::new(),
-            }),
+            state: RankedMutex::new(
+                lock_rank::DEVICE_STATE,
+                DeviceState {
+                    allocator: BlockAllocator::new(spec.mem_bytes),
+                    allocs: BTreeMap::new(),
+                    contexts: HashMap::new(),
+                },
+            ),
             stats: DeviceStats::default(),
             failed: AtomicBool::new(false),
             ctx_fault: AtomicBool::new(false),

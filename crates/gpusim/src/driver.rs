@@ -5,8 +5,7 @@ use crate::device::Gpu;
 use crate::error::GpuError;
 use crate::spec::GpuSpec;
 use crate::Result;
-use mtgpu_simtime::Clock;
-use parking_lot::RwLock;
+use mtgpu_simtime::{lock_rank, Clock, RankedRwLock};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -31,13 +30,13 @@ pub struct DriverConfig {
 /// The per-node GPU driver: owns the device slots.
 pub struct Driver {
     clock: Clock,
-    slots: RwLock<Vec<Option<Arc<Gpu>>>>,
+    slots: RankedRwLock<Vec<Option<Arc<Gpu>>>>,
 }
 
 impl Driver {
     /// A driver with no devices attached.
     pub fn new(clock: Clock) -> Arc<Driver> {
-        Arc::new(Driver { clock, slots: RwLock::new(Vec::new()) })
+        Arc::new(Driver { clock, slots: RankedRwLock::new(lock_rank::DRIVER_SLOTS, Vec::new()) })
     }
 
     /// A driver pre-populated with one device per spec.

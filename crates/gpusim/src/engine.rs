@@ -7,8 +7,7 @@
 //! arrival order, and the simulated busy time is accumulated for utilization
 //! accounting.
 
-use mtgpu_simtime::{Clock, SimDuration};
-use parking_lot::{Condvar, Mutex};
+use mtgpu_simtime::{lock_rank, Clock, RankedCondvar, RankedMutex, SimDuration};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct Tickets {
@@ -20,8 +19,8 @@ struct Tickets {
 /// time occupies for a simulated duration, in FIFO order.
 pub struct FifoEngine {
     clock: Clock,
-    tickets: Mutex<Tickets>,
-    cv: Condvar,
+    tickets: RankedMutex<Tickets>,
+    cv: RankedCondvar,
     busy_nanos: AtomicU64,
     ops: AtomicU64,
 }
@@ -31,8 +30,8 @@ impl FifoEngine {
     pub fn new(clock: Clock) -> Self {
         FifoEngine {
             clock,
-            tickets: Mutex::new(Tickets { next: 0, serving: 0 }),
-            cv: Condvar::new(),
+            tickets: RankedMutex::new(lock_rank::ENGINE_TICKETS, Tickets { next: 0, serving: 0 }),
+            cv: RankedCondvar::new(),
             busy_nanos: AtomicU64::new(0),
             ops: AtomicU64::new(0),
         }
@@ -70,6 +69,7 @@ impl FifoEngine {
         self.ops.fetch_add(1, Ordering::Relaxed);
         let mut t = self.tickets.lock();
         t.serving += 1;
+        // mtlint: allow(notify-all, reason = "ticket turnstile: every parked waiter must re-check `serving` because only the thread holding the next ticket may proceed")
         self.cv.notify_all();
         drop(t);
         result
@@ -143,6 +143,7 @@ impl EngineBank {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::Arc;
     use std::time::Instant;
 

@@ -16,7 +16,7 @@
 use crate::device::DeviceAddr;
 use crate::error::GpuError;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -244,13 +244,13 @@ impl fmt::Debug for RegisteredKernel {
 /// just carry no functional payload (timing-only).
 pub mod library {
     use super::RegisteredKernel;
-    use parking_lot::RwLock;
+    use mtgpu_simtime::{lock_rank, RankedRwLock};
     use std::collections::HashMap;
     use std::sync::OnceLock;
 
-    fn store() -> &'static RwLock<HashMap<String, RegisteredKernel>> {
-        static STORE: OnceLock<RwLock<HashMap<String, RegisteredKernel>>> = OnceLock::new();
-        STORE.get_or_init(|| RwLock::new(HashMap::new()))
+    fn store() -> &'static RankedRwLock<HashMap<String, RegisteredKernel>> {
+        static STORE: OnceLock<RankedRwLock<HashMap<String, RegisteredKernel>>> = OnceLock::new();
+        STORE.get_or_init(|| RankedRwLock::new(lock_rank::KERNEL_STORE, HashMap::new()))
     }
 
     /// Registers (or replaces) a kernel in the process-global library.
@@ -273,7 +273,9 @@ pub mod library {
 /// context creation (`__cudaRegisterFatBinary` + `__cudaRegisterFunction`).
 #[derive(Debug, Clone, Default)]
 pub struct FatBinary {
-    kernels: HashMap<String, RegisteredKernel>,
+    /// Ordered so [`FatBinary::kernels`] iterates deterministically —
+    /// registration replay must not depend on hash order.
+    kernels: BTreeMap<String, RegisteredKernel>,
 }
 
 impl FatBinary {

@@ -70,9 +70,12 @@ impl DetLoadFingerprint {
 /// Blocks (real time) until handler teardown completes: the determinism
 /// barrier between sequential requests.
 fn wait_idle(rt: &NodeRuntime) {
+    // mtlint: allow(wall-clock, reason = "real-time watchdog deadline only; no measured quantity derives from it")
     let deadline = Instant::now() + Duration::from_secs(10);
     while rt.context_count() > 0 {
+        // mtlint: allow(wall-clock, reason = "watchdog comparison against the teardown deadline; replay state is untouched")
         assert!(Instant::now() < deadline, "handler teardown did not complete");
+        // mtlint: allow(thread-sleep, reason = "polling backoff between determinism-barrier checks; runs between requests, never inside one")
         std::thread::sleep(Duration::from_micros(200));
     }
 }

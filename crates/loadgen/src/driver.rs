@@ -107,13 +107,16 @@ fn tenant_loop(
     for (r, kind) in kinds.into_iter().enumerate() {
         let job = kind.build(mtgpu_workloads::calib::Scale::TINY);
         let started = match cfg.mode {
+            // mtlint: allow(wall-clock, reason = "closed-loop latency is measured in real time by design; the deterministic harness lives in det.rs")
             Mode::Closed => Instant::now(),
             Mode::Open { rate_per_sec } => {
                 // Global slot schedule, interleaved across tenants.
                 let slot = (r * cfg.clients + tenant) as f64 / rate_per_sec;
                 let intended = t0 + Duration::from_secs_f64(slot);
+                // mtlint: allow(wall-clock, reason = "open-loop arrival schedule paces real wall time against the global slot plan")
                 let now = Instant::now();
                 if intended > now {
+                    // mtlint: allow(thread-sleep, reason = "open-loop pacing sleeps until the next scheduled arrival slot in real time")
                     std::thread::sleep(intended - now);
                 }
                 intended // latency includes schedule slip
@@ -142,6 +145,7 @@ pub fn run_load(cfg: &LoadgenConfig) -> LoadReport {
     let node = ClusterNode::start("loadgen".into(), clock.clone(), specs, rt_cfg, true);
     let addr = node.addr().expect("listening node");
 
+    // mtlint: allow(wall-clock, reason = "wall-clock epoch for the load run; throughput/latency are real-time measurements")
     let t0 = Instant::now();
     let handles: Vec<_> = (0..cfg.clients)
         .map(|tenant| {

@@ -27,8 +27,13 @@ mod clock;
 mod duration;
 mod rng;
 mod stopwatch;
+pub mod sync;
 
 pub use clock::{Clock, SimInstant};
 pub use duration::SimDuration;
 pub use rng::DetRng;
 pub use stopwatch::Stopwatch;
+pub use sync::{
+    lock_rank, LockRank, RankedCondvar, RankedMutex, RankedMutexGuard, RankedRwLock,
+    RankedRwLockReadGuard, RankedRwLockWriteGuard,
+};

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Runs the serial-vs-pipelined memory transfer benchmark and writes
+# Runs the gated benchmarks and writes their JSON reports into results/.
+# Memory: serial-vs-pipelined transfer benchmark; writes
 # results/BENCH_memory.json. Fails (nonzero exit) when the 2-engine
 # pipelined materialize misses the 1.4x gate or the 1-engine path drifts
 # more than 5% from its serial baseline. Extra args pass through to the
@@ -11,3 +12,8 @@ mkdir -p results
 # the workspace root.
 cargo bench -q -p mtgpu-bench --bench memory -- --gate 1.4 \
     --out "$PWD/results/BENCH_memory.json" "$@"
+# Dispatcher throughput plus the ranked-lock overhead gate: in release
+# builds RankedMutex must cost no more than 1.02x the raw shim mutex (the
+# rank bookkeeping is #[cfg(debug_assertions)] and must compile out).
+cargo bench -q -p mtgpu-bench --bench dispatch -- --gate-rank 1.02 \
+    --out "$PWD/results/BENCH_dispatch.json" "$@"

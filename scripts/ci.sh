@@ -15,6 +15,12 @@
 #                                tenant fairness ratio exceeds 2.0, then a
 #                                --quick memory-transfer bench gated on
 #                                pipelined >= serial on the 2-engine spec
+#   tier 5  static analysis      mtlint --deny over the workspace (all
+#                                determinism rules + the ranked-lock
+#                                constructor check + lock-graph cycle
+#                                detection), then the debug-build ranked-
+#                                lock test subset (seeded inversion panics,
+#                                mid-swap fault never trips the checker)
 #
 # Usage: scripts/ci.sh [tier]   (default: all tiers)
 
@@ -23,9 +29,9 @@ cd "$(dirname "$0")/.."
 
 tier="${1:-all}"
 case "$tier" in
-all | 0 | 1 | 2 | 3 | 4) ;;
+all | 0 | 1 | 2 | 3 | 4 | 5) ;;
 *)
-    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4 or all)" >&2
+    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4, 5 or all)" >&2
     exit 2
     ;;
 esac
@@ -81,6 +87,20 @@ if [[ "$tier" == "all" || "$tier" == "4" ]]; then
     cargo bench -q -p mtgpu-bench --bench memory -- --quick --gate 1.0 \
         --out "$PWD/target/ci-bench-memory.json" 2> /dev/null
     echo "256-client stress + loadgen fairness + memory bench smoke: ok"
+fi
+
+if [[ "$tier" == "all" || "$tier" == "5" ]]; then
+    run_tier 5 "mtlint --deny + ranked-lock checker tests"
+    # Workspace must lint clean (every escape hatch carries a reason) and
+    # the extracted lock graph must be acyclic; artifacts land in results/.
+    cargo run -q -p mtgpu-analysis --bin mtlint -- --deny
+    # Runtime half of the discipline, debug build (checker armed): the
+    # seeded two-thread inversion must panic deterministically, and a
+    # device death mid-swap must never trip the checker.
+    cargo test -q -p mtgpu-simtime --test ranked_lock > /dev/null
+    cargo test -q --test fault_matrix \
+        device_failure_mid_swap_never_trips_lock_checker > /dev/null
+    echo "mtlint workspace-clean + lock-graph acyclic + ranked-lock tests: ok"
 fi
 
 echo "CI: all requested tiers passed"

@@ -223,3 +223,68 @@ fn device_failure_mid_swap_leaves_page_table_consistent() {
         assert_eq!(buf.payload, payloads[i], "entry {i} slab corrupted");
     }
 }
+
+#[test]
+fn device_failure_mid_swap_never_trips_lock_checker() {
+    // Same mid-plan fault shape as the page-table probe above, but the
+    // property under test is the concurrency discipline: the failure path
+    // re-enters the memory manager and the device model from two threads
+    // at once (the swapping thread inside `swap_out_ctx`, the killer
+    // inside `Gpu::fail`), and none of that may violate the ranked-lock
+    // order. Debug builds arm the runtime rank checker, so an inversion
+    // anywhere on the MM_STATE → DEVICE_STATE → ENGINE_TICKETS path would
+    // panic this thread; the test additionally asserts the thread's
+    // held-rank stack unwinds to empty across the error return and the
+    // subsequent recovery.
+    use mtgpu::api::protocol::AllocKind;
+    use mtgpu::api::HostBuf;
+    use mtgpu::core::{
+        Binding, CtxId, MemoryConfig, MemoryManager, Recovery, RuntimeMetrics, SwapReason, VGpuId,
+    };
+    use mtgpu::gpusim::{Gpu, GpuSpec};
+    use mtgpu::simtime::sync::held_ranks;
+    use mtgpu::simtime::Clock;
+    use std::sync::Arc;
+
+    const CTX: CtxId = CtxId(1);
+    const DECLARED: u64 = 128 << 20;
+
+    let m = MemoryManager::new(MemoryConfig::default(), Arc::new(RuntimeMetrics::default()));
+    m.register_ctx(CTX);
+    let gpu = Gpu::new(GpuSpec::tesla_c2050(), Clock::with_scale(1.0), 0);
+    let gpu_ctx = gpu.create_context().unwrap();
+    let binding = Binding {
+        vgpu: VGpuId { device: mtgpu::gpusim::DeviceId(0), index: 0 },
+        gpu: Arc::clone(&gpu),
+        gpu_ctx,
+    };
+    let bases: Vec<_> = (0..6)
+        .map(|i| {
+            let v = m.malloc(CTX, DECLARED, AllocKind::Linear).unwrap();
+            m.copy_h2d(CTX, v, &HostBuf::with_shadow(DECLARED, vec![i as u8; 64]), None).unwrap();
+            v
+        })
+        .collect();
+    assert_eq!(m.materialize(CTX, &bases, &binding).unwrap(), mtgpu::core::Materialize::Ready);
+    m.mark_launched(CTX, &bases);
+    assert!(held_ranks().is_empty(), "setup leaked ranks: {:?}", held_ranks());
+
+    let killer = {
+        let gpu = Arc::clone(&gpu);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            gpu.fail();
+            // The killer thread's own acquisitions must unwind too.
+            assert!(held_ranks().is_empty(), "Gpu::fail leaked ranks: {:?}", held_ranks());
+        })
+    };
+    let res = m.swap_out_ctx(CTX, &binding, SwapReason::Unbind);
+    killer.join().expect("killer thread must not trip the lock checker");
+    assert!(res.is_err(), "mid-plan device failure must surface: {res:?}");
+    assert!(held_ranks().is_empty(), "error return leaked ranks: {:?}", held_ranks());
+
+    // Recovery reacquires MM_STATE from scratch; still ordered, still
+    // unwinding cleanly.
+    assert_eq!(m.on_device_lost(CTX), Recovery::LostDirtyData);
+    assert!(held_ranks().is_empty(), "recovery leaked ranks: {:?}", held_ranks());
+}
