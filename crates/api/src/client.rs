@@ -16,6 +16,16 @@ pub trait CudaClient: Send {
     /// Issues one CUDA call and blocks for its reply.
     fn call(&mut self, call: CudaCall) -> CudaReply;
 
+    /// Issues a batch of calls, returning one reply per call in order.
+    ///
+    /// The default performs sequential roundtrips; pipelining transports
+    /// (the multiplexed frontend) override it to ship the whole batch in
+    /// one write and save the intermediate wire round-trips. Semantics are
+    /// identical either way: calls execute in order on the server.
+    fn call_batch(&mut self, calls: Vec<CudaCall>) -> Vec<CudaReply> {
+        calls.into_iter().map(|c| self.call(c)).collect()
+    }
+
     /// `__cudaRegisterFatBinary`.
     fn register_fat_binary(&mut self) -> CudaResult<ModuleHandle> {
         match self.call(CudaCall::RegisterFatBinary)? {
@@ -82,10 +92,16 @@ pub trait CudaClient: Send {
         }
     }
 
-    /// `cudaConfigureCall` + `cudaLaunch` as one exchange each.
+    /// `cudaConfigureCall` + `cudaLaunch`, batched so pipelining transports
+    /// ship both in one write (one wire round-trip per launch instead of
+    /// two).
     fn launch(&mut self, spec: LaunchSpec) -> CudaResult<()> {
-        self.call(CudaCall::ConfigureCall { config: spec.config })?;
-        match self.call(CudaCall::Launch { spec })? {
+        let config = spec.config;
+        let mut replies = self
+            .call_batch(vec![CudaCall::ConfigureCall { config }, CudaCall::Launch { spec }])
+            .into_iter();
+        replies.next().unwrap_or(Err(CudaError::Disconnected))?;
+        match replies.next().unwrap_or(Err(CudaError::Disconnected))? {
             ReplyValue::LaunchDone { .. } | ReplyValue::Unit => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -147,6 +163,10 @@ fn unexpected(v: ReplyValue) -> CudaError {
 impl CudaClient for Box<dyn CudaClient> {
     fn call(&mut self, call: CudaCall) -> CudaReply {
         (**self).call(call)
+    }
+
+    fn call_batch(&mut self, calls: Vec<CudaCall>) -> Vec<CudaReply> {
+        (**self).call_batch(calls)
     }
 }
 

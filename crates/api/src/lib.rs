@@ -28,8 +28,11 @@ pub use bare::BareClient;
 pub use client::{CudaClient, CudaThread};
 pub use error::{CudaError, CudaResult};
 pub use host_buf::HostBuf;
-pub use protocol::{CudaCall, CudaReply, ReplyValue};
-pub use transport::{channel_pair, ChannelServerConn, FrontendClient, ServerConn, Transport};
+pub use protocol::{CudaCall, CudaReply, MuxFrame, ReplyValue};
+pub use transport::{
+    channel_pair, ChannelServerConn, FrontendClient, MuxChannel, MuxConnection, MuxPool,
+    ServerConn, Transport,
+};
 
 // Re-export the gpusim vocabulary types that appear in the API surface.
 pub use mtgpu_gpusim::{DeviceAddr, KernelArg, KernelDesc, LaunchConfig, LaunchSpec, Work};

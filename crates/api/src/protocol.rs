@@ -134,6 +134,22 @@ pub enum CudaCall {
     Exit,
 }
 
+/// One frame on a *multiplexed* connection, where many client contexts
+/// share a single socket (DESIGN.md §12).
+///
+/// A request names the channel it belongs to (`chan`, the server-side
+/// context key — one channel behaves exactly like one legacy connection)
+/// and a connection-unique request ID (`id`, the client-side demux key).
+/// Responses echo only the ID and may arrive in any order; the client
+/// matches them back to waiting callers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MuxFrame {
+    /// Client → server: one CUDA call on one channel.
+    Request { chan: u64, id: u64, call: CudaCall },
+    /// Server → client: the reply to the request carrying `id`.
+    Response { id: u64, reply: CudaReply },
+}
+
 /// How a device allocation was requested (Table 1 groups them all under
 /// "Malloc" but the runtime records the kind).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]

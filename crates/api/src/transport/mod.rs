@@ -8,11 +8,18 @@
 //! stand-in, also used for inter-node offloading).
 
 mod channel;
+mod mux;
+mod reactor;
 mod tcp;
 #[cfg(unix)]
 mod unix;
 
 pub use channel::{channel_pair, ChannelServerConn, ChannelTransport};
+pub use mux::{encode_frame, FrameBuf, MuxChannel, MuxConnection, MuxPool};
+pub use reactor::{
+    spawn_reactor, ConnId, MuxService, ReactorConfig, ReactorHandle, ReactorStats, ReplyQueue,
+    ReplySink,
+};
 pub use tcp::{read_frame, write_frame, TcpServerConn, TcpTransport, MAX_FRAME_BYTES};
 #[cfg(unix)]
 pub use unix::{UnixServerConn, UnixTransport};
@@ -27,6 +34,13 @@ pub trait Transport: Send {
     /// Performs one request/reply exchange. Transport failures surface as
     /// `Err(CudaError::Disconnected)` / `Err(CudaError::Protocol)` replies.
     fn roundtrip(&mut self, call: CudaCall) -> CudaReply;
+
+    /// Ships a batch of calls, returning one reply per call in order. The
+    /// default is sequential roundtrips; multiplexed transports pipeline
+    /// the batch over a single write.
+    fn roundtrip_batch(&mut self, calls: Vec<CudaCall>) -> Vec<CudaReply> {
+        calls.into_iter().map(|c| self.roundtrip(c)).collect()
+    }
 }
 
 /// Outcome of a non-blocking/timed receive on the server side.
@@ -66,15 +80,77 @@ pub trait ServerConn: Send {
 /// The interposition frontend: a [`CudaClient`] that forwards every call
 /// over a [`Transport`]. This is the piece that, in the paper, overrides the
 /// CUDA Runtime API inside the guest OS or unmodified application.
+///
+/// With [`FrontendClient::with_pipelining`], kernel launches are pipelined:
+/// the frontend queues `ConfigureCall`/`Launch` pairs locally and ships the
+/// whole run with the next call whose reply the application actually needs
+/// (a transfer, a synchronize, an exit). Over a multiplexed transport that
+/// turns a launch loop into one write and one wait instead of a round trip
+/// per kernel — the CUDA runtime makes the same asynchrony promise. An
+/// error from a pipelined launch surfaces on the flushing call, like a
+/// deferred launch failure surfaces at `cudaDeviceSynchronize`. The default
+/// stays eager, preserving Table 1's synchronous error matrix (a launch on
+/// a bad pointer reports "No valid PTE" from the launch itself).
 pub struct FrontendClient<T: Transport> {
     transport: T,
     hung_up: bool,
+    pipeline: bool,
+    pending: Vec<CudaCall>,
+}
+
+/// Upper bound on queued pipelined calls, so one flush never balloons into
+/// an arbitrarily large wire burst. Sized to hold a whole catalog launch
+/// loop (a `ConfigureCall`/`Launch` pair per kernel) in a single flush.
+const MAX_PIPELINE: usize = 160;
+
+/// Calls whose replies are always `Unit` and whose errors may be deferred,
+/// so queueing them loses nothing. Transfers stay eager: their failure
+/// modes (bad pointer, size mismatch) are part of the caller-visible
+/// contract.
+fn deferrable(call: &CudaCall) -> bool {
+    matches!(
+        call,
+        CudaCall::ConfigureCall { .. }
+            | CudaCall::RegisterFunction { .. }
+            | CudaCall::HintJobLength { .. }
+            | CudaCall::RegisterNested { .. }
+    )
+}
+
+/// Batch-deferrable additionally includes `Launch`: its real reply carries
+/// `LaunchDone { sim_nanos }`, which `call_batch` callers (the `launch()`
+/// helper) discard — so a `Unit` placeholder is indistinguishable to them.
+/// Raw `call(Launch)` stays eager for callers that want the timing.
+fn batch_deferrable(call: &CudaCall) -> bool {
+    deferrable(call) || matches!(call, CudaCall::Launch { .. })
 }
 
 impl<T: Transport> FrontendClient<T> {
     /// Wraps a connected transport.
     pub fn new(transport: T) -> Self {
-        FrontendClient { transport, hung_up: false }
+        FrontendClient { transport, hung_up: false, pipeline: false, pending: Vec::new() }
+    }
+
+    /// Opts into asynchronous launch pipelining (see the type docs).
+    pub fn with_pipelining(mut self) -> Self {
+        self.pipeline = true;
+        self
+    }
+
+    /// Ships the pipelined prefix plus `calls`, returning the replies for
+    /// `calls` — unless a pipelined launch failed, in which case its error
+    /// is reported for every call in the flush.
+    fn flush_with(&mut self, calls: Vec<CudaCall>) -> Vec<CudaReply> {
+        let n = calls.len();
+        let mut all = std::mem::take(&mut self.pending);
+        let skip = all.len();
+        all.extend(calls);
+        let mut replies = self.transport.roundtrip_batch(all);
+        let rest = replies.split_off(skip.min(replies.len()));
+        if let Some(err) = replies.into_iter().find_map(|r| r.err()) {
+            return (0..n).map(|_| Err(err.clone())).collect();
+        }
+        rest
     }
 }
 
@@ -86,7 +162,32 @@ impl<T: Transport> CudaClient for FrontendClient<T> {
         if matches!(call, CudaCall::Exit) {
             self.hung_up = true;
         }
-        self.transport.roundtrip(call)
+        if self.pipeline && deferrable(&call) && self.pending.len() < MAX_PIPELINE {
+            self.pending.push(call);
+            return Ok(crate::protocol::ReplyValue::Unit);
+        }
+        if self.pending.is_empty() {
+            return self.transport.roundtrip(call);
+        }
+        self.flush_with(vec![call]).pop().unwrap_or(Err(CudaError::Disconnected))
+    }
+
+    fn call_batch(&mut self, calls: Vec<CudaCall>) -> Vec<CudaReply> {
+        if self.hung_up {
+            return calls.iter().map(|_| Err(CudaError::Disconnected)).collect();
+        }
+        if self.pipeline
+            && calls.iter().all(batch_deferrable)
+            && self.pending.len() + calls.len() <= MAX_PIPELINE
+        {
+            let n = calls.len();
+            self.pending.extend(calls);
+            return (0..n).map(|_| Ok(crate::protocol::ReplyValue::Unit)).collect();
+        }
+        if calls.iter().any(|c| matches!(c, CudaCall::Exit)) {
+            self.hung_up = true;
+        }
+        self.flush_with(calls)
     }
 }
 

@@ -1,0 +1,504 @@
+//! Multiplexed client transport: many channels over one TCP connection.
+//!
+//! The legacy transports speak strict request/response per socket, so every
+//! concurrent application thread costs a connection (and, server-side, a
+//! handler thread). The multiplexed wire format ([`MuxFrame`]) instead tags
+//! every request with a *channel* (the server-side context key — one channel
+//! behaves exactly like one legacy connection) and a connection-unique
+//! *request ID* (the client-side demux key). Responses carry only the ID and
+//! may arrive out of order; a single reader thread per connection routes
+//! each one back to the caller that registered the ID.
+//!
+//! The pure framing layer ([`FrameBuf`], [`encode_frame`]) is shared with
+//! the server reactor and is deliberately free of I/O so the proptests in
+//! `tests/proptests.rs` can replay arbitrary split/coalesced byte
+//! interleavings against it.
+
+use super::tcp::MAX_FRAME_BYTES;
+use super::Transport;
+use crate::error::CudaError;
+use crate::protocol::{CudaCall, CudaReply, MuxFrame};
+use crossbeam::channel::{bounded, Sender};
+use mtgpu_simtime::{lock_rank, RankedMutex};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Serializes one length-prefixed JSON frame into `out`.
+pub fn encode_frame<T: Serialize>(value: &T, out: &mut Vec<u8>) -> std::io::Result<()> {
+    let body = serde_json::to_vec(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(())
+}
+
+/// Incremental decoder for length-prefixed JSON frames.
+///
+/// Bytes arrive in whatever chunks the socket produces — a frame may be
+/// split across many reads, and one read may coalesce many frames. The
+/// buffer accepts raw bytes via [`FrameBuf::push`] and yields complete
+/// frames via [`FrameBuf::next_frame`]; anything left over is a partial
+/// frame still in flight (the signal the reactor's slow-loris shedding
+/// keys off).
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames.
+    consumed: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuf::default()
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates.
+        if self.consumed > 4096 && self.consumed * 2 > self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means more bytes are needed; an error means the peer sent
+    /// an oversized length prefix or an undecodable body (the connection is
+    /// unrecoverable — framing has lost sync).
+    pub fn next_frame<T: DeserializeOwned>(&mut self) -> std::io::Result<Option<T>> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+            ));
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &pending[4..4 + len];
+        let value = serde_json::from_slice(body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.consumed += 4 + len;
+        Ok(Some(value))
+    }
+
+    /// Whether a partial frame (or partial length prefix) is buffered.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.consumed
+    }
+
+    /// Bytes of the partial frame buffered so far.
+    pub fn partial_len(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+}
+
+/// Pending-reply demux state of one multiplexed connection.
+struct PendingReplies {
+    /// Request ID → the waiting caller's one-shot channel.
+    waiters: HashMap<u64, Sender<CudaReply>>,
+    /// Set once the reader thread observed a transport failure; later
+    /// registrations fail fast instead of waiting forever.
+    dead: bool,
+}
+
+/// Shared state of one multiplexed TCP connection.
+struct MuxConnInner {
+    /// The socket, shared with the reader thread (one fd per connection;
+    /// `&TcpStream` implements `Write`). Frame writes are serialized under
+    /// the innermost transport-tier rank.
+    writer: RankedMutex<Arc<TcpStream>>,
+    /// Demux map the reader thread completes into.
+    pending: RankedMutex<PendingReplies>,
+    next_id: AtomicU64,
+    next_chan: AtomicU64,
+    /// Responses whose ID matched no waiter (hostile or confused server).
+    unknown_responses: AtomicU64,
+    /// Frames that were not `Response` at all (protocol violation).
+    protocol_errors: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl MuxConnInner {
+    fn fail_all(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let mut pending = self.pending.lock();
+        pending.dead = true;
+        for (_, tx) in pending.waiters.drain() {
+            let _ = tx.send(Err(CudaError::Disconnected));
+        }
+    }
+}
+
+/// One multiplexed TCP connection. Cheap to clone ([`Arc`] inside); open
+/// channels with [`MuxConnection::channel`] — each behaves like a dedicated
+/// legacy connection while sharing this one socket.
+#[derive(Clone)]
+pub struct MuxConnection {
+    inner: Arc<MuxConnInner>,
+}
+
+/// Stack size for the per-connection reader thread. Kept small so 10k
+/// persistent connections stay cheap; the reader only decodes frames and
+/// completes one-shot channels.
+const READER_STACK_BYTES: usize = 256 * 1024;
+
+impl MuxConnection {
+    /// Connects to a reactor endpoint and spawns the reader thread.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        MuxConnection::from_stream(stream)
+    }
+
+    /// Adopts an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let stream = Arc::new(stream);
+        let reader = Arc::clone(&stream);
+        let inner = Arc::new(MuxConnInner {
+            writer: RankedMutex::new(lock_rank::CONN_WRITE, stream),
+            pending: RankedMutex::new(
+                lock_rank::MUX_PENDING,
+                PendingReplies { waiters: HashMap::new(), dead: false },
+            ),
+            next_id: AtomicU64::new(1),
+            next_chan: AtomicU64::new(1),
+            unknown_responses: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
+        });
+        let pump = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("mux-reader".to_string())
+            .stack_size(READER_STACK_BYTES)
+            .spawn(move || reader_loop(reader, &pump))
+            .map_err(|e| std::io::Error::other(format!("spawn mux reader: {e}")))?;
+        Ok(MuxConnection { inner })
+    }
+
+    /// Opens a fresh channel (a new server-side context) on this
+    /// connection.
+    pub fn channel(&self) -> MuxChannel {
+        let chan = self.inner.next_chan.fetch_add(1, Ordering::Relaxed);
+        MuxChannel { conn: Arc::clone(&self.inner), chan }
+    }
+
+    /// Whether the connection has failed (reader observed EOF or error).
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::SeqCst)
+    }
+
+    /// Responses received whose ID matched no registered waiter.
+    pub fn unknown_responses(&self) -> u64 {
+        self.inner.unknown_responses.load(Ordering::Relaxed)
+    }
+
+    /// Frames received that were not responses at all.
+    pub fn protocol_errors(&self) -> u64 {
+        self.inner.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Tears the connection down: wakes every waiter with `Disconnected`
+    /// and closes the socket so the reader thread exits.
+    pub fn shutdown(&self) {
+        self.inner.fail_all();
+        let _ = self.inner.writer.lock().shutdown(Shutdown::Both);
+    }
+}
+
+fn reader_loop(stream: Arc<TcpStream>, conn: &MuxConnInner) {
+    let mut framebuf = FrameBuf::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    'read: loop {
+        let n = match (&*stream).read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        framebuf.push(&chunk[..n]);
+        loop {
+            match framebuf.next_frame::<MuxFrame>() {
+                Ok(Some(MuxFrame::Response { id, reply })) => {
+                    let waiter = conn.pending.lock().waiters.remove(&id);
+                    match waiter {
+                        Some(tx) => {
+                            let _ = tx.send(reply);
+                        }
+                        None => {
+                            // A response we never asked for: count and drop.
+                            // Closing would let a hostile server kill every
+                            // caller sharing the connection with one frame.
+                            conn.unknown_responses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Ok(Some(MuxFrame::Request { .. })) => {
+                    // Only a server sends requests; framing is intact, so
+                    // count the violation and carry on.
+                    conn.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(None) => break,
+                Err(_) => break 'read,
+            }
+        }
+    }
+    conn.fail_all();
+}
+
+/// One channel on a [`MuxConnection`]: a [`Transport`] whose calls are
+/// tagged with the channel ID and demultiplexed by request ID, so any
+/// number of channels share the socket without blocking each other.
+pub struct MuxChannel {
+    conn: Arc<MuxConnInner>,
+    chan: u64,
+}
+
+impl MuxChannel {
+    /// The channel ID on the wire (diagnostic).
+    pub fn chan(&self) -> u64 {
+        self.chan
+    }
+
+    /// Registers a waiter for a fresh request ID. Fails if the connection
+    /// is already dead.
+    fn register(&self) -> Result<(u64, crossbeam::channel::Receiver<CudaReply>), CudaError> {
+        let id = self.conn.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        let mut pending = self.conn.pending.lock();
+        if pending.dead {
+            return Err(CudaError::Disconnected);
+        }
+        pending.waiters.insert(id, tx);
+        Ok((id, rx))
+    }
+
+    fn unregister(&self, id: u64) {
+        self.conn.pending.lock().waiters.remove(&id);
+    }
+}
+
+impl Transport for MuxChannel {
+    fn roundtrip(&mut self, call: CudaCall) -> CudaReply {
+        let (id, rx) = self.register()?;
+        let frame = MuxFrame::Request { chan: self.chan, id, call };
+        let mut bytes = Vec::new();
+        encode_frame(&frame, &mut bytes).map_err(|_| CudaError::Disconnected)?;
+        {
+            let writer = self.conn.writer.lock();
+            if let Err(e) = (&**writer).write_all(&bytes) {
+                drop(writer);
+                self.unregister(id);
+                let _ = e;
+                return Err(CudaError::Disconnected);
+            }
+        }
+        rx.recv().map_err(|_| CudaError::Disconnected)?
+    }
+
+    fn roundtrip_batch(&mut self, calls: Vec<CudaCall>) -> Vec<CudaReply> {
+        // Pipelined: register every ID, ship all frames in one write, then
+        // collect the replies. The server executes calls of one channel in
+        // order, so replies complete in order even though the wire allows
+        // out-of-order delivery across channels.
+        let mut waiters = Vec::with_capacity(calls.len());
+        let mut bytes = Vec::new();
+        for call in calls {
+            match self.register() {
+                Ok((id, rx)) => {
+                    let frame = MuxFrame::Request { chan: self.chan, id, call };
+                    if encode_frame(&frame, &mut bytes).is_err() {
+                        self.unregister(id);
+                        waiters.push(None);
+                        continue;
+                    }
+                    waiters.push(Some((id, rx)));
+                }
+                Err(_) => waiters.push(None),
+            }
+        }
+        let wrote = { (&**self.conn.writer.lock()).write_all(&bytes).is_ok() };
+        waiters
+            .into_iter()
+            .map(|slot| match slot {
+                Some((id, rx)) => {
+                    if wrote {
+                        rx.recv().unwrap_or(Err(CudaError::Disconnected))
+                    } else {
+                        self.unregister(id);
+                        Err(CudaError::Disconnected)
+                    }
+                }
+                None => Err(CudaError::Disconnected),
+            })
+            .collect()
+    }
+}
+
+/// A pool of multiplexed connections, handing out channels round-robin.
+///
+/// This is the client-side shape of the DESIGN.md §12 transport: a handful
+/// of sockets carrying thousands of logical channels. `FrontendClient`s
+/// built from pool channels are interchangeable with legacy per-connection
+/// clients.
+pub struct MuxPool {
+    conns: Vec<MuxConnection>,
+    next: AtomicU64,
+}
+
+impl MuxPool {
+    /// Opens `conns` connections to a reactor endpoint.
+    pub fn connect(addr: impl ToSocketAddrs + Copy, conns: usize) -> std::io::Result<Self> {
+        let conns = conns.max(1);
+        let mut pool = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            pool.push(MuxConnection::connect(addr)?);
+        }
+        Ok(MuxPool { conns: pool, next: AtomicU64::new(0) })
+    }
+
+    /// Number of pooled connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Whether the pool holds no connections (never true after `connect`).
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Opens a channel on the next connection, round-robin.
+    pub fn channel(&self) -> MuxChannel {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) as usize % self.conns.len();
+        self.conns[i].channel()
+    }
+
+    /// Opens a channel on a specific pooled connection.
+    pub fn channel_on(&self, conn: usize) -> MuxChannel {
+        self.conns[conn % self.conns.len()].channel()
+    }
+
+    /// Sum of unknown-ID responses across the pool.
+    pub fn unknown_responses(&self) -> u64 {
+        self.conns.iter().map(|c| c.unknown_responses()).sum()
+    }
+
+    /// Closes every pooled connection.
+    pub fn shutdown(&self) {
+        for conn in &self.conns {
+            conn.shutdown();
+        }
+    }
+}
+
+impl Drop for MuxPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ReplyValue;
+
+    fn frame(i: u64) -> MuxFrame {
+        MuxFrame::Response { id: i, reply: Ok(ReplyValue::DeviceCount(i as u32)) }
+    }
+
+    #[test]
+    fn framebuf_decodes_split_and_coalesced_writes() {
+        let mut bytes = Vec::new();
+        for i in 0..5 {
+            encode_frame(&frame(i), &mut bytes).unwrap();
+        }
+        // Feed one byte at a time: every frame must still come out intact.
+        let mut fb = FrameBuf::new();
+        let mut out = Vec::new();
+        for b in &bytes {
+            fb.push(std::slice::from_ref(b));
+            while let Some(f) = fb.next_frame::<MuxFrame>().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out.len(), 5);
+        for (i, f) in out.iter().enumerate() {
+            assert_eq!(*f, frame(i as u64));
+        }
+        assert!(!fb.has_partial());
+
+        // Feed everything at once: same result.
+        let mut fb = FrameBuf::new();
+        fb.push(&bytes);
+        let mut out2 = Vec::new();
+        while let Some(f) = fb.next_frame::<MuxFrame>().unwrap() {
+            out2.push(f);
+        }
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn framebuf_reports_partials() {
+        let mut bytes = Vec::new();
+        encode_frame(&frame(7), &mut bytes).unwrap();
+        let mut fb = FrameBuf::new();
+        fb.push(&bytes[..3]); // partial length prefix
+        assert!(fb.next_frame::<MuxFrame>().unwrap().is_none());
+        assert!(fb.has_partial());
+        assert_eq!(fb.partial_len(), 3);
+        fb.push(&bytes[3..bytes.len() - 1]); // all but the last byte
+        assert!(fb.next_frame::<MuxFrame>().unwrap().is_none());
+        assert!(fb.has_partial());
+        fb.push(&bytes[bytes.len() - 1..]);
+        assert_eq!(fb.next_frame::<MuxFrame>().unwrap(), Some(frame(7)));
+        assert!(!fb.has_partial());
+    }
+
+    #[test]
+    fn framebuf_rejects_oversized_length_prefix() {
+        let mut fb = FrameBuf::new();
+        fb.push(&(u32::MAX).to_le_bytes());
+        assert!(fb.next_frame::<MuxFrame>().is_err());
+    }
+
+    #[test]
+    fn framebuf_rejects_undecodable_body() {
+        let mut fb = FrameBuf::new();
+        fb.push(&5u32.to_le_bytes());
+        fb.push(b"hello");
+        assert!(fb.next_frame::<MuxFrame>().is_err());
+    }
+
+    #[test]
+    fn framebuf_compaction_preserves_stream() {
+        // Many small frames pushed after large consumed prefixes exercise
+        // the lazy compaction path.
+        let mut bytes = Vec::new();
+        for i in 0..64 {
+            encode_frame(&frame(i), &mut bytes).unwrap();
+        }
+        let mut fb = FrameBuf::new();
+        let mut out = Vec::new();
+        for chunk in bytes.chunks(97) {
+            fb.push(chunk);
+            while let Some(f) = fb.next_frame::<MuxFrame>().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out.len(), 64);
+        for (i, f) in out.iter().enumerate() {
+            assert_eq!(*f, frame(i as u64));
+        }
+    }
+}

@@ -3,17 +3,20 @@
 //! round-trip.
 
 use mtgpu_api::protocol::{
-    AllocKind, ContextImage, CudaCall, CudaReply, ImageEntry, ModuleHandle, ReplyValue,
+    AllocKind, ContextImage, CudaCall, CudaReply, ImageEntry, ModuleHandle, MuxFrame, ReplyValue,
 };
 use mtgpu_api::transport::{
-    read_frame, write_frame, FrontendClient, ServerConn, TcpServerConn, TcpTransport,
-    MAX_FRAME_BYTES,
+    encode_frame, read_frame, spawn_reactor, write_frame, ConnId, FrameBuf, FrontendClient,
+    MuxConnection, MuxService, ReactorConfig, ReactorHandle, ReplySink, ServerConn, TcpServerConn,
+    TcpTransport, MAX_FRAME_BYTES,
 };
 use mtgpu_api::{CudaClient, CudaError, HostBuf};
 use mtgpu_gpusim::{DeviceAddr, KernelArg, KernelDesc, LaunchConfig, LaunchSpec, Work};
 use proptest::prelude::*;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn roundtrip_call(call: &CudaCall) {
     let mut buf = Vec::new();
@@ -194,6 +197,198 @@ fn tcp_server_pump_closes_on_oversized_client_frame() {
     assert!(conn.recv().is_none(), "pump must close, not hang");
     drop(conn);
     attacker.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Multiplexed hostile peers: the reactor must shed a misbehaving
+// connection without stalling — or even perturbing — its neighbours.
+// ---------------------------------------------------------------------
+
+/// Minimal reactor service: answers every request with
+/// `DeviceCount(chan)` straight off the reactor thread.
+struct Echo(ReplySink);
+
+impl MuxService for Echo {
+    fn on_request(&self, conn: ConnId, chan: u64, id: u64, _call: CudaCall) {
+        self.0.reply(conn, id, Ok(ReplyValue::DeviceCount(chan as u32)));
+    }
+    fn on_disconnect(&self, _conn: ConnId) {}
+}
+
+fn spawn_echo_reactor(cfg: ReactorConfig) -> ReactorHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let (sink, queue) = ReplySink::channel();
+    let svc: Arc<dyn MuxService> = Arc::new(Echo(sink));
+    spawn_reactor(listener, cfg, svc, queue).unwrap()
+}
+
+/// One well-behaved probe roundtrip: the canary that proves the reactor is
+/// still serving *other* connections while it sheds a hostile one.
+fn probe_roundtrip(conn: &MuxConnection) {
+    let chan = conn.channel();
+    let expected = chan.chan() as u32;
+    let mut client = FrontendClient::new(chan);
+    assert_eq!(client.get_device_count().unwrap(), expected);
+}
+
+/// Reads until EOF (the reactor closed us) with a hard deadline; panics if
+/// the peer keeps the socket open past it.
+fn expect_eof(stream: &mut TcpStream, within: Duration) {
+    stream.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    let deadline = Instant::now() + within;
+    let mut sink = [0u8; 1024];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            // Reset counts as closed too.
+            Err(_) => return,
+        }
+        assert!(Instant::now() < deadline, "reactor never closed the hostile connection");
+    }
+}
+
+#[test]
+fn mux_duplicate_request_id_sheds_connection() {
+    let reactor = spawn_echo_reactor(ReactorConfig::default());
+    let good = MuxConnection::connect(reactor.addr()).unwrap();
+    probe_roundtrip(&good);
+
+    // Hostile peer: two requests carrying the same in-flight ID, shipped in
+    // one write so they decode in one sweep.
+    let mut attacker = TcpStream::connect(reactor.addr()).unwrap();
+    let mut wire = Vec::new();
+    for _ in 0..2 {
+        encode_frame(
+            &MuxFrame::Request { chan: 0, id: 7, call: CudaCall::GetDeviceCount },
+            &mut wire,
+        )
+        .unwrap();
+    }
+    attacker.write_all(&wire).unwrap();
+    expect_eof(&mut attacker, Duration::from_secs(5));
+
+    assert!(reactor.stats().protocol_errors.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    // The neighbour never noticed.
+    probe_roundtrip(&good);
+    good.shutdown();
+    reactor.shutdown();
+}
+
+#[test]
+fn mux_client_sent_response_sheds_connection() {
+    let reactor = spawn_echo_reactor(ReactorConfig::default());
+    let good = MuxConnection::connect(reactor.addr()).unwrap();
+
+    // A client has no business sending Response frames.
+    let mut attacker = TcpStream::connect(reactor.addr()).unwrap();
+    let mut wire = Vec::new();
+    encode_frame(&MuxFrame::Response { id: 3, reply: Ok(ReplyValue::Unit) }, &mut wire).unwrap();
+    attacker.write_all(&wire).unwrap();
+    expect_eof(&mut attacker, Duration::from_secs(5));
+
+    assert!(reactor.stats().protocol_errors.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    probe_roundtrip(&good);
+    good.shutdown();
+    reactor.shutdown();
+}
+
+#[test]
+fn mux_undecodable_frame_mid_stream_sheds_only_that_connection() {
+    let reactor = spawn_echo_reactor(ReactorConfig::default());
+    let good = MuxConnection::connect(reactor.addr()).unwrap();
+
+    // Hostile peer: one valid request, then a well-framed but undecodable
+    // body interleaved mid-stream.
+    let mut attacker = TcpStream::connect(reactor.addr()).unwrap();
+    let mut wire = Vec::new();
+    encode_frame(&MuxFrame::Request { chan: 0, id: 1, call: CudaCall::Synchronize }, &mut wire)
+        .unwrap();
+    let garbage = b"{\"neither\":\"request nor response\"}";
+    wire.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+    wire.extend_from_slice(garbage);
+    attacker.write_all(&wire).unwrap();
+    expect_eof(&mut attacker, Duration::from_secs(5));
+
+    assert!(reactor.stats().protocol_errors.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    probe_roundtrip(&good);
+    good.shutdown();
+    reactor.shutdown();
+}
+
+#[test]
+fn mux_slow_loris_is_shed_without_stalling_neighbours() {
+    // Tight frame deadline so the test is quick.
+    let cfg = ReactorConfig { frame_deadline: Duration::from_millis(200), ..Default::default() };
+    let reactor = spawn_echo_reactor(cfg);
+    let good = MuxConnection::connect(reactor.addr()).unwrap();
+
+    // Slow loris: promises a frame, drips 2 bytes, goes quiet.
+    let mut loris = TcpStream::connect(reactor.addr()).unwrap();
+    loris.write_all(&64u32.to_le_bytes()).unwrap();
+    loris.write_all(&[0x7b, 0x22]).unwrap();
+
+    // Neighbours keep full service while the loris ages out.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while reactor.stats().shed_slow.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+        probe_roundtrip(&good);
+        assert!(Instant::now() < deadline, "slow-loris peer was never shed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    expect_eof(&mut loris, Duration::from_secs(5));
+    probe_roundtrip(&good);
+    good.shutdown();
+    reactor.shutdown();
+}
+
+#[test]
+fn mux_client_counts_responses_for_unknown_ids() {
+    // Hostile *server*: answers the real request correctly, but first
+    // volunteers a response nobody asked for.
+    let addr = hostile_server(|mut stream| {
+        let mut wire = Vec::new();
+        encode_frame(
+            &MuxFrame::Response { id: 0xDEAD_BEEF, reply: Ok(ReplyValue::Unit) },
+            &mut wire,
+        )
+        .unwrap();
+        stream.write_all(&wire).unwrap();
+
+        let mut buf = FrameBuf::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            let n = stream.read(&mut chunk).unwrap();
+            if n == 0 {
+                return;
+            }
+            buf.push(&chunk[..n]);
+            while let Some(frame) = buf.next_frame::<MuxFrame>().unwrap() {
+                let MuxFrame::Request { id, .. } = frame else { panic!("client sent response") };
+                let mut out = Vec::new();
+                encode_frame(
+                    &MuxFrame::Response { id, reply: Ok(ReplyValue::DeviceCount(3)) },
+                    &mut out,
+                )
+                .unwrap();
+                stream.write_all(&out).unwrap();
+            }
+        }
+    });
+    let conn = MuxConnection::connect(addr).unwrap();
+    let mut client = FrontendClient::new(conn.channel());
+    assert_eq!(client.get_device_count().unwrap(), 3);
+    // The stray response was dropped and counted, not misdelivered.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while conn.unknown_responses() == 0 {
+        assert!(Instant::now() < deadline, "unknown response never counted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(conn.unknown_responses(), 1);
+    assert!(!conn.is_dead(), "an unknown ID must not kill the connection");
+    conn.shutdown();
 }
 
 proptest! {

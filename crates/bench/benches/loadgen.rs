@@ -1,0 +1,202 @@
+//! Transport gate: persistent multiplexed connections against the seed's
+//! reconnect-per-request transport, measured end-to-end by the closed-loop
+//! load generator.
+//!
+//! At 64 clients on a 4-device node, the persistent path (64 long-lived
+//! connections through the poll(2) reactor, launches pipelined) must beat
+//! the reconnect baseline on BOTH axes:
+//!
+//!   * throughput ≥ `--gate-throughput` × baseline (default 1.3×), and
+//!   * p99 latency ≤ baseline p99.
+//!
+//! Each mode runs `SAMPLES` full passes and gates on the median, so one
+//! noisy pass on a shared box cannot flip the verdict. The full run also
+//! records a 1000-connection sustain case (ungated: its job is to prove the
+//! reactor holds a thousand sockets while serving load, which the asserts
+//! on completion/errors cover).
+//!
+//! Emits a JSON report (default `results/BENCH_loadgen.json`) and exits
+//! nonzero on gate failure.
+//!
+//! Usage: loadgen [--quick] [--gate-throughput RATIO] [--out PATH]
+
+use mtgpu_loadgen::{run_load, LoadgenConfig, Mode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TransportCase {
+    transport: String,
+    clients: usize,
+    requests_per_client: usize,
+    connections: usize,
+    samples: usize,
+    /// Median across samples.
+    throughput_rps: f64,
+    /// Median across samples.
+    p99_nanos: u64,
+    p50_nanos: u64,
+    completed: u64,
+    errors: u64,
+}
+
+#[derive(Serialize)]
+struct Gate {
+    throughput_ratio: f64,
+    min_throughput_ratio: f64,
+    /// persistent p99 / baseline p99 (must be ≤ 1.0).
+    p99_ratio: f64,
+    pass: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    quick: bool,
+    cases: Vec<TransportCase>,
+    gate: Gate,
+}
+
+fn median_u64(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn median_f64(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+/// Runs `samples` full load passes of one configuration and reports the
+/// median throughput and quantiles.
+fn measure(label: &str, cfg: &LoadgenConfig, samples: usize) -> TransportCase {
+    let mut rps = Vec::with_capacity(samples);
+    let mut p99 = Vec::with_capacity(samples);
+    let mut p50 = Vec::with_capacity(samples);
+    let mut completed = 0;
+    let mut errors = 0;
+    for s in 0..samples {
+        let report = run_load(cfg);
+        assert_eq!(
+            report.errors, 0,
+            "{label} sample {s}: {} failed requests — the gate only means something on a clean run",
+            report.errors
+        );
+        rps.push(report.throughput_rps);
+        p99.push(report.latency.p99_nanos);
+        p50.push(report.latency.p50_nanos);
+        completed = report.completed;
+        errors = report.errors;
+        eprintln!(
+            "{label:<12} sample {s}: {:>7.1} req/s  p50 {:>7.3}ms  p99 {:>8.3}ms",
+            report.throughput_rps,
+            report.latency.p50_nanos as f64 / 1e6,
+            report.latency.p99_nanos as f64 / 1e6
+        );
+    }
+    TransportCase {
+        transport: label.to_string(),
+        clients: cfg.clients,
+        requests_per_client: cfg.requests_per_client,
+        connections: if cfg.persistent { cfg.connections } else { 0 },
+        samples,
+        throughput_rps: median_f64(rps),
+        p99_nanos: median_u64(p99),
+        p50_nanos: median_u64(p50),
+        completed,
+        errors,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut min_ratio = 1.3f64;
+    let mut out_path = "results/BENCH_loadgen.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--gate-throughput" => {
+                min_ratio = it.next().expect("--gate-throughput RATIO").parse().expect("ratio")
+            }
+            "--out" => out_path = it.next().expect("--out PATH").clone(),
+            // cargo bench passes --bench through to the harness binary.
+            "--bench" => {}
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (clients, requests, samples) = if quick { (24, 2, 2) } else { (64, 4, 3) };
+    let base_cfg = LoadgenConfig {
+        mode: Mode::Closed,
+        clients,
+        requests_per_client: requests,
+        seed: 42,
+        devices: 4,
+        vgpus_per_device: 4,
+        clock_scale: 1e-7,
+        ..LoadgenConfig::default()
+    };
+
+    let baseline = measure("reconnect", &base_cfg, samples);
+    let persistent = measure(
+        "persistent",
+        &LoadgenConfig { persistent: true, connections: clients, ..base_cfg.clone() },
+        samples,
+    );
+
+    let throughput_ratio = persistent.throughput_rps / baseline.throughput_rps;
+    let p99_ratio = persistent.p99_nanos as f64 / baseline.p99_nanos as f64;
+    let gate = Gate {
+        throughput_ratio,
+        min_throughput_ratio: min_ratio,
+        p99_ratio,
+        pass: throughput_ratio >= min_ratio && p99_ratio <= 1.0,
+    };
+    eprintln!(
+        "gate: throughput {:.0}/{:.0} = {:.2}x (min {:.2}x), p99 {:.1}/{:.1}ms = {:.2} (max 1.00) => {}",
+        persistent.throughput_rps,
+        baseline.throughput_rps,
+        throughput_ratio,
+        min_ratio,
+        persistent.p99_nanos as f64 / 1e6,
+        baseline.p99_nanos as f64 / 1e6,
+        p99_ratio,
+        if gate.pass { "PASS" } else { "FAIL" }
+    );
+
+    let mut cases = vec![baseline, persistent];
+    if !quick {
+        // Sustain: a thousand persistent connections through one reactor,
+        // every request completing. Not part of the ratio gate — the
+        // assert-on-errors inside measure() is the check.
+        cases.push(measure(
+            "sustain-1k",
+            &LoadgenConfig {
+                clients: 250,
+                requests_per_client: 2,
+                persistent: true,
+                connections: 1000,
+                ..base_cfg
+            },
+            1,
+        ));
+    }
+
+    let report = Report { bench: "loadgen".to_string(), quick, cases, gate };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("report: {out_path}");
+    if !report.gate.pass {
+        eprintln!(
+            "FAIL: persistent transport must deliver ≥{:.2}x reconnect throughput at no p99 cost",
+            report.gate.min_throughput_ratio
+        );
+        std::process::exit(1);
+    }
+}

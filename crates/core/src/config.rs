@@ -82,6 +82,15 @@ pub struct RuntimeConfig {
     /// [`crate::NodeRuntime::monitor_tick`], so monitor actions land at
     /// reproducible points of the schedule.
     pub background_monitor: bool,
+    /// Worker threads executing calls arriving over multiplexed
+    /// connections (DESIGN.md §12). `0` sizes the pool automatically
+    /// (total vGPUs + a small constant for unbound/teardown work).
+    pub mux_workers: usize,
+    /// One bounded binding-acquisition attempt per multiplexed launch;
+    /// when it expires, the worker requeues the channel and serves other
+    /// work instead of blocking the pool (the deadlock guard for a fixed
+    /// pool over unbounded waits).
+    pub mux_bind_slice: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -106,6 +115,8 @@ impl Default for RuntimeConfig {
             trace_capacity: 4096,
             seed: 0,
             background_monitor: true,
+            mux_workers: 0,
+            mux_bind_slice: Duration::from_millis(5),
         }
     }
 }
@@ -158,6 +169,13 @@ impl RuntimeConfig {
     /// (`0` = device copy-engine count).
     pub fn with_max_inflight_transfers(mut self, n: usize) -> Self {
         self.max_inflight_transfers = n;
+        self
+    }
+
+    /// Builder-style override of the multiplexed worker-pool size
+    /// (`0` = automatic).
+    pub fn with_mux_workers(mut self, n: usize) -> Self {
+        self.mux_workers = n;
         self
     }
 }

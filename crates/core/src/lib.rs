@@ -32,6 +32,7 @@ pub mod ctx;
 pub mod memory;
 pub mod metrics;
 pub mod monitor;
+pub mod mux;
 pub mod runtime;
 pub mod sched;
 pub mod service;
@@ -43,6 +44,7 @@ pub use memory::{
     Flags, Materialize, MemoryConfig, MemoryManager, Recovery, SwapOutcome, SwapReason,
 };
 pub use metrics::{MetricsSnapshot, RuntimeMetrics};
+pub use mux::{MuxGateway, MuxGatewayHandle};
 pub use runtime::{LoadInfo, NodeRuntime};
 pub use sched::legacy::LegacyBindingManager;
 pub use sched::{BindingManager, DeviceView, VGpu};

@@ -60,6 +60,13 @@ pub struct RuntimeMetrics {
     /// builds only; release builds compile the probe out, and sequential
     /// deterministic drivers never contend, so this stays 0 under replay).
     pub lock_contention_events: AtomicU64,
+    /// Requests served through the multiplexed gateway (DESIGN.md §12).
+    pub mux_requests: AtomicU64,
+    /// Multiplexed launches requeued because binding acquisition exceeded
+    /// the worker's bounded slice (the would-block path).
+    pub mux_retries: AtomicU64,
+    /// Channels (contexts) opened over multiplexed connections.
+    pub mux_channels: AtomicU64,
 }
 
 /// Serializable snapshot of [`RuntimeMetrics`].
@@ -87,6 +94,9 @@ pub struct MetricsSnapshot {
     pub targeted_wakeups: u64,
     pub waiter_reroutes: u64,
     pub lock_contention_events: u64,
+    pub mux_requests: u64,
+    pub mux_retries: u64,
+    pub mux_channels: u64,
 }
 
 impl MetricsSnapshot {
@@ -134,6 +144,9 @@ impl RuntimeMetrics {
             targeted_wakeups: self.targeted_wakeups.load(Ordering::Relaxed),
             waiter_reroutes: self.waiter_reroutes.load(Ordering::Relaxed),
             lock_contention_events: self.lock_contention_events.load(Ordering::Relaxed),
+            mux_requests: self.mux_requests.load(Ordering::Relaxed),
+            mux_retries: self.mux_retries.load(Ordering::Relaxed),
+            mux_channels: self.mux_channels.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,484 @@
+//! The multiplex gateway: the runtime's [`MuxService`] implementation.
+//!
+//! Where the legacy path dedicates one handler thread to every connection,
+//! the gateway serves *channels* — (connection, chan) pairs, each backed by
+//! one [`AppContext`] — with a fixed worker pool. The reactor thread calls
+//! [`MuxGateway::on_request`] for every decoded frame; the gateway enqueues
+//! the call on its channel's FIFO and marks the channel runnable. Workers
+//! pull runnable channels off a global work queue, execute exactly one call
+//! under the context's service lock, and complete the reply through the
+//! reactor's [`ReplySink`].
+//!
+//! Two invariants keep this sound:
+//!
+//! 1. **Per-channel ordering.** A channel is on the work queue at most once
+//!    (`scheduled` flag, mutated only under the channel's queue lock), and a
+//!    worker re-enqueues it only after finishing the head call — so calls of
+//!    one channel execute strictly in arrival order, exactly like a legacy
+//!    connection, while different channels proceed in parallel.
+//! 2. **No pool-wide starvation.** Launches use the *bounded* dispatch path
+//!    ([`service::try_handle_call`]). With unbounded waits, `mux_workers`
+//!    launches waiting on fully-bound vGPUs would deadlock the pool — the
+//!    bound contexts' own calls (the ones that would eventually release
+//!    those vGPUs) could never run. A launch that cannot bind immediately
+//!    parks its channel on the gateway's *bind-waiters* list instead of
+//!    holding a worker: every completed call kicks one waiter back onto the
+//!    work queue for a cheap retry (completions are the only events that
+//!    release vGPUs, so a kick rides every release), and a worker with an
+//!    otherwise-empty queue gives one waiter a bounded `mux_bind_slice`
+//!    park inside the dispatcher's wait queue, where it gets the targeted
+//!    wakeup on release. Either way the pool never wedges and never burns
+//!    a full slice per retry under load.
+//!
+//! Teardown (Exit or disconnect) removes the channel from the map first;
+//! whichever path wins the `BTreeMap::remove` does the context teardown, so
+//! it happens exactly once even when an Exit races a connection drop.
+
+use crate::ctx::AppContext;
+use crate::metrics::RuntimeMetrics;
+use crate::runtime::NodeRuntime;
+use crate::service::{self, CallOutcome};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use mtgpu_api::protocol::{CudaCall, CudaReply};
+use mtgpu_api::transport::{ConnId, MuxService, ReplySink};
+use mtgpu_api::CudaError;
+use mtgpu_simtime::{lock_rank, RankedMutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How many workers may simultaneously lend themselves to a parked
+/// bind-waiter (a bounded `mux_bind_slice` wait inside the dispatcher).
+/// Capped so a burst of fresh requests always finds free workers even
+/// while many channels queue for vGPUs.
+const MAX_IDLE_PARKERS: usize = 2;
+
+/// A channel's key: (connection, channel-on-that-connection).
+type ChanKey = (ConnId, u64);
+
+/// Pending calls of one channel.
+struct ChanQueue {
+    /// FIFO of (request id, call) not yet executed.
+    calls: VecDeque<(u64, CudaCall)>,
+    /// Whether the channel currently sits on the work queue (at most once).
+    scheduled: bool,
+}
+
+/// One multiplexed channel: an application context plus its call FIFO.
+struct ChannelState {
+    ctx: Arc<AppContext>,
+    queue: RankedMutex<ChanQueue>,
+}
+
+enum WorkItem {
+    /// A channel became runnable: execute its head call.
+    Chan(ChanKey),
+    /// Channels removed on disconnect, awaiting context teardown.
+    Teardown(Vec<Arc<ChannelState>>),
+    /// Worker shutdown.
+    Stop,
+}
+
+/// The runtime's service endpoint for multiplexed connections.
+pub struct MuxGateway {
+    rt: Arc<NodeRuntime>,
+    sink: ReplySink,
+    /// channel key → state. BTreeMap so disconnects can range-scan a
+    /// connection's channels and iteration order is deterministic.
+    channels: RankedMutex<BTreeMap<ChanKey, Arc<ChannelState>>>,
+    workq: Sender<WorkItem>,
+    bind_slice: Duration,
+    /// Channels whose head launch found no free vGPU. They hold no worker
+    /// while parked; releases and idle workers pull them back out.
+    bind_waiters: RankedMutex<VecDeque<ChanKey>>,
+    /// Workers currently parked in a bounded dispatcher wait on behalf of
+    /// a bind-waiter (≤ [`MAX_IDLE_PARKERS`]).
+    idle_parkers: AtomicUsize,
+}
+
+/// Owns the gateway's worker pool; joining it drains outstanding teardowns.
+pub struct MuxGatewayHandle {
+    gateway: Arc<MuxGateway>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MuxGateway {
+    /// Spawns the worker pool and returns the service plus its handle.
+    ///
+    /// `sink` must be the reply sink of the reactor that will drive this
+    /// gateway (create both with `ReplySink::channel()`).
+    pub fn start(rt: Arc<NodeRuntime>, sink: ReplySink) -> (Arc<MuxGateway>, MuxGatewayHandle) {
+        let workers = match rt.config().mux_workers {
+            // Auto: one worker per vGPU keeps every slot servable, plus
+            // headroom so unbound/teardown work never waits on launches.
+            0 => rt.bindings().total_vgpus() + 4,
+            n => n,
+        };
+        let bind_slice = rt.config().mux_bind_slice;
+        let (tx, rx) = unbounded();
+        let gateway = Arc::new(MuxGateway {
+            rt,
+            sink,
+            channels: RankedMutex::new(lock_rank::CONN_CHANNELS, BTreeMap::new()),
+            workq: tx,
+            bind_slice,
+            bind_waiters: RankedMutex::new(lock_rank::MUX_WAITERS, VecDeque::new()),
+            idle_parkers: AtomicUsize::new(0),
+        });
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let g = Arc::clone(&gateway);
+            let rx: Receiver<WorkItem> = rx.clone();
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("mux-worker-{i}"))
+                    .spawn(move || worker_loop(&g, &rx))
+                    .expect("spawn mux worker"),
+            );
+        }
+        (Arc::clone(&gateway), MuxGatewayHandle { gateway, workers: pool })
+    }
+
+    /// Live channels (diagnostic).
+    pub fn channel_count(&self) -> usize {
+        self.channels.lock().len()
+    }
+
+    /// Removes a channel from the map; the winner owns teardown.
+    fn take_channel(&self, key: ChanKey) -> Option<Arc<ChannelState>> {
+        self.channels.lock().remove(&key)
+    }
+
+    /// Parks a channel whose launch could not bind.
+    fn park_waiter(&self, key: ChanKey) {
+        self.bind_waiters.lock().push_back(key);
+    }
+
+    /// Takes the oldest parked channel, if any.
+    fn pop_waiter(&self) -> Option<ChanKey> {
+        self.bind_waiters.lock().pop_front()
+    }
+
+    /// Moves one parked channel back onto the work queue. Called whenever
+    /// a call or teardown released a vGPU (observed as a bump of the
+    /// `unbindings` counter), so every release is chased by a retry.
+    fn kick_waiter(&self) {
+        if let Some(key) = self.pop_waiter() {
+            let _ = self.workq.send(WorkItem::Chan(key));
+        }
+    }
+
+    /// Replies `Disconnected` to everything still queued on a dead channel.
+    fn drain_dead(&self, conn: ConnId, state: &ChannelState) {
+        let drained: Vec<u64> = {
+            let mut q = state.queue.lock();
+            q.calls.drain(..).map(|(id, _)| id).collect()
+        };
+        for id in drained {
+            self.sink.reply(conn, id, Err(CudaError::Disconnected));
+        }
+    }
+}
+
+impl MuxService for MuxGateway {
+    fn on_request(&self, conn: ConnId, chan: u64, id: u64, call: CudaCall) {
+        // Runs on the reactor thread: enqueue and get out. Context creation
+        // (first call on a channel) is the only heavier step and is a
+        // bounded map-insert + registry insert.
+        let key = (conn, chan);
+        let state = {
+            let mut channels = self.channels.lock();
+            match channels.get(&key) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let ctx = self.rt.new_context(format!("mux-{conn}-{chan}"));
+                    RuntimeMetrics::bump(&self.rt.metrics_ref().mux_channels);
+                    let state = Arc::new(ChannelState {
+                        ctx,
+                        queue: RankedMutex::new(
+                            lock_rank::CHAN_QUEUE,
+                            ChanQueue { calls: VecDeque::new(), scheduled: false },
+                        ),
+                    });
+                    channels.insert(key, Arc::clone(&state));
+                    state
+                }
+            }
+        };
+        RuntimeMetrics::bump(&self.rt.metrics_ref().mux_requests);
+        let schedule = {
+            let mut q = state.queue.lock();
+            q.calls.push_back((id, call));
+            let was = q.scheduled;
+            q.scheduled = true;
+            !was
+        };
+        if schedule {
+            let _ = self.workq.send(WorkItem::Chan(key));
+        }
+    }
+
+    fn on_disconnect(&self, conn: ConnId) {
+        // Reactor thread: detach the connection's channels quickly and hand
+        // the (potentially blocking) context teardown to the worker pool.
+        let removed: Vec<Arc<ChannelState>> = {
+            let mut channels = self.channels.lock();
+            let keys: Vec<ChanKey> =
+                channels.range((conn, 0)..=(conn, u64::MAX)).map(|(k, _)| *k).collect();
+            keys.into_iter().filter_map(|k| channels.remove(&k)).collect()
+        };
+        if !removed.is_empty() {
+            let _ = self.workq.send(WorkItem::Teardown(removed));
+        }
+    }
+}
+
+impl MuxGatewayHandle {
+    /// Stops the worker pool after it drains all queued work (FIFO: the
+    /// stop markers enqueue behind any outstanding teardowns).
+    pub fn shutdown(self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.gateway.workq.send(WorkItem::Stop);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(g: &MuxGateway, rx: &Receiver<WorkItem>) {
+    loop {
+        // Runnable channels first; bind-waiters only soak up idle workers.
+        let item = match rx.try_recv() {
+            Ok(item) => item,
+            Err(TryRecvError::Empty) => {
+                // Nothing else to run: give one waiter a *bounded* park
+                // inside the dispatcher's wait queue, where a release
+                // reaches it by targeted wakeup. Capped so most workers
+                // stay parked on the work queue, ready for fresh calls.
+                if g.idle_parkers.load(Ordering::Relaxed) < MAX_IDLE_PARKERS {
+                    if let Some(key) = g.pop_waiter() {
+                        g.idle_parkers.fetch_add(1, Ordering::Relaxed);
+                        serve_channel(g, key, g.bind_slice);
+                        g.idle_parkers.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                match rx.recv() {
+                    Ok(item) => item,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        match item {
+            WorkItem::Stop => break,
+            WorkItem::Teardown(states) => {
+                for state in states {
+                    // The connection is gone: queued calls get no replies
+                    // (the reactor drops them anyway) — just release what
+                    // the context holds. Waits on the service lock until
+                    // any in-flight call finishes.
+                    service::teardown(&g.rt, &state.ctx);
+                }
+                // Teardown released vGPUs: let a parked launch at them.
+                g.kick_waiter();
+            }
+            // Queue-driven attempts never park: a launch that cannot bind
+            // right now goes to the waiters list, not a worker slice.
+            WorkItem::Chan(key) => serve_channel(g, key, Duration::ZERO),
+        }
+    }
+}
+
+/// Executes the head call of a runnable channel, then reschedules it if
+/// more work is queued. `bind_slice` bounds how long a launch may park in
+/// the dispatcher's wait queue before the channel is handed back.
+fn serve_channel(g: &MuxGateway, key: ChanKey, bind_slice: Duration) {
+    let Some(state) = ({
+        let channels = g.channels.lock();
+        channels.get(&key).map(Arc::clone)
+    }) else {
+        // Torn down between scheduling and service: nothing to do.
+        return;
+    };
+    let Some((id, call)) = ({
+        let mut q = state.queue.lock();
+        let head = q.calls.pop_front();
+        if head.is_none() {
+            q.scheduled = false;
+        }
+        head
+    }) else {
+        return;
+    };
+    // Launches may would-block; keep a copy to requeue. Launch specs carry
+    // no bulk payloads, so the clone is cheap (bulk data travels in
+    // MemcpyH2D, which never blocks on binding).
+    let retry = if call.requires_binding() { Some(call.clone()) } else { None };
+    let is_exit = matches!(call, CudaCall::Exit);
+    // Snapshot the release counter: if this call frees any vGPU (unbind,
+    // victim swap-out, exit teardown), one parked launch gets a retry.
+    let unbound_before = g.rt.metrics_ref().unbindings.load(Ordering::Relaxed);
+    let outcome = {
+        let _guard = state.ctx.service_lock();
+        service::try_handle_call(&g.rt, &state.ctx, call, bind_slice)
+    };
+    match outcome {
+        CallOutcome::Reply(reply) => {
+            complete(g, key, id, reply, is_exit, &state);
+        }
+        CallOutcome::WouldBlock => {
+            RuntimeMetrics::bump(&g.rt.metrics_ref().mux_retries);
+            if g.rt.is_shutdown() {
+                complete(g, key, id, Err(CudaError::Disconnected), false, &state);
+                return;
+            }
+            // Put the call back at the head (ordering!) and park the
+            // channel on the waiters list — no worker is held while it
+            // waits. The next completion, teardown or idle worker pulls it
+            // back out for another attempt.
+            {
+                let mut q = state.queue.lock();
+                q.calls.push_front((id, retry.expect("only launches would-block")));
+            }
+            g.park_waiter(key);
+        }
+    }
+    if g.rt.metrics_ref().unbindings.load(Ordering::Relaxed) != unbound_before {
+        g.kick_waiter();
+    }
+}
+
+/// Ships the reply, then either reschedules the channel or — after Exit —
+/// tears it down.
+fn complete(
+    g: &MuxGateway,
+    key: ChanKey,
+    id: u64,
+    reply: CudaReply,
+    is_exit: bool,
+    state: &Arc<ChannelState>,
+) {
+    let conn = key.0;
+    g.sink.reply(conn, id, reply);
+    if is_exit {
+        // Remove-then-teardown; a racing disconnect may have won the
+        // removal, in which case it owns the teardown.
+        if let Some(owned) = g.take_channel(key) {
+            g.drain_dead(conn, &owned);
+            service::teardown(&g.rt, &owned.ctx);
+        }
+        return;
+    }
+    let more = {
+        let mut q = state.queue.lock();
+        if q.calls.is_empty() {
+            q.scheduled = false;
+            false
+        } else {
+            true
+        }
+    };
+    if more {
+        let _ = g.workq.send(WorkItem::Chan(key));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use mtgpu_api::client::CudaClient;
+    use mtgpu_api::transport::{
+        spawn_reactor, FrontendClient, MuxConnection, ReactorConfig, ReplySink,
+    };
+    use mtgpu_gpusim::{Driver, GpuSpec};
+    use mtgpu_simtime::Clock;
+    use std::net::TcpListener;
+
+    fn start_node() -> (Arc<NodeRuntime>, Arc<MuxGateway>, MuxGatewayHandle) {
+        let clock = Clock::with_scale(1e-7);
+        let driver = Driver::with_devices(clock, vec![GpuSpec::test_small(); 2]);
+        let rt = NodeRuntime::start(
+            driver,
+            RuntimeConfig { background_monitor: false, ..RuntimeConfig::default() },
+        );
+        let (sink, _queue) = ReplySink::channel();
+        let (gw, handle) = MuxGateway::start(Arc::clone(&rt), sink);
+        let _ = _queue;
+        (rt, gw, handle)
+    }
+
+    #[test]
+    fn end_to_end_over_reactor() {
+        let clock = Clock::with_scale(1e-7);
+        let driver = Driver::with_devices(clock, vec![GpuSpec::test_small(); 2]);
+        let rt = NodeRuntime::start(
+            driver,
+            RuntimeConfig { background_monitor: false, ..RuntimeConfig::default() },
+        );
+        let (sink, queue) = ReplySink::channel();
+        let (gw, workers) = MuxGateway::start(Arc::clone(&rt), sink);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let svc: Arc<dyn mtgpu_api::transport::MuxService> = gw.clone();
+        let reactor = spawn_reactor(listener, ReactorConfig::default(), svc, queue).unwrap();
+
+        let conn = MuxConnection::connect(reactor.addr()).unwrap();
+        // Two channels on one socket, interleaved.
+        let mut a = FrontendClient::new(conn.channel());
+        let mut b = FrontendClient::new(conn.channel());
+        assert_eq!(a.get_device_count().unwrap(), 8);
+        assert_eq!(b.get_device_count().unwrap(), 8);
+        let pa = a.malloc(1024).unwrap();
+        let pb = b.malloc(2048).unwrap();
+        a.memcpy_h2d(pa, mtgpu_api::HostBuf::from_slice(&[1, 2, 3])).unwrap();
+        b.memcpy_h2d(pb, mtgpu_api::HostBuf::from_slice(&[9, 9])).unwrap();
+        assert_eq!(a.memcpy_d2h(pa, 3).unwrap().payload[..3], [1, 2, 3]);
+        a.exit().unwrap();
+        b.exit().unwrap();
+        assert!(rt.wait_idle(std::time::Duration::from_secs(10)), "contexts must tear down");
+        assert_eq!(gw.channel_count(), 0);
+        assert!(rt.metrics().mux_channels >= 2);
+        reactor.shutdown();
+        workers.shutdown();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn disconnect_tears_channels_down() {
+        let clock = Clock::with_scale(1e-7);
+        let driver = Driver::with_devices(clock, vec![GpuSpec::test_small()]);
+        let rt = NodeRuntime::start(
+            driver,
+            RuntimeConfig { background_monitor: false, ..RuntimeConfig::default() },
+        );
+        let (sink, queue) = ReplySink::channel();
+        let (gw, workers) = MuxGateway::start(Arc::clone(&rt), sink);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let svc: Arc<dyn mtgpu_api::transport::MuxService> = gw.clone();
+        let reactor = spawn_reactor(listener, ReactorConfig::default(), svc, queue).unwrap();
+
+        let conn = MuxConnection::connect(reactor.addr()).unwrap();
+        let mut c = FrontendClient::new(conn.channel());
+        let _ = c.malloc(4096).unwrap();
+        // Drop the socket without Exit: the reactor must notice and the
+        // gateway must release the context and its memory.
+        conn.shutdown();
+        assert!(rt.wait_idle(std::time::Duration::from_secs(10)), "disconnect must tear down");
+        assert_eq!(gw.channel_count(), 0);
+        reactor.shutdown();
+        workers.shutdown();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_sizes_automatically() {
+        let (rt, _gw, handle) = start_node();
+        assert_eq!(handle.workers.len(), rt.bindings().total_vgpus() + 4);
+        handle.shutdown();
+        rt.shutdown();
+    }
+}

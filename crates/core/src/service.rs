@@ -115,7 +115,7 @@ pub(crate) fn serve_connection(rt: Arc<NodeRuntime>, mut conn: Box<dyn ServerCon
 }
 
 /// Releases everything a finished/disconnected context holds.
-fn teardown(rt: &NodeRuntime, ctx: &Arc<AppContext>) {
+pub(crate) fn teardown(rt: &NodeRuntime, ctx: &Arc<AppContext>) {
     let _guard = ctx.service_lock();
     let binding = {
         let mut inner = ctx.inner();
@@ -126,6 +126,35 @@ fn teardown(rt: &NodeRuntime, ctx: &Arc<AppContext>) {
         rt.bindings().release(ctx.id, b.vgpu);
     }
     rt.drop_context(ctx.id);
+}
+
+/// Outcome of a bounded-wait dispatch ([`try_handle_call`]).
+pub(crate) enum CallOutcome {
+    /// The call completed (successfully or not).
+    Reply(CudaReply),
+    /// A launch could not obtain a vGPU binding within its bounded slice.
+    /// The caller must requeue the call and retry later; retrying a launch
+    /// from scratch is idempotent (the closure is recomputed, the staged
+    /// config take is ignored, and unbind paths leave consistent state).
+    WouldBlock,
+}
+
+/// Dispatches one call with a *bounded* binding wait: where [`handle_call`]
+/// re-arms binding acquisition until it succeeds (fine for a dedicated
+/// handler thread), this returns [`CallOutcome::WouldBlock`] once
+/// `bind_slice` expires so a fixed worker pool never wedges every worker
+/// behind contended vGPUs while bound contexts' own calls starve in queue.
+/// The caller holds the context's service lock.
+pub(crate) fn try_handle_call(
+    rt: &NodeRuntime,
+    ctx: &Arc<AppContext>,
+    call: CudaCall,
+    bind_slice: Duration,
+) -> CallOutcome {
+    match call {
+        CudaCall::Launch { spec } => handle_launch_bounded(rt, ctx, spec, Some(bind_slice)),
+        other => CallOutcome::Reply(handle_call(rt, ctx, other)),
+    }
 }
 
 /// Dispatches one call. The caller holds the context's service lock.
@@ -237,10 +266,54 @@ fn with_device_retry<T>(
     }
 }
 
-/// The delayed-binding launch path.
+/// The delayed-binding launch path (unbounded binding wait).
 fn handle_launch(rt: &NodeRuntime, ctx: &Arc<AppContext>, spec: LaunchSpec) -> CudaReply {
+    match handle_launch_bounded(rt, ctx, spec, None) {
+        CallOutcome::Reply(r) => r,
+        // Unreachable with `bind_slice: None` — the loop re-arms forever.
+        CallOutcome::WouldBlock => Err(CudaError::Disconnected),
+    }
+}
+
+/// The delayed-binding launch path. `bind_slice: None` re-arms binding
+/// acquisition until shutdown (the legacy handler-thread behaviour);
+/// `Some(slice)` makes every vGPU wait bounded and surfaces
+/// [`CallOutcome::WouldBlock`] instead of parking the calling thread.
+fn handle_launch_bounded(
+    rt: &NodeRuntime,
+    ctx: &Arc<AppContext>,
+    spec: LaunchSpec,
+    bind_slice: Option<Duration>,
+) -> CallOutcome {
+    match launch_loop(rt, ctx, spec, bind_slice) {
+        Ok(v) => CallOutcome::Reply(Ok(v)),
+        Err(LaunchAbort::Fail(e)) => CallOutcome::Reply(Err(e)),
+        Err(LaunchAbort::WouldBlock) => CallOutcome::WouldBlock,
+    }
+}
+
+/// Why [`launch_loop`] stopped without a completed launch.
+enum LaunchAbort {
+    /// A real error to report to the application.
+    Fail(CudaError),
+    /// The bounded binding slice expired (bounded mode only).
+    WouldBlock,
+}
+
+impl From<CudaError> for LaunchAbort {
+    fn from(e: CudaError) -> Self {
+        LaunchAbort::Fail(e)
+    }
+}
+
+fn launch_loop(
+    rt: &NodeRuntime,
+    ctx: &Arc<AppContext>,
+    spec: LaunchSpec,
+    bind_slice: Option<Duration>,
+) -> Result<ReplyValue, LaunchAbort> {
     if let Some(err) = ctx.inner().failed.clone() {
-        return Err(err);
+        return Err(err.into());
     }
     // Table 1 "Launch": check valid PTEs (and extend to nested closures).
     let closure = rt.memory().launch_closure(ctx.id, &spec.args)?;
@@ -285,7 +358,8 @@ fn handle_launch(rt: &NodeRuntime, ctx: &Arc<AppContext>, spec: LaunchSpec) -> C
                 // SJF key: the profiled job length when hinted, else the
                 // pending launch's own work.
                 let sjf_work = ctx.inner().est_job_flops.unwrap_or(spec.work.flops);
-                match rt.bindings().acquire(ctx, sjf_work, mem, ACQUIRE_SLICE) {
+                match rt.bindings().acquire(ctx, sjf_work, mem, bind_slice.unwrap_or(ACQUIRE_SLICE))
+                {
                     Some(b) => {
                         ctx.inner().binding = Some(b.clone());
                         rt.tracer().record(TraceEvent::Bound { ctx: ctx.id, vgpu: b.vgpu });
@@ -293,7 +367,12 @@ fn handle_launch(rt: &NodeRuntime, ctx: &Arc<AppContext>, spec: LaunchSpec) -> C
                     }
                     None => {
                         if rt.is_shutdown() {
-                            return Err(CudaError::Disconnected);
+                            return Err(CudaError::Disconnected.into());
+                        }
+                        if bind_slice.is_some() {
+                            // Bounded mode: hand the thread back instead of
+                            // re-arming; the caller requeues the launch.
+                            return Err(LaunchAbort::WouldBlock);
                         }
                         continue;
                     }
@@ -325,7 +404,7 @@ fn handle_launch(rt: &NodeRuntime, ctx: &Arc<AppContext>, spec: LaunchSpec) -> C
                 recover_from_device_loss(rt, ctx, binding)?;
                 continue;
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         }
         // 4. Translate virtual pointers and launch.
         let args = rt.memory().translate_args(ctx.id, &spec.args)?;
@@ -350,7 +429,7 @@ fn handle_launch(rt: &NodeRuntime, ctx: &Arc<AppContext>, spec: LaunchSpec) -> C
                 recover_from_device_loss(rt, ctx, binding)?;
                 continue;
             }
-            Err(e) => return Err(CudaError::from_gpu(e)),
+            Err(e) => return Err(CudaError::from_gpu(e).into()),
         }
     }
 }

@@ -3,8 +3,14 @@
 //! ```text
 //! loadgen [--mode closed|open] [--clients N] [--requests N] [--rate R]
 //!         [--seed S] [--devices D] [--vgpus V] [--virtual-clock]
+//!         [--persistent] [--connections N]
 //!         [--quick] [--max-fairness F] [--out PATH]
 //! ```
+//!
+//! `--persistent` drives the node's multiplexed endpoint over long-lived
+//! pooled connections (`--connections N`, default one per client) instead
+//! of reconnecting per request; with `--virtual-clock` it selects the
+//! deterministic mux replay.
 //!
 //! Runs a load pass against a private in-process node daemon, prints a
 //! one-line summary, writes the JSON report (default `results/`), and
@@ -26,7 +32,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--mode closed|open] [--clients N] [--requests N] \
          [--rate R] [--seed S] [--devices D] [--vgpus V] [--virtual-clock] \
-         [--quick] [--max-fairness F] [--out PATH]"
+         [--persistent] [--connections N] [--quick] [--max-fairness F] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -66,6 +72,10 @@ fn parse_args() -> Args {
                 cfg.vgpus_per_device = value("--vgpus").parse().unwrap_or_else(|_| usage())
             }
             "--virtual-clock" => virtual_clock = true,
+            "--persistent" => cfg.persistent = true,
+            "--connections" => {
+                cfg.connections = value("--connections").parse().unwrap_or_else(|_| usage())
+            }
             "--quick" => {
                 let quick = LoadgenConfig::quick();
                 cfg.clients = quick.clients;
@@ -98,6 +108,11 @@ fn main() -> ExitCode {
             seed: args.cfg.seed,
             devices: args.cfg.devices,
             vgpus_per_device: args.cfg.vgpus_per_device,
+            transport: if args.cfg.persistent {
+                mtgpu_loadgen::DetTransport::Mux
+            } else {
+                mtgpu_loadgen::DetTransport::Local
+            },
         };
         let (report, fingerprint) = run_det(&det);
         println!("fingerprint: {}", fingerprint.canonical());

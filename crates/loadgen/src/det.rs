@@ -10,14 +10,39 @@
 
 use crate::hist::LatencyHistogram;
 use crate::report::{fairness_ratio, LoadReport, TenantReport};
+use mtgpu_api::transport::MuxConnection;
 use mtgpu_api::CudaClient;
+use mtgpu_cluster::ClusterNode;
 use mtgpu_core::{MetricsSnapshot, NodeRuntime, RuntimeConfig};
 use mtgpu_gpusim::{Driver, GpuSpec};
 use mtgpu_simtime::{Clock, DetRng};
 use mtgpu_workloads::calib::Scale;
 use mtgpu_workloads::{catalog, register_workload};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which wire the deterministic driver replays over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetTransport {
+    /// In-process channel transport straight into the runtime.
+    Local,
+    /// A real multiplexed TCP connection through the reactor (DESIGN.md
+    /// §12): every request is a fresh channel on one persistent socket.
+    /// Sequential one-in-flight driving keeps the reactor and worker
+    /// threads off the virtual-time axis, so latency fingerprints stay
+    /// replayable bit-for-bit.
+    Mux,
+}
+
+impl DetTransport {
+    fn label(self) -> &'static str {
+        match self {
+            DetTransport::Local => "local",
+            DetTransport::Mux => "mux",
+        }
+    }
+}
 
 /// Parameters of a deterministic run.
 #[derive(Debug, Clone)]
@@ -27,6 +52,7 @@ pub struct DetLoadConfig {
     pub seed: u64,
     pub devices: usize,
     pub vgpus_per_device: u32,
+    pub transport: DetTransport,
 }
 
 impl Default for DetLoadConfig {
@@ -37,6 +63,7 @@ impl Default for DetLoadConfig {
             seed: 42,
             devices: 4,
             vgpus_per_device: 4,
+            transport: DetTransport::Local,
         }
     }
 }
@@ -45,6 +72,8 @@ impl Default for DetLoadConfig {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct DetLoadFingerprint {
     pub seed: u64,
+    /// `"local"` or `"mux"` — the wire the run replayed over.
+    pub transport: String,
     pub clients: usize,
     pub requests_per_client: usize,
     pub completed: u64,
@@ -80,18 +109,67 @@ fn wait_idle(rt: &NodeRuntime) {
     }
 }
 
+/// The node under test plus the wire the driver reaches it over.
+enum Backend {
+    Local(Arc<NodeRuntime>),
+    Mux { node: Box<ClusterNode>, conn: MuxConnection },
+}
+
+impl Backend {
+    fn runtime(&self) -> &Arc<NodeRuntime> {
+        match self {
+            Backend::Local(rt) => rt,
+            Backend::Mux { node, .. } => node.runtime(),
+        }
+    }
+
+    /// A fresh context for one request: in-process channel, or a fresh
+    /// multiplexed channel on the persistent socket.
+    fn client(&self) -> Box<dyn CudaClient> {
+        match self {
+            Backend::Local(rt) => Box::new(rt.local_client()),
+            Backend::Mux { conn, .. } => {
+                // Pipelined like the real persistent loadgen path, so the
+                // fingerprint covers the batched wire shape too.
+                Box::new(mtgpu_api::FrontendClient::new(conn.channel()).with_pipelining())
+            }
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Backend::Local(rt) => rt.shutdown(),
+            Backend::Mux { node, conn } => {
+                conn.shutdown();
+                node.shutdown();
+            }
+        }
+    }
+}
+
 /// Runs the deterministic sequential closed loop; two calls with an equal
 /// config return equal fingerprints.
 pub fn run_det(cfg: &DetLoadConfig) -> (LoadReport, DetLoadFingerprint) {
     mtgpu_workloads::install_kernel_library();
     let clock = Clock::virtual_clock();
-    let specs = (0..cfg.devices).map(|_| GpuSpec::test_small()).collect();
-    let driver = Driver::with_devices(clock.clone(), specs);
+    let specs: Vec<GpuSpec> = (0..cfg.devices).map(|_| GpuSpec::test_small()).collect();
     let rt_cfg = RuntimeConfig::paper_default()
         .with_vgpus(cfg.vgpus_per_device)
         .with_seed(cfg.seed)
         .with_background_monitor(false);
-    let rt = NodeRuntime::start(driver, rt_cfg);
+    let backend = match cfg.transport {
+        DetTransport::Local => {
+            let driver = Driver::with_devices(clock.clone(), specs);
+            Backend::Local(NodeRuntime::start(driver, rt_cfg))
+        }
+        DetTransport::Mux => {
+            let node = ClusterNode::start("det".into(), clock.clone(), specs, rt_cfg, true);
+            let conn = MuxConnection::connect(node.mux_addr().expect("mux endpoint"))
+                .expect("connect det mux");
+            Backend::Mux { node: Box::new(node), conn }
+        }
+    };
+    let rt = Arc::clone(backend.runtime());
 
     // Same per-tenant draw as the concurrent driver: the det harness
     // measures the same workload mix it would race.
@@ -114,7 +192,7 @@ pub fn run_det(cfg: &DetLoadConfig) -> (LoadReport, DetLoadFingerprint) {
         for tenant in 0..cfg.clients {
             let job = sequences[tenant][round].build(Scale::TINY);
             let t_start = clock.now();
-            let mut client = rt.local_client();
+            let mut client = backend.client();
             let ok = (|| -> Result<bool, mtgpu_api::CudaError> {
                 register_workload(&mut client, job.as_ref())?;
                 let report = job.run(&mut client, &clock)?;
@@ -137,13 +215,15 @@ pub fn run_det(cfg: &DetLoadConfig) -> (LoadReport, DetLoadFingerprint) {
 
     let metrics = rt.metrics();
     let final_virtual_nanos = clock.now().since_epoch().as_nanos();
-    rt.shutdown();
+    drop(rt);
+    backend.shutdown();
 
     let summary = hist.summary();
     let completed: u64 = tenants.iter().map(|t| t.completed).sum();
     let errors: u64 = tenants.iter().map(|t| t.errors).sum();
     let fingerprint = DetLoadFingerprint {
         seed: cfg.seed,
+        transport: cfg.transport.label().to_string(),
         clients: cfg.clients,
         requests_per_client: cfg.requests_per_client,
         completed,
@@ -157,6 +237,8 @@ pub fn run_det(cfg: &DetLoadConfig) -> (LoadReport, DetLoadFingerprint) {
     let basis: Vec<u64> = tenants.iter().map(|t| t.makespan_nanos).collect();
     let report = LoadReport {
         mode: "det".into(),
+        persistent: cfg.transport == DetTransport::Mux,
+        connections: if cfg.transport == DetTransport::Mux { 1 } else { 0 },
         clients: cfg.clients,
         requests_per_client: cfg.requests_per_client,
         seed: cfg.seed,
@@ -199,5 +281,24 @@ mod tests {
         assert_eq!(report_a.completed, 3);
         assert!(a.final_virtual_nanos > 0, "virtual time must move");
         assert!(a.p50_nanos > 0);
+    }
+
+    #[test]
+    fn tiny_det_mux_run_replays() {
+        let cfg = DetLoadConfig {
+            clients: 2,
+            requests_per_client: 1,
+            devices: 1,
+            transport: DetTransport::Mux,
+            ..DetLoadConfig::default()
+        };
+        let (report_a, a) = run_det(&cfg);
+        let (_, b) = run_det(&cfg);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.transport, "mux");
+        assert_eq!(report_a.errors, 0);
+        assert_eq!(report_a.completed, 2);
+        assert!(report_a.persistent);
+        assert!(a.metrics.mux_requests > 0, "requests must flow through the gateway");
     }
 }

@@ -1,16 +1,25 @@
 //! Open- and closed-loop multi-tenant drivers over the real TCP transport.
 //!
 //! Each tenant is a thread issuing catalog workloads (Table 2, tiny scale)
-//! against a freshly started node daemon, one TCP connection per request —
-//! so every request walks the whole connection-manager hot path: accept,
-//! handler spawn, dispatch/bind, run, unbind, teardown. Closed loop issues
-//! the next request the moment the previous one finishes (dispatcher
-//! saturation); open loop paces requests at an aggregate offered rate and
-//! charges queueing delay to latency (the coordinated-omission-free view).
+//! against a freshly started node daemon, over one of two wire paths:
+//!
+//! * **Reconnect** (the default baseline): one fresh TCP connection per
+//!   request, so every request walks the whole connection-manager hot path —
+//!   accept, handler spawn, dispatch/bind, run, unbind, teardown.
+//! * **Persistent** ([`LoadgenConfig::persistent`]): tenants share a pool of
+//!   long-lived multiplexed connections to the node's reactor endpoint
+//!   (DESIGN.md §12); each request opens a fresh *channel* on a pooled
+//!   socket, so connection setup/teardown leaves the per-request path and
+//!   many tenants share one socket.
+//!
+//! Closed loop issues the next request the moment the previous one finishes
+//! (dispatcher saturation); open loop paces requests at an aggregate offered
+//! rate and charges queueing delay to latency (the
+//! coordinated-omission-free view).
 
 use crate::hist::LatencyHistogram;
 use crate::report::{fairness_ratio, LoadReport, TenantReport};
-use mtgpu_api::transport::TcpTransport;
+use mtgpu_api::transport::{MuxPool, TcpTransport};
 use mtgpu_api::{CudaClient, FrontendClient};
 use mtgpu_cluster::ClusterNode;
 use mtgpu_core::RuntimeConfig;
@@ -18,6 +27,7 @@ use mtgpu_gpusim::GpuSpec;
 use mtgpu_simtime::{Clock, DetRng};
 use mtgpu_workloads::{catalog, register_workload, Workload};
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How requests are issued.
@@ -47,6 +57,11 @@ pub struct LoadgenConfig {
     /// default makes simulated kernel time nearly free so wall latency is
     /// dominated by the runtime's own dispatch path.
     pub clock_scale: f64,
+    /// Drive the multiplexed endpoint over persistent pooled connections
+    /// instead of reconnecting per request.
+    pub persistent: bool,
+    /// Pooled connections in persistent mode; 0 = one per client.
+    pub connections: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -59,6 +74,8 @@ impl Default for LoadgenConfig {
             devices: 4,
             vgpus_per_device: 4,
             clock_scale: 1e-7,
+            persistent: false,
+            connections: 0,
         }
     }
 }
@@ -78,11 +95,15 @@ struct TenantOutcome {
     makespan_nanos: u64,
 }
 
-/// One request: fresh TCP connection, register, run the workload, exit.
-/// Returns an error string on any failure, including a wrong result.
-fn run_request(addr: SocketAddr, job: &dyn Workload, clock: &Clock) -> Result<(), String> {
-    let transport = TcpTransport::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    let mut client = FrontendClient::new(transport);
+/// One request: register, run the workload, exit. `client` is either a
+/// fresh TCP connection (reconnect mode) or a fresh channel on a pooled
+/// multiplexed socket (persistent mode). Returns an error string on any
+/// failure, including a wrong result.
+fn run_request<C: CudaClient>(
+    mut client: C,
+    job: &dyn Workload,
+    clock: &Clock,
+) -> Result<(), String> {
     register_workload(&mut client, job).map_err(|e| format!("register: {e}"))?;
     let report = job.run(&mut client, clock).map_err(|e| format!("{}: {e}", job.name()))?;
     client.exit().map_err(|e| format!("exit: {e}"))?;
@@ -92,16 +113,38 @@ fn run_request(addr: SocketAddr, job: &dyn Workload, clock: &Clock) -> Result<()
     Ok(())
 }
 
+fn issue(
+    cfg: &LoadgenConfig,
+    addr: SocketAddr,
+    pool: Option<&MuxPool>,
+    job: &dyn Workload,
+    clock: &Clock,
+) -> Result<(), String> {
+    // Both modes opt into launch pipelining — the workloads never read a
+    // launch reply — so reconnect vs persistent compares transports, not
+    // client-side batching policies.
+    match pool {
+        Some(pool) => {
+            run_request(FrontendClient::new(pool.channel()).with_pipelining(), job, clock)
+        }
+        None => {
+            let transport = TcpTransport::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            run_request(FrontendClient::new(transport).with_pipelining(), job, clock)
+        }
+    }
+    .map_err(|e| if cfg.persistent { format!("persistent: {e}") } else { e })
+}
+
 fn tenant_loop(
     tenant: usize,
     cfg: &LoadgenConfig,
     addr: SocketAddr,
+    pool: Option<&MuxPool>,
     clock: &Clock,
     t0: Instant,
 ) -> TenantOutcome {
     let mut rng = DetRng::from_seed(cfg.seed).fork(&format!("tenant-{tenant}"));
-    let pool = catalog::short_pool();
-    let kinds = catalog::draw_kinds(&pool, cfg.requests_per_client, &mut rng);
+    let kinds = catalog::draw_kinds(&catalog::short_pool(), cfg.requests_per_client, &mut rng);
     let mut out =
         TenantOutcome { hist: LatencyHistogram::new(), completed: 0, errors: 0, makespan_nanos: 0 };
     for (r, kind) in kinds.into_iter().enumerate() {
@@ -122,7 +165,7 @@ fn tenant_loop(
                 intended // latency includes schedule slip
             }
         };
-        match run_request(addr, job.as_ref(), clock) {
+        match issue(cfg, addr, pool, job.as_ref(), clock) {
             Ok(()) => {
                 out.completed += 1;
                 out.hist.record(started.elapsed().as_nanos() as u64);
@@ -144,6 +187,12 @@ pub fn run_load(cfg: &LoadgenConfig) -> LoadReport {
         RuntimeConfig::paper_default().with_vgpus(cfg.vgpus_per_device).with_seed(cfg.seed);
     let node = ClusterNode::start("loadgen".into(), clock.clone(), specs, rt_cfg, true);
     let addr = node.addr().expect("listening node");
+    let pool: Option<Arc<MuxPool>> = if cfg.persistent {
+        let conns = if cfg.connections == 0 { cfg.clients } else { cfg.connections };
+        Some(Arc::new(node.mux_pool(conns).expect("connect mux pool")))
+    } else {
+        None
+    };
 
     // mtlint: allow(wall-clock, reason = "wall-clock epoch for the load run; throughput/latency are real-time measurements")
     let t0 = Instant::now();
@@ -151,9 +200,10 @@ pub fn run_load(cfg: &LoadgenConfig) -> LoadReport {
         .map(|tenant| {
             let cfg = cfg.clone();
             let clock = clock.clone();
+            let pool = pool.clone();
             std::thread::Builder::new()
                 .name(format!("tenant-{tenant}"))
-                .spawn(move || tenant_loop(tenant, &cfg, addr, &clock, t0))
+                .spawn(move || tenant_loop(tenant, &cfg, addr, pool.as_deref(), &clock, t0))
                 .expect("spawn tenant thread")
         })
         .collect();
@@ -184,6 +234,8 @@ pub fn run_load(cfg: &LoadgenConfig) -> LoadReport {
         Mode::Open { .. } => tenants.iter().map(|t| t.completed).collect(),
     };
     let runtime = node.metrics();
+    let pooled_conns = pool.as_ref().map_or(0, |p| p.len());
+    drop(pool);
     node.shutdown();
 
     LoadReport {
@@ -191,6 +243,8 @@ pub fn run_load(cfg: &LoadgenConfig) -> LoadReport {
             Mode::Closed => "closed".into(),
             Mode::Open { .. } => "open".into(),
         },
+        persistent: cfg.persistent,
+        connections: pooled_conns,
         clients: cfg.clients,
         requests_per_client: cfg.requests_per_client,
         seed: cfg.seed,
@@ -235,6 +289,25 @@ mod tests {
         assert!(report.throughput_rps > 0.0);
         assert!(report.fairness_ratio >= 1.0);
         assert!(report.runtime.bindings >= 6, "each request binds at least once");
+        assert_eq!(report.runtime.bindings, report.runtime.unbindings, "clean shutdown");
+    }
+
+    #[test]
+    fn closed_loop_persistent_smoke() {
+        let cfg = LoadgenConfig {
+            clients: 3,
+            requests_per_client: 2,
+            devices: 2,
+            persistent: true,
+            connections: 2,
+            ..LoadgenConfig::default()
+        };
+        let report = run_load(&cfg);
+        assert_eq!(report.errors, 0, "{:?}", report.tenants);
+        assert_eq!(report.completed, 6);
+        assert!(report.persistent);
+        assert_eq!(report.connections, 2);
+        assert!(report.runtime.mux_requests > 0, "requests must ride the mux wire");
         assert_eq!(report.runtime.bindings, report.runtime.unbindings, "clean shutdown");
     }
 

@@ -19,7 +19,7 @@ pub mod driver;
 pub mod hist;
 pub mod report;
 
-pub use det::{run_det, DetLoadConfig, DetLoadFingerprint};
+pub use det::{run_det, DetLoadConfig, DetLoadFingerprint, DetTransport};
 pub use driver::{run_load, LoadgenConfig, Mode};
 pub use hist::{LatencyHistogram, LatencySummary};
 pub use report::{fairness_ratio, LoadReport, TenantReport, FAIRNESS_STARVED};

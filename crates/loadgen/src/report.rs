@@ -28,6 +28,11 @@ pub struct TenantReport {
 pub struct LoadReport {
     /// `"closed"`, `"open"`, or `"det"` (deterministic sequential).
     pub mode: String,
+    /// Whether the run drove persistent multiplexed connections instead of
+    /// reconnecting per request.
+    pub persistent: bool,
+    /// Pooled multiplexed connections used (0 in reconnect mode).
+    pub connections: usize,
     pub clients: usize,
     pub requests_per_client: usize,
     pub seed: u64,
@@ -63,9 +68,10 @@ impl LoadReport {
     /// derived from the run parameters; returns the path written.
     pub fn write_into(&self, dir: &Path) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
+        let wire = if self.persistent { "-mux" } else { "" };
         let path = dir.join(format!(
-            "loadgen-{}-c{}-r{}-seed{}.json",
-            self.mode, self.clients, self.requests_per_client, self.seed
+            "loadgen-{}{}-c{}-r{}-seed{}.json",
+            self.mode, wire, self.clients, self.requests_per_client, self.seed
         ));
         std::fs::write(&path, self.to_json())?;
         Ok(path)
@@ -73,10 +79,16 @@ impl LoadReport {
 
     /// One-line human summary.
     pub fn summary_line(&self) -> String {
+        let wire = if self.persistent {
+            format!(" (persistent, {} conns)", self.connections)
+        } else {
+            String::new()
+        };
         format!(
-            "{} mode: {} clients x {} reqs, {}/{} ok, {:.1} req/s, \
+            "{}{} mode: {} clients x {} reqs, {}/{} ok, {:.1} req/s, \
              p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, fairness {:.2}",
             self.mode,
+            wire,
             self.clients,
             self.requests_per_client,
             self.completed,
@@ -123,6 +135,8 @@ mod tests {
     fn report_roundtrips_through_json() {
         let r = LoadReport {
             mode: "closed".into(),
+            persistent: false,
+            connections: 0,
             clients: 4,
             requests_per_client: 2,
             seed: 42,

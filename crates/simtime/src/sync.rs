@@ -48,6 +48,15 @@ pub struct LockRank {
 pub mod lock_rank {
     use super::LockRank;
 
+    /// The reactor's per-connection channel→context map (outermost: held
+    /// while contexts are created/torn down for a multiplexed channel).
+    pub const CONN_CHANNELS: LockRank = LockRank { value: 7, name: "CONN_CHANNELS" };
+    /// One multiplexed channel's pending-call queue (taken after the
+    /// channel map, before any runtime lock).
+    pub const CHAN_QUEUE: LockRank = LockRank { value: 8, name: "CHAN_QUEUE" };
+    /// The gateway's bind-waiters parking list: channels whose head launch
+    /// found no free vGPU, awaiting a completion kick or an idle worker.
+    pub const MUX_WAITERS: LockRank = LockRank { value: 9, name: "MUX_WAITERS" };
     /// A context's service lock: held for the duration of one CUDA call.
     pub const CTX_SERVICE: LockRank = LockRank { value: 10, name: "CTX_SERVICE" };
     /// The dispatcher's device→shard map (readers bind, writers hotplug).
@@ -80,9 +89,20 @@ pub mod lock_rank {
     pub const KERNEL_STORE: LockRank = LockRank { value: 150, name: "KERNEL_STORE" };
     /// The runtime tracer's event ring (innermost: recorded from anywhere).
     pub const TRACER_RING: LockRank = LockRank { value: 200, name: "TRACER_RING" };
+    /// The server pump's connection registry (leaf tier: nothing below it
+    /// but a connection's write half; never held across runtime calls).
+    pub const CONN_REGISTRY: LockRank = LockRank { value: 202, name: "CONN_REGISTRY" };
+    /// A multiplexed client's pending-reply demux map (leaf tier).
+    pub const MUX_PENDING: LockRank = LockRank { value: 203, name: "MUX_PENDING" };
+    /// One connection's write half: serializes frame writes and the
+    /// would-block stash (innermost of the transport tier).
+    pub const CONN_WRITE: LockRank = LockRank { value: 205, name: "CONN_WRITE" };
 
     /// Every declared rank, in order — the lock graph's node set.
     pub const ALL: &[LockRank] = &[
+        CONN_CHANNELS,
+        CHAN_QUEUE,
+        MUX_WAITERS,
         CTX_SERVICE,
         SHARD_MAP,
         SHARD_STATE,
@@ -99,6 +119,9 @@ pub mod lock_rank {
         ENGINE_TICKETS,
         KERNEL_STORE,
         TRACER_RING,
+        CONN_REGISTRY,
+        MUX_PENDING,
+        CONN_WRITE,
     ];
 }
 

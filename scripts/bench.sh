@@ -17,3 +17,8 @@ cargo bench -q -p mtgpu-bench --bench memory -- --gate 1.4 \
 # rank bookkeeping is #[cfg(debug_assertions)] and must compile out).
 cargo bench -q -p mtgpu-bench --bench dispatch -- --gate-rank 1.02 \
     --out "$PWD/results/BENCH_dispatch.json" "$@"
+# Transport gate: persistent multiplexed connections must beat the
+# reconnect-per-request baseline at 64 clients — ≥1.3x throughput at no
+# p99 cost — plus an ungated 1000-connection sustain case (full runs).
+cargo bench -q -p mtgpu-bench --bench loadgen -- --gate-throughput 1.3 \
+    --out "$PWD/results/BENCH_loadgen.json" "$@"

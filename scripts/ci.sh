@@ -11,10 +11,13 @@
 #                                the pipelined-transfer fingerprint must be
 #                                stable across three runs
 #   tier 4  dispatch stress      256-client TCP stress under a 60s timeout,
-#                                a --quick loadgen smoke that fails if the
-#                                tenant fairness ratio exceeds 2.0, then a
-#                                --quick memory-transfer bench gated on
-#                                pipelined >= serial on the 2-engine spec
+#                                the 10k-persistent-connection reactor soak
+#                                (out-of-process daemon) under a 600s
+#                                timeout, a --quick loadgen smoke that fails
+#                                if the tenant fairness ratio exceeds 2.0,
+#                                then --quick memory-transfer and transport
+#                                bench smokes (pipelined >= serial,
+#                                persistent >= reconnect)
 #   tier 5  static analysis      mtlint --deny over the workspace (all
 #                                determinism rules + the ranked-lock
 #                                constructor check + lock-graph cycle
@@ -72,12 +75,20 @@ if [[ "$tier" == "all" || "$tier" == "3" ]]; then
 fi
 
 if [[ "$tier" == "all" || "$tier" == "4" ]]; then
-    run_tier 4 "dispatch stress + loadgen fairness smoke"
+    run_tier 4 "dispatch stress + 10k soak + loadgen fairness smoke"
     cargo build -q --release -p mtgpu --test dispatch_stress
     cargo build -q --release -p mtgpu-loadgen --bin loadgen
+    # The 10k soak drives a separate node_daemon process (10k sockets per
+    # side under the per-process fd limit).
+    cargo build -q --release -p mtgpu-cluster --bin node_daemon
     # The full 256-client stress must finish well inside a minute; a
     # dispatcher deadlock or lost wakeup shows up as the timeout firing.
-    timeout 60 cargo test -q --release --test dispatch_stress -- --ignored
+    timeout 60 cargo test -q --release --test dispatch_stress -- --ignored \
+        --exact dispatch_stress_256_tcp_clients
+    # 10k persistent connections multiplexed through one reactor, each
+    # probed end-to-end; a stalled reactor shows up as the timeout firing.
+    timeout 600 cargo test -q --release --test dispatch_stress -- --ignored \
+        --exact dispatch_soak_10k_persistent_connections
     # Closed-loop smoke: identical per-tenant demand, so the max/min
     # tenant completion-time ratio gates scheduling fairness.
     ./target/release/loadgen --quick --max-fairness 2.0 \
@@ -86,7 +97,11 @@ if [[ "$tier" == "all" || "$tier" == "4" ]]; then
     # must at least match serial (the full 1.4x gate runs via bench.sh).
     cargo bench -q -p mtgpu-bench --bench memory -- --quick --gate 1.0 \
         --out "$PWD/target/ci-bench-memory.json" 2> /dev/null
-    echo "256-client stress + loadgen fairness + memory bench smoke: ok"
+    # Transport smoke: persistent multiplexed connections must at least
+    # match reconnect throughput (the full 1.3x gate runs via bench.sh).
+    cargo bench -q -p mtgpu-bench --bench loadgen -- --quick --gate-throughput 1.0 \
+        --out "$PWD/target/ci-bench-loadgen.json" 2> /dev/null
+    echo "256-client stress + 10k soak + loadgen fairness + bench smokes: ok"
 fi
 
 if [[ "$tier" == "all" || "$tier" == "5" ]]; then

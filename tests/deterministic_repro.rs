@@ -9,7 +9,7 @@
 //! diff.
 
 use mtgpu::det::{run, DetScenario};
-use mtgpu_loadgen::{run_det, DetLoadConfig};
+use mtgpu_loadgen::{run_det, DetLoadConfig, DetTransport};
 
 #[test]
 fn fig7_shape_seed42_replays_bit_for_bit() {
@@ -129,6 +129,7 @@ fn closed_loop_latency_fingerprint_replays_bit_for_bit() {
         seed: 42,
         devices: 4,
         vgpus_per_device: 4,
+        transport: DetTransport::Local,
     };
     let (report_a, a) = run_det(&cfg);
     let (_, b) = run_det(&cfg);
@@ -146,4 +147,40 @@ fn closed_loop_latency_fingerprint_replays_bit_for_bit() {
     // moves, proving the seed is live.
     let (_, other) = run_det(&DetLoadConfig { seed: 7, ..cfg });
     assert_ne!(a.canonical(), other.canonical(), "seed is decorative");
+}
+
+#[test]
+fn multiplexed_latency_fingerprint_stable_across_three_runs() {
+    // Same harness, but every request crosses the real multiplexed TCP
+    // wire: reactor, framed MuxFrame stream, gateway worker pool, reply
+    // demux. Sequential one-in-flight driving keeps those threads off the
+    // virtual-time axis, so three full runs must collapse to one
+    // fingerprint — bit for bit, including the latency quantiles and the
+    // mux counters.
+    let cfg = DetLoadConfig {
+        clients: 8,
+        requests_per_client: 2,
+        seed: 42,
+        devices: 2,
+        vgpus_per_device: 4,
+        transport: DetTransport::Mux,
+    };
+    let runs = [run_det(&cfg), run_det(&cfg), run_det(&cfg)];
+    let (ref report_a, ref a) = runs[0];
+    assert_eq!(a.canonical(), runs[1].1.canonical(), "mux replay 2 diverged");
+    assert_eq!(a.canonical(), runs[2].1.canonical(), "mux replay 3 diverged");
+
+    // The fingerprint must come from the mux regime, not a silent local
+    // fallback.
+    assert_eq!(a.transport, "mux");
+    assert!(a.metrics.mux_requests > 0, "no requests rode the mux wire");
+    assert!(a.metrics.mux_channels as usize >= cfg.clients, "one channel per request context");
+    assert_eq!(report_a.errors, 0);
+    assert_eq!(report_a.completed, 16);
+    assert!(a.p50_nanos > 0 && a.p99_nanos >= a.p50_nanos);
+
+    // The wire is part of the fingerprint: a local-transport run of the
+    // same shape reports a different transport label.
+    let (_, local) = run_det(&DetLoadConfig { transport: DetTransport::Local, ..cfg });
+    assert_ne!(a.canonical(), local.canonical());
 }

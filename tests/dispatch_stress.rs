@@ -1,16 +1,25 @@
 //! Dispatcher stress: many concurrent TCP tenants against one node.
 //!
-//! Each tenant opens a real TCP connection per request and runs a catalog
-//! workload drawn from the seeded short pool, so the whole
-//! connection-manager hot path — accept, handler spawn, dispatch/bind,
-//! launch, unbind, teardown — is exercised under heavy thread contention.
-//! A watchdog converts a dispatcher deadlock into a loud failure instead
-//! of a hung test run.
+//! Each tenant opens a real TCP connection per request (reconnect mode) or
+//! shares a pool of persistent multiplexed connections (persistent mode)
+//! and runs a catalog workload drawn from the seeded short pool, so the
+//! whole connection-manager hot path — accept, handler spawn or channel
+//! enqueue, dispatch/bind, launch, unbind, teardown — is exercised under
+//! heavy thread contention. A watchdog converts a dispatcher deadlock into
+//! a loud failure instead of a hung test run.
 //!
-//! The 256-client full version is `#[ignore]`d for ordinary `cargo test`
-//! and run by CI tier 4 under a hard timeout.
+//! The 256-client full version and the 10k-persistent-connection soak are
+//! `#[ignore]`d for ordinary `cargo test` and run by CI tier 4 under a
+//! hard timeout.
 
+use mtgpu::api::transport::MuxConnection;
+use mtgpu::api::{CudaClient, FrontendClient};
 use mtgpu_loadgen::{run_load, LoadReport, LoadgenConfig, Mode};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Runs a load config under a watchdog; panics if it does not finish in
@@ -64,9 +73,36 @@ fn dispatch_stress_48_tcp_clients() {
         devices: 4,
         vgpus_per_device: 4,
         clock_scale: 1e-7,
+        ..LoadgenConfig::default()
     };
     let report = run_with_watchdog(cfg, Duration::from_secs(120));
     assert_clean(&report);
+}
+
+/// Tier-2 persistent variant: the same 48-tenant contention, but over 8
+/// long-lived multiplexed connections through the reactor instead of one
+/// TCP connect per request.
+#[test]
+fn dispatch_stress_48_persistent_clients() {
+    let cfg = LoadgenConfig {
+        mode: Mode::Closed,
+        clients: 48,
+        requests_per_client: 1,
+        seed: 42,
+        devices: 4,
+        vgpus_per_device: 4,
+        clock_scale: 1e-7,
+        persistent: true,
+        connections: 8,
+    };
+    let report = run_with_watchdog(cfg, Duration::from_secs(120));
+    assert_clean(&report);
+    assert!(report.persistent);
+    assert!(
+        report.runtime.mux_requests > 0,
+        "persistent mode must ride the mux wire: {:?}",
+        report.runtime
+    );
 }
 
 /// The full 256-client stress of the issue: 16× overcommit of the node's
@@ -83,6 +119,7 @@ fn dispatch_stress_256_tcp_clients() {
         devices: 4,
         vgpus_per_device: 4,
         clock_scale: 1e-7,
+        ..LoadgenConfig::default()
     };
     let report = run_with_watchdog(cfg, Duration::from_secs(300));
     assert_clean(&report);
@@ -102,7 +139,164 @@ fn dispatch_stress_open_loop_paced() {
         devices: 2,
         vgpus_per_device: 4,
         clock_scale: 1e-7,
+        ..LoadgenConfig::default()
     };
     let report = run_with_watchdog(cfg, Duration::from_secs(120));
     assert_clean(&report);
+}
+
+// ---------------------------------------------------------------------
+// 10k-persistent-connection soak (out of process)
+// ---------------------------------------------------------------------
+//
+// The file-descriptor hard limit here is 20000 per process, so the node
+// daemon runs as a separate OS process: 10k sockets on the client side,
+// 10k on the server side, both under their own limit.
+
+/// Raises this process's soft fd limit to the hard cap: the soak holds 10k
+/// client sockets, which the default soft limit does not cover. The daemon
+/// is spawned afterwards so it inherits the raised limit for its 10k
+/// accepted sockets.
+#[cfg(target_os = "linux")]
+fn raise_fd_limit() {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    unsafe extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    unsafe {
+        let mut r = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut r) == 0 && r.cur < r.max {
+            r.cur = r.max;
+            let _ = setrlimit(RLIMIT_NOFILE, &r);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn raise_fd_limit() {}
+
+/// Kills the daemon on drop so a failing test never leaks the process.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `node_daemon` (built into the same target directory as this test
+/// binary) and returns its multiplexed endpoint address, parsed from the
+/// `mux listening on <addr>` banner.
+fn spawn_daemon() -> (DaemonGuard, SocketAddr) {
+    let exe = std::env::current_exe().expect("test exe path");
+    // target/<profile>/deps/<test> → target/<profile>/node_daemon
+    let dir = exe.parent().and_then(|d| d.parent()).expect("target dir");
+    let bin = dir.join(format!("node_daemon{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        bin.exists(),
+        "{} not built; run `cargo build -p mtgpu-cluster --bin node_daemon` first",
+        bin.display()
+    );
+    let mut child = Command::new(bin)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--mux-listen",
+            "127.0.0.1:0",
+            "--gpus",
+            "test,test",
+            "--vgpus",
+            "4",
+            "--clock",
+            "1e-7",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn node_daemon");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let (tx, rx) = std::sync::mpsc::channel();
+    // Drain stdout for the daemon's whole life so its prints never block
+    // or EPIPE; forward the banner we need.
+    std::thread::spawn(move || {
+        for line in std::io::BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if let Some(rest) = line.strip_prefix("mux listening on ") {
+                let _ = tx.send(rest.trim().to_string());
+            }
+        }
+    });
+    let addr = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("daemon never printed its mux address")
+        .parse()
+        .expect("daemon printed a valid address");
+    (DaemonGuard(child), addr)
+}
+
+/// The soak body: open 10k persistent multiplexed connections, then probe
+/// every one of them (fresh channel, device-count roundtrip, exit) from a
+/// bounded worker pool. Every connection must stay alive end to end.
+fn soak_10k(addr: SocketAddr) {
+    const CONNS: usize = 10_000;
+    const WORKERS: usize = 64;
+    let conns: Arc<Vec<MuxConnection>> = Arc::new(
+        (0..CONNS)
+            .map(|i| {
+                MuxConnection::connect(addr)
+                    .unwrap_or_else(|e| panic!("connection {i} failed to open: {e}"))
+            })
+            .collect(),
+    );
+    let failures = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let conns = Arc::clone(&conns);
+            let failures = Arc::clone(&failures);
+            s.spawn(move || {
+                let mut i = w;
+                while i < CONNS {
+                    let mut client = FrontendClient::new(conns[i].channel());
+                    // 2 devices × 4 vGPUs served by the daemon.
+                    let ok = client.get_device_count() == Ok(8) && client.exit().is_ok();
+                    if !ok {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += WORKERS;
+                }
+            });
+        }
+    });
+    assert_eq!(failures.load(Ordering::Relaxed), 0, "some probes failed");
+    let dead = conns.iter().filter(|c| c.is_dead()).count();
+    assert_eq!(dead, 0, "{dead} of {CONNS} persistent connections died during the soak");
+    for c in conns.iter() {
+        c.shutdown();
+    }
+}
+
+/// 10k persistent connections multiplexed through one reactor, every one
+/// probed end-to-end. Run with
+/// `cargo test --release --test dispatch_stress -- --ignored`.
+#[test]
+#[ignore = "10k sockets and threads; run by CI tier 4 under a timeout"]
+fn dispatch_soak_10k_persistent_connections() {
+    raise_fd_limit();
+    let (daemon, addr) = spawn_daemon();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        soak_10k(addr);
+        let _ = tx.send(());
+    });
+    // Watchdog: a stalled reactor shows up as a loud failure, not a hang.
+    rx.recv_timeout(Duration::from_secs(540))
+        .expect("10k-connection soak did not finish within the watchdog");
+    drop(daemon);
 }

@@ -354,6 +354,159 @@ fn fig4_concurrent_swap_free_regressions() {
 }
 
 // ---------------------------------------------------------------------
+// Multiplexed wire framing (DESIGN.md §12)
+// ---------------------------------------------------------------------
+
+use mtgpu::api::protocol::{CudaCall, MuxFrame, ReplyValue};
+use mtgpu::api::transport::{encode_frame, FrameBuf};
+
+fn mux_call_strategy() -> impl Strategy<Value = CudaCall> {
+    prop_oneof![
+        Just(CudaCall::GetDeviceCount),
+        Just(CudaCall::Synchronize),
+        (0u32..8).prop_map(|device| CudaCall::SetDevice { device }),
+        (1u64..100_000).prop_map(|size| CudaCall::Malloc {
+            size,
+            kind: mtgpu::api::protocol::AllocKind::Linear
+        }),
+        // Bulk payloads stress length-prefix handling across chunk cuts.
+        prop::collection::vec(any::<u8>(), 0..96).prop_map(|bytes| CudaCall::MemcpyH2D {
+            dst: DeviceAddr(0x1000),
+            buf: mtgpu::api::HostBuf::from_slice(&bytes),
+        }),
+    ]
+}
+
+fn mux_frame_strategy() -> impl Strategy<Value = MuxFrame> {
+    prop_oneof![
+        (0u64..16, any::<u64>(), mux_call_strategy())
+            .prop_map(|(chan, id, call)| MuxFrame::Request { chan, id, call }),
+        (any::<u64>(), 0u32..1000)
+            .prop_map(|(id, n)| MuxFrame::Response { id, reply: Ok(ReplyValue::DeviceCount(n)) }),
+    ]
+}
+
+/// Encodes `frames` into one byte stream and replays it through a
+/// [`FrameBuf`] cut at the given chunk sizes (cycled); returns the decoded
+/// sequence. This is exactly what the reactor and the client reader see
+/// when the kernel splits writes and coalesces reads arbitrarily.
+fn replay_chunked(frames: &[MuxFrame], cuts: &[usize]) -> Vec<MuxFrame> {
+    let mut wire = Vec::new();
+    for f in frames {
+        encode_frame(f, &mut wire).expect("encodes");
+    }
+    let mut buf = FrameBuf::new();
+    let mut decoded = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < wire.len() {
+        let take = if cuts.is_empty() {
+            wire.len() - pos
+        } else {
+            cuts[i % cuts.len()].min(wire.len() - pos)
+        };
+        i += 1;
+        buf.push(&wire[pos..pos + take]);
+        pos += take;
+        while let Some(f) = buf.next_frame::<MuxFrame>().expect("stream stays well-formed") {
+            decoded.push(f);
+        }
+    }
+    assert!(!buf.has_partial(), "no bytes may remain once the stream is consumed");
+    decoded
+}
+
+proptest! {
+    /// Any multiplexed frame sequence survives any split-write /
+    /// coalesced-read chunking of the byte stream bit-for-bit, in order.
+    #[test]
+    fn mux_framing_roundtrips_any_chunking(
+        frames in prop::collection::vec(mux_frame_strategy(), 1..24),
+        cuts in prop::collection::vec(1usize..96, 0..48),
+    ) {
+        prop_assert_eq!(replay_chunked(&frames, &cuts), frames);
+    }
+
+    /// Responses demux by request ID alone: however completion order is
+    /// permuted relative to issue order, pairing decoded responses back to
+    /// their requests by ID reconstructs the original assignment exactly.
+    #[test]
+    fn mux_demux_handles_out_of_order_completion(
+        ids in prop::collection::vec(any::<u64>(), 1..32),
+        swaps in prop::collection::vec((any::<u16>(), any::<u16>()), 0..64),
+        cuts in prop::collection::vec(1usize..64, 0..32),
+    ) {
+        // Distinct in-flight IDs (the reactor sheds duplicates; the client
+        // allocates from a counter, so distinctness is the real contract).
+        let mut ids = ids;
+        ids.sort_unstable();
+        ids.dedup();
+        // Out-of-order completion: permute the response stream.
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        for &(a, b) in &swaps {
+            let n = order.len();
+            order.swap(a as usize % n, b as usize % n);
+        }
+        let responses: Vec<MuxFrame> = order
+            .iter()
+            .map(|&i| MuxFrame::Response {
+                id: ids[i],
+                // Payload derived from the ID: receiving the wrong payload
+                // for an ID would be detected.
+                reply: Ok(ReplyValue::Ptr(DeviceAddr(ids[i] ^ 0xDEAD))),
+            })
+            .collect();
+        let decoded = replay_chunked(&responses, &cuts);
+        prop_assert_eq!(decoded.len(), ids.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for f in decoded {
+            let MuxFrame::Response { id, reply } = f else {
+                panic!("request frame in response stream");
+            };
+            prop_assert!(seen.insert(id), "duplicate response id {id}");
+            prop_assert_eq!(reply, Ok(ReplyValue::Ptr(DeviceAddr(id ^ 0xDEAD))));
+        }
+        prop_assert_eq!(seen.into_iter().collect::<Vec<_>>(), ids);
+    }
+}
+
+/// Pinned seed corpus for the multiplexed framing decoder. Replayed through
+/// the same generators as the proptests above on every CI run; each seed is
+/// also replayable through the proptest blocks with
+/// `MTGPU_PROPTEST_SEED=<seed>`. The corpus pins the corners that need
+/// exact recurrence: 1-byte cuts across a length prefix, a cut landing
+/// exactly on a frame boundary, and bulk MemcpyH2D payloads spanning many
+/// chunks.
+const MUX_REGRESSION_SEEDS: &[u64] = &[
+    0x0000_0000_0000_002A,
+    0x0000_0000_0000_0F17,
+    0x5EED_0000_0000_0001,
+    0xABAD_1DEA_0000_0007,
+    0x00DE_C0DE_0000_000C,
+];
+
+/// Replays the pinned corpus through the same strategies the proptests use,
+/// plus the two adversarial fixed chunkings (1-byte drip and whole-stream
+/// coalesce) that random cuts only occasionally produce.
+#[test]
+fn mux_framing_seeded_chunkings_replay() {
+    for &seed in MUX_REGRESSION_SEEDS {
+        let mut rng = TestRng::from_seed(seed);
+        let frames =
+            Strategy::generate(&prop::collection::vec(mux_frame_strategy(), 1..24), &mut rng);
+        let cuts = Strategy::generate(&prop::collection::vec(1usize..96, 0..48), &mut rng);
+        assert_eq!(replay_chunked(&frames, &cuts), frames, "seed {seed:#x}: random cuts");
+        assert_eq!(replay_chunked(&frames, &[1]), frames, "seed {seed:#x}: 1-byte drip");
+        assert_eq!(replay_chunked(&frames, &[]), frames, "seed {seed:#x}: coalesced");
+        assert_eq!(
+            replay_chunked(&frames, &[3, 1, 7, 2, 5]),
+            frames,
+            "seed {seed:#x}: irregular cuts"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // SimDuration arithmetic
 // ---------------------------------------------------------------------
 
