@@ -50,6 +50,22 @@ pub enum CudaError {
     /// a facility (sharing/dynamic scheduling) it is excluded from (§1).
     NotEligible(String),
 
+    // --- tenant-policy errors ----------------------------------------
+    /// The request would exceed the tenant's lease (memory quota, context
+    /// cap) or the node-wide admission limit; the message names the
+    /// exhausted resource.
+    QuotaExceeded(String),
+    /// The tenant's lease TTL has elapsed; the runtime has reaped (or is
+    /// reaping) the tenant's contexts and refuses further work.
+    LeaseExpired,
+    /// Guardian-style descriptor validation rejected the request before it
+    /// reached dispatch (oversized argument list, out-of-range launch
+    /// geometry, payload larger than its declared length, ...).
+    MalformedDescriptor(String),
+    /// A host buffer carried a content hash that does not match its
+    /// payload: the bytes were corrupted or forged in flight.
+    PayloadHashMismatch,
+
     // --- transport errors --------------------------------------------
     /// The connection to the runtime daemon broke.
     Disconnected,
@@ -103,6 +119,10 @@ impl fmt::Display for CudaError {
             CudaError::SizeMismatch => write!(f, "swap-data size mismatch"),
             CudaError::SwapDeallocation => write!(f, "cannot de-allocate swap"),
             CudaError::NotEligible(m) => write!(f, "application not eligible: {m}"),
+            CudaError::QuotaExceeded(m) => write!(f, "tenant quota exceeded: {m}"),
+            CudaError::LeaseExpired => write!(f, "tenant lease expired"),
+            CudaError::MalformedDescriptor(m) => write!(f, "malformed descriptor: {m}"),
+            CudaError::PayloadHashMismatch => write!(f, "payload hash mismatch"),
             CudaError::Disconnected => write!(f, "runtime connection lost"),
             CudaError::Protocol(m) => write!(f, "protocol error: {m}"),
         }

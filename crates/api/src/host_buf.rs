@@ -7,24 +7,45 @@ use serde::{Deserialize, Serialize};
 /// all capacity accounting and transfer timing; `payload` carries the real
 /// bytes used for functional verification. For small buffers the two
 /// coincide (`payload.len() == declared_len`).
+///
+/// A buffer may additionally be *sealed*: `content_hash` carries an FNV-1a
+/// digest of the payload, and the server's Guardian-style validation layer
+/// refuses sealed buffers whose bytes no longer match the digest (see
+/// [`crate::guard`]). Unsealed buffers (`content_hash == None`) skip the
+/// check, so the field is wire-compatible with older peers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct HostBuf {
     /// Bytes this buffer *represents* (accounting/timing).
     pub declared_len: u64,
     /// Real bytes carried (≤ `declared_len`).
     pub payload: Vec<u8>,
+    /// Optional FNV-1a digest of `payload` (Guardian payload-hash check).
+    /// `None` (serialized as `null`) means the buffer is unsealed.
+    pub content_hash: Option<u64>,
+}
+
+/// 64-bit FNV-1a over a byte slice: the workspace's descriptor/payload
+/// digest. Not cryptographic — it detects corruption and forged length
+/// games, matching Guardian's integrity-check role at simulation scale.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl HostBuf {
     /// A buffer whose payload is exactly its declared content.
     pub fn from_slice(data: &[u8]) -> Self {
-        HostBuf { declared_len: data.len() as u64, payload: data.to_vec() }
+        HostBuf { declared_len: data.len() as u64, payload: data.to_vec(), content_hash: None }
     }
 
     /// A payload-free buffer of `declared_len` bytes (pure accounting, used
     /// for paper-scale footprints whose content does not matter).
     pub fn declared(declared_len: u64) -> Self {
-        HostBuf { declared_len, payload: Vec::new() }
+        HostBuf { declared_len, payload: Vec::new(), content_hash: None }
     }
 
     /// A buffer declaring `declared_len` bytes but carrying `payload` as its
@@ -38,7 +59,7 @@ impl HostBuf {
             "payload ({}) exceeds declared length ({declared_len})",
             payload.len()
         );
-        HostBuf { declared_len, payload }
+        HostBuf { declared_len, payload, content_hash: None }
     }
 
     /// A buffer carrying `f32` values as its exact content.
@@ -47,7 +68,19 @@ impl HostBuf {
         for v in values {
             payload.extend_from_slice(&v.to_le_bytes());
         }
-        HostBuf { declared_len: payload.len() as u64, payload }
+        HostBuf { declared_len: payload.len() as u64, payload, content_hash: None }
+    }
+
+    /// Seals the buffer: stamps `content_hash` with the payload's FNV-1a
+    /// digest so the server verifies the bytes arrived intact.
+    pub fn sealed(mut self) -> Self {
+        self.content_hash = Some(fnv1a(&self.payload));
+        self
+    }
+
+    /// Whether the payload matches the seal. Unsealed buffers pass.
+    pub fn hash_matches(&self) -> bool {
+        self.content_hash.is_none_or(|h| h == fnv1a(&self.payload))
     }
 
     /// Interprets the payload as little-endian `f32`s.
@@ -92,5 +125,25 @@ mod tests {
         let b = HostBuf::from_f32s(&vals);
         assert_eq!(b.as_f32s(), vals);
         assert_eq!(b.declared_len, 16);
+    }
+
+    #[test]
+    fn sealed_hash_verifies_and_detects_tamper() {
+        let b = HostBuf::from_slice(&[9, 8, 7]).sealed();
+        assert!(b.hash_matches());
+        let mut forged = b.clone();
+        forged.payload[0] ^= 0xff;
+        assert!(!forged.hash_matches());
+        // Unsealed buffers always pass (wire compatibility).
+        assert!(HostBuf::from_slice(&[1]).hash_matches());
+    }
+
+    #[test]
+    fn seal_survives_the_wire() {
+        let b = HostBuf::from_slice(&[1, 2]).sealed();
+        let j = serde_json::to_string(&b).unwrap();
+        let back: HostBuf = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, b);
+        assert!(back.hash_matches());
     }
 }

@@ -20,6 +20,7 @@
 pub mod bare;
 pub mod client;
 pub mod error;
+pub mod guard;
 pub mod host_buf;
 pub mod protocol;
 pub mod transport;
@@ -27,6 +28,7 @@ pub mod transport;
 pub use bare::BareClient;
 pub use client::{CudaClient, CudaThread};
 pub use error::{CudaError, CudaResult};
+pub use guard::DescriptorLimits;
 pub use host_buf::HostBuf;
 pub use protocol::{CudaCall, CudaReply, MuxFrame, ReplyValue};
 pub use transport::{

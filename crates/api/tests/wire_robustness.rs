@@ -103,6 +103,10 @@ fn reply_variants_roundtrip() {
         Err(CudaError::MemoryAllocation),
         Err(CudaError::LaunchFailure("boom".into())),
         Err(CudaError::NotEligible("reason".into())),
+        Err(CudaError::QuotaExceeded("mem lease".into())),
+        Err(CudaError::LeaseExpired),
+        Err(CudaError::MalformedDescriptor("64 args".into())),
+        Err(CudaError::PayloadHashMismatch),
     ];
     for reply in &replies {
         let mut buf = Vec::new();
@@ -389,6 +393,142 @@ fn mux_client_counts_responses_for_unknown_ids() {
     assert_eq!(conn.unknown_responses(), 1);
     assert!(!conn.is_dead(), "an unknown ID must not kill the connection");
     conn.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Hostile descriptors at the boundary: malformed kernel descriptors,
+// forged payloads and absurd geometry must come back as *typed* errors
+// and must never reach dispatch.
+// ---------------------------------------------------------------------
+
+use mtgpu_api::guard::{self, DescriptorLimits};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A reactor service with the same boundary discipline as the runtime's
+/// `service.rs`: Guardian validation first, dispatch only on a clean
+/// verdict. The counter is the proof — a malformed descriptor that
+/// reached dispatch would increment it.
+struct ValidatingEcho {
+    sink: ReplySink,
+    dispatched: Arc<AtomicU64>,
+}
+
+impl MuxService for ValidatingEcho {
+    fn on_request(&self, conn: ConnId, _chan: u64, id: u64, call: CudaCall) {
+        let limits = DescriptorLimits::default();
+        let verdict = match &call {
+            CudaCall::Launch { spec } => guard::validate_launch_spec(spec, &limits),
+            CudaCall::RegisterFunction { kernel, .. } => {
+                guard::validate_kernel_desc(kernel, &limits)
+            }
+            CudaCall::MemcpyH2D { buf, .. } => guard::validate_host_buf(buf),
+            _ => Ok(()),
+        };
+        match verdict {
+            Ok(()) => {
+                self.dispatched.fetch_add(1, Ordering::SeqCst);
+                self.sink.reply(conn, id, Ok(ReplyValue::Unit));
+            }
+            Err(e) => self.sink.reply(conn, id, Err(e)),
+        }
+    }
+    fn on_disconnect(&self, _conn: ConnId) {}
+}
+
+#[test]
+fn hostile_descriptors_rejected_with_typed_errors_before_dispatch() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let dispatched = Arc::new(AtomicU64::new(0));
+    let (sink, queue) = ReplySink::channel();
+    let svc: Arc<dyn MuxService> =
+        Arc::new(ValidatingEcho { sink, dispatched: Arc::clone(&dispatched) });
+    let reactor = spawn_reactor(listener, ReactorConfig::default(), svc, queue).unwrap();
+
+    let conn = MuxConnection::connect(reactor.addr()).unwrap();
+    let mut client = FrontendClient::new(conn.channel());
+
+    let good_spec = LaunchSpec {
+        kernel: "matmul".into(),
+        config: LaunchConfig::default(),
+        args: vec![KernelArg::Scalar(1)],
+        work: Work::flops(1.0),
+    };
+
+    // Oversized argument list.
+    let mut s = good_spec.clone();
+    s.args = vec![KernelArg::Scalar(0); DescriptorLimits::default().max_args + 1];
+    assert!(matches!(
+        client.call(CudaCall::Launch { spec: s }),
+        Err(CudaError::MalformedDescriptor(_))
+    ));
+
+    // Zero-extent grid, oversized block, absurd shared memory.
+    let mut s = good_spec.clone();
+    s.config.grid.x = 0;
+    assert!(matches!(
+        client.call(CudaCall::Launch { spec: s }),
+        Err(CudaError::MalformedDescriptor(_))
+    ));
+    let mut s = good_spec.clone();
+    s.config.shared_mem_bytes = u32::MAX;
+    assert!(matches!(
+        client.call(CudaCall::Launch { spec: s }),
+        Err(CudaError::MalformedDescriptor(_))
+    ));
+
+    // Negative declared work (non-finite values never even encode — the
+    // JSON framing refuses them client-side, one layer earlier).
+    let mut s = good_spec.clone();
+    s.work = Work { flops: -1.0, bytes: -1.0 };
+    assert!(matches!(
+        client.call(CudaCall::Launch { spec: s }),
+        Err(CudaError::MalformedDescriptor(_))
+    ));
+
+    // Hostile registration: unbounded name, out-of-bounds read-only map.
+    assert!(matches!(
+        client.register_function(ModuleHandle(1), KernelDesc::plain("k".repeat(4096))),
+        Err(CudaError::MalformedDescriptor(_))
+    ));
+    assert!(matches!(
+        client.register_function(
+            ModuleHandle(1),
+            KernelDesc::plain("k").with_read_only_args(vec![9999]),
+        ),
+        Err(CudaError::MalformedDescriptor(_))
+    ));
+
+    // Forged payload: sealed, then tampered — the hash catches it.
+    let mut forged = HostBuf::from_slice(&[1, 2, 3, 4]).sealed();
+    forged.payload[2] ^= 0xFF;
+    assert_eq!(
+        client.call(CudaCall::MemcpyH2D { dst: DeviceAddr(0x1000), buf: forged }),
+        Err(CudaError::PayloadHashMismatch)
+    );
+
+    // Length forgery: payload longer than the declared extent.
+    let oversized = HostBuf { declared_len: 4, payload: vec![0u8; 64], content_hash: None };
+    assert!(matches!(
+        client.call(CudaCall::MemcpyH2D { dst: DeviceAddr(0x1000), buf: oversized }),
+        Err(CudaError::MalformedDescriptor(_))
+    ));
+
+    // Nothing hostile reached dispatch...
+    assert_eq!(dispatched.load(Ordering::SeqCst), 0, "a malformed descriptor was dispatched");
+
+    // ...while well-formed traffic still flows on the same connection.
+    client.call(CudaCall::Launch { spec: good_spec }).unwrap();
+    client.register_function(ModuleHandle(1), KernelDesc::plain("k")).unwrap();
+    client
+        .call(CudaCall::MemcpyH2D {
+            dst: DeviceAddr(0x1000),
+            buf: HostBuf::from_slice(&[5, 6, 7]).sealed(),
+        })
+        .unwrap();
+    assert_eq!(dispatched.load(Ordering::SeqCst), 3);
+
+    conn.shutdown();
+    reactor.shutdown();
 }
 
 proptest! {

@@ -91,6 +91,10 @@ pub struct RuntimeConfig {
     /// work instead of blocking the pool (the deadlock guard for a fixed
     /// pool over unbounded waits).
     pub mux_bind_slice: Duration,
+    /// Tenant-policy layer: leases, admission control, TTL reaping and
+    /// priority preemption. `None` (the default) disables the layer
+    /// entirely — every tenant is admitted unconditionally, as before.
+    pub tenant_policy: Option<crate::policy::TenantPolicyConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -117,6 +121,7 @@ impl Default for RuntimeConfig {
             background_monitor: true,
             mux_workers: 0,
             mux_bind_slice: Duration::from_millis(5),
+            tenant_policy: None,
         }
     }
 }
@@ -176,6 +181,12 @@ impl RuntimeConfig {
     /// (`0` = automatic).
     pub fn with_mux_workers(mut self, n: usize) -> Self {
         self.mux_workers = n;
+        self
+    }
+
+    /// Builder-style activation of the tenant-policy layer.
+    pub fn with_tenant_policy(mut self, policy: crate::policy::TenantPolicyConfig) -> Self {
+        self.tenant_policy = Some(policy);
         self
     }
 }

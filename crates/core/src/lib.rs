@@ -33,6 +33,7 @@ pub mod memory;
 pub mod metrics;
 pub mod monitor;
 pub mod mux;
+pub mod policy;
 pub mod runtime;
 pub mod sched;
 pub mod service;
@@ -45,6 +46,7 @@ pub use memory::{
 };
 pub use metrics::{MetricsSnapshot, RuntimeMetrics};
 pub use mux::{MuxGateway, MuxGatewayHandle};
+pub use policy::{GpuLease, LeaseBook, TenantKey, TenantPolicyConfig, TenantUsage};
 pub use runtime::{LoadInfo, NodeRuntime};
 pub use sched::legacy::LegacyBindingManager;
 pub use sched::{BindingManager, DeviceView, VGpu};

@@ -60,6 +60,10 @@ pub enum SwapReason {
     Migration,
     /// Device failed or was removed.
     DeviceLoss,
+    /// Evicted by priority preemption: a higher-priority tenant was under
+    /// memory pressure and this context's tenant holds a lower lease
+    /// priority.
+    Preempted,
 }
 
 /// Accounting of one whole-context swap-out ([`MemoryManager::swap_out_ctx`]).
@@ -253,8 +257,14 @@ impl MemoryManager {
     }
 
     /// `cudaFree` (Table 1): check PTE, de-allocate swap, free device copy
-    /// if resident.
-    pub fn free(&self, ctx: CtxId, vaddr: DeviceAddr, binding: Option<&Binding>) -> CudaResult<()> {
+    /// if resident. Returns the allocation's declared size so the caller
+    /// can settle lease accounting.
+    pub fn free(
+        &self,
+        ctx: CtxId,
+        vaddr: DeviceAddr,
+        binding: Option<&Binding>,
+    ) -> CudaResult<u64> {
         let entry = {
             let mut st = self.state.lock();
             let table = st.tables.get_mut(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
@@ -266,7 +276,7 @@ impl MemoryManager {
             let b = binding.ok_or(CudaError::SwapDeallocation)?;
             b.gpu.free(b.gpu_ctx, dptr).map_err(CudaError::from_gpu)?;
         }
-        Ok(())
+        Ok(entry.size)
     }
 
     /// `cudaMemcpy` host→device (Table 1): check PTE, move data to swap.

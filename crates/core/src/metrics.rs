@@ -67,6 +67,20 @@ pub struct RuntimeMetrics {
     pub mux_retries: AtomicU64,
     /// Channels (contexts) opened over multiplexed connections.
     pub mux_channels: AtomicU64,
+    /// Allocations/context creations refused by the admission controller
+    /// (tenant over its lease's `mem_mb`/`max_contexts`, or the node over
+    /// its global admission cap).
+    pub quota_rejections: AtomicU64,
+    /// Tenant leases that reached their TTL on the virtual clock.
+    pub lease_expiries: AtomicU64,
+    /// Contexts reaped (failed + evicted + freed) because their tenant's
+    /// lease expired.
+    pub lease_reaps: AtomicU64,
+    /// Lower-priority victim contexts evicted by priority preemption.
+    pub priority_preemptions: AtomicU64,
+    /// Requests rejected by Guardian-style descriptor validation before
+    /// reaching scheduling or dispatch.
+    pub descriptor_rejections: AtomicU64,
 }
 
 /// Serializable snapshot of [`RuntimeMetrics`].
@@ -97,6 +111,11 @@ pub struct MetricsSnapshot {
     pub mux_requests: u64,
     pub mux_retries: u64,
     pub mux_channels: u64,
+    pub quota_rejections: u64,
+    pub lease_expiries: u64,
+    pub lease_reaps: u64,
+    pub priority_preemptions: u64,
+    pub descriptor_rejections: u64,
 }
 
 impl MetricsSnapshot {
@@ -147,6 +166,11 @@ impl RuntimeMetrics {
             mux_requests: self.mux_requests.load(Ordering::Relaxed),
             mux_retries: self.mux_retries.load(Ordering::Relaxed),
             mux_channels: self.mux_channels.load(Ordering::Relaxed),
+            quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
+            lease_expiries: self.lease_expiries.load(Ordering::Relaxed),
+            lease_reaps: self.lease_reaps.load(Ordering::Relaxed),
+            priority_preemptions: self.priority_preemptions.load(Ordering::Relaxed),
+            descriptor_rejections: self.descriptor_rejections.load(Ordering::Relaxed),
         }
     }
 }

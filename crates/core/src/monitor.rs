@@ -12,6 +12,13 @@
 //!    ("the dispatcher keeps track of fast GPUs becoming idle, and, in the
 //!    absence of pending jobs, migrates running jobs from slow to fast
 //!    GPUs", §5.3.4).
+//! 3. **Lease reaping** — when the tenant-policy layer is active, tenants
+//!    whose lease TTL elapsed on the runtime clock are condemned: each
+//!    member context is failed with `LeaseExpired`, evicted from its vGPU
+//!    if bound, and its pages freed. TTLs are read off the [`Clock`], so
+//!    deterministic harnesses observe expiry at exact virtual instants.
+//!
+//! [`Clock`]: mtgpu_simtime::Clock
 
 use crate::ctx::CtxId;
 use crate::memory::SwapReason;
@@ -30,6 +37,7 @@ const MIGRATION_SPEEDUP: f64 = 1.25;
 /// Monitor entry point; returns when the runtime shuts down.
 pub(crate) fn run(rt: Arc<NodeRuntime>) {
     while !rt.is_shutdown() {
+        reap_expired_leases(&rt);
         recover_failed_devices(&rt);
         if rt.config().dynamic_load_balancing {
             balance_once(&rt);
@@ -38,6 +46,52 @@ pub(crate) fn run(rt: Arc<NodeRuntime>) {
         // mtlint: allow(thread-sleep, reason = "monitor cadence is a real-time polling interval of a background OS thread; deterministic harnesses disable the thread and call monitor_tick instead")
         std::thread::sleep(rt.config().monitor_interval);
     }
+}
+
+/// Condemns tenants whose lease TTL elapsed and reaps their contexts.
+/// Runs on every monitor pass (and every deterministic `monitor_tick`);
+/// a no-op when the policy layer is not configured.
+pub(crate) fn reap_expired_leases(rt: &NodeRuntime) {
+    if !rt.policy().enabled() {
+        return;
+    }
+    let (expired_tenants, doomed) = rt.policy().tick(rt.clock().now());
+    if expired_tenants > 0 {
+        RuntimeMetrics::add(&rt.metrics_ref().lease_expiries, expired_tenants);
+    }
+    for ctx_id in doomed {
+        reap_context(rt, ctx_id);
+    }
+}
+
+fn reap_context(rt: &NodeRuntime, ctx_id: CtxId) {
+    let Some(ctx) = rt.context(ctx_id) else {
+        // Handler already tore the context down; just settle the books.
+        rt.policy().release_ctx(ctx_id);
+        return;
+    };
+    // Wait out the context's in-flight call, then condemn it: subsequent
+    // calls on the connection observe the typed `LeaseExpired` failure.
+    let _guard = ctx.service_lock();
+    ctx.mark_failed(CudaError::LeaseExpired);
+    let binding = ctx.inner().binding.take();
+    if let Some(b) = &binding {
+        rt.tracer().record(TraceEvent::Unbound {
+            ctx: ctx_id,
+            vgpu: b.vgpu,
+            reason: UnbindReason::LeaseReaped,
+        });
+    }
+    // The lease is gone, so its data is too: free device copies, page
+    // table and swap reservation in one sweep (no writeback — an expired
+    // tenant has no further use for the bytes).
+    rt.memory().remove_ctx(ctx_id, binding.as_ref());
+    if let Some(b) = binding {
+        rt.bindings().release(ctx_id, b.vgpu);
+    }
+    rt.policy().release_ctx(ctx_id);
+    RuntimeMetrics::bump(&rt.metrics_ref().lease_reaps);
+    rt.tracer().record(TraceEvent::LeaseReaped { ctx: ctx_id });
 }
 
 /// Detects failed or detached devices and recovers their contexts.

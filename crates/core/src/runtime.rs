@@ -6,6 +6,7 @@ use crate::ctx::{AppContext, CtxId};
 use crate::memory::{MemoryConfig, MemoryManager};
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
 use crate::monitor;
+use crate::policy::LeaseBook;
 use crate::sched::BindingManager;
 use crate::service;
 use crate::trace::{TraceEvent, Tracer};
@@ -68,6 +69,9 @@ pub struct NodeRuntime {
     /// `i64::MAX` when offloading is disabled.
     local_slots: std::sync::atomic::AtomicI64,
     tracer: Arc<Tracer>,
+    /// Tenant leases + admission control (no-op when the policy layer is
+    /// not configured).
+    policy: LeaseBook,
 }
 
 impl NodeRuntime {
@@ -100,6 +104,7 @@ impl NodeRuntime {
             (Some(t), false) => t as i64,
             _ => i64::MAX,
         };
+        let policy = LeaseBook::new(cfg.tenant_policy.clone());
         let rt = Arc::new(NodeRuntime {
             cfg,
             clock,
@@ -115,6 +120,7 @@ impl NodeRuntime {
             active_conns: AtomicUsize::new(0),
             local_slots: std::sync::atomic::AtomicI64::new(local_slots),
             tracer,
+            policy,
             driver,
         });
         for (id, gpu) in rt.driver.devices() {
@@ -139,6 +145,7 @@ impl NodeRuntime {
     /// `background_monitor = false` and call this at chosen points so
     /// recovery and migration land at reproducible schedule positions.
     pub fn monitor_tick(&self) {
+        monitor::reap_expired_leases(self);
         monitor::recover_failed_devices(self);
         if self.cfg.dynamic_load_balancing {
             monitor::balance_once(self);
@@ -195,6 +202,11 @@ impl NodeRuntime {
     /// The runtime's event tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The tenant-policy lease book (admission control, TTLs, priorities).
+    pub fn policy(&self) -> &LeaseBook {
+        &self.policy
     }
 
     /// A snapshot of the traced events, oldest first.
@@ -334,6 +346,7 @@ impl NodeRuntime {
         let id = CtxId(self.next_ctx.fetch_add(1, Ordering::Relaxed));
         let ctx = AppContext::new(id, id.0, label.clone());
         self.mm.register_ctx(id);
+        self.policy.register_ctx(id, self.clock.now());
         self.registry.lock().insert(id, Arc::clone(&ctx));
         self.tracer.record(TraceEvent::ContextCreated { ctx: id, label });
         ctx
@@ -346,6 +359,7 @@ impl NodeRuntime {
 
     /// Unregisters a finished context.
     pub(crate) fn drop_context(&self, id: CtxId) {
+        self.policy.release_ctx(id);
         self.registry.lock().remove(&id);
         self.tracer.record(TraceEvent::ContextFinished { ctx: id });
     }
@@ -354,6 +368,7 @@ impl NodeRuntime {
     /// relayed to a peer before any work happened).
     pub(crate) fn drop_context_of(&self, ctx: &Arc<AppContext>) {
         self.mm.remove_ctx(ctx.id, None);
+        self.policy.release_ctx(ctx.id);
         self.registry.lock().remove(&ctx.id);
     }
 

@@ -23,10 +23,12 @@ use crate::memory::{Materialize, Recovery, SwapReason};
 use crate::metrics::RuntimeMetrics;
 use crate::runtime::NodeRuntime;
 use crate::trace::{TraceEvent, UnbindReason};
-use mtgpu_api::protocol::{CudaCall, CudaReply, ModuleHandle, ReplyValue};
+use mtgpu_api::guard::{self, DescriptorLimits};
+use mtgpu_api::protocol::{AllocKind, CudaCall, CudaReply, ModuleHandle, ReplyValue};
 use mtgpu_api::transport::{RecvOutcome, ServerConn};
 use mtgpu_api::CudaError;
 use mtgpu_gpusim::kernel::{library, RegisteredKernel};
+use mtgpu_gpusim::DeviceAddr;
 use mtgpu_gpusim::{GpuError, LaunchSpec};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -166,6 +168,10 @@ pub(crate) fn handle_call(rt: &NodeRuntime, ctx: &Arc<AppContext>, call: CudaCal
             Ok(ReplyValue::Module(ModuleHandle(inner.modules)))
         }
         CudaCall::RegisterFunction { kernel, .. } => {
+            if let Err(e) = guard::validate_kernel_desc(&kernel, &DescriptorLimits::default()) {
+                RuntimeMetrics::bump(&rt.metrics_ref().descriptor_rejections);
+                return Err(e);
+            }
             // Resolve the functional payload from the backend's library
             // (the fat binary's machine code).
             let payload = library::lookup(&kernel.name).and_then(|k| k.payload);
@@ -178,8 +184,20 @@ pub(crate) fn handle_call(rt: &NodeRuntime, ctx: &Arc<AppContext>, call: CudaCal
             Ok(ReplyValue::Unit)
         }
         // §4.8: record the application id so this thread is co-located
-        // with its application's other threads.
+        // with its application's other threads. Under the policy layer this
+        // is also the admission point: joining the application's tenant may
+        // be refused (context cap, expired lease, unabsorbable charges).
         CudaCall::SetApplication { app_id } => {
+            if let Err(e) = rt.policy().adopt(ctx.id, app_id, rt.clock().now()) {
+                if matches!(e, CudaError::QuotaExceeded(_)) {
+                    RuntimeMetrics::bump(&rt.metrics_ref().quota_rejections);
+                    rt.tracer().record(TraceEvent::QuotaRejected {
+                        ctx: ctx.id,
+                        what: format!("join application {app_id}"),
+                    });
+                }
+                return Err(e);
+            }
             ctx.inner().app_id = Some(app_id);
             Ok(ReplyValue::Unit)
         }
@@ -194,14 +212,18 @@ pub(crate) fn handle_call(rt: &NodeRuntime, ctx: &Arc<AppContext>, call: CudaCal
             .vgpu_spec(device)
             .map(|spec| ReplyValue::Properties(Box::new(spec)))
             .ok_or(CudaError::InvalidDevice),
-        CudaCall::Malloc { size, kind } => {
-            rt.memory().malloc(ctx.id, size, kind).map(ReplyValue::Ptr)
-        }
+        CudaCall::Malloc { size, kind } => admit_malloc(rt, ctx, size, kind).map(ReplyValue::Ptr),
         CudaCall::Free { ptr } => {
             let binding = ctx.binding();
-            rt.memory().free(ctx.id, ptr, binding.as_ref()).map(|()| ReplyValue::Unit)
+            let freed = rt.memory().free(ctx.id, ptr, binding.as_ref())?;
+            rt.policy().uncharge(ctx.id, freed);
+            Ok(ReplyValue::Unit)
         }
         CudaCall::MemcpyH2D { dst, buf } => {
+            if let Err(e) = guard::validate_host_buf(&buf) {
+                RuntimeMetrics::bump(&rt.metrics_ref().descriptor_rejections);
+                return Err(e);
+            }
             let binding = ctx.binding();
             rt.memory().copy_h2d(ctx.id, dst, &buf, binding.as_ref()).map(|()| ReplyValue::Unit)
         }
@@ -241,6 +263,53 @@ pub(crate) fn handle_call(rt: &NodeRuntime, ctx: &Arc<AppContext>, call: CudaCal
         }
         CudaCall::Offloaded => Ok(ReplyValue::Unit),
         CudaCall::Exit => Ok(ReplyValue::Unit),
+    }
+}
+
+/// The admission-controlled allocation path: charge the tenant's lease
+/// before the memory manager sees the request, roll the charge back if the
+/// underlying allocation fails. Over-quota requests are queued — retried
+/// `admission_retries` times with a clock-driven backoff, so an allocation
+/// that would fit once a sibling frees or a lease expires gets its chance —
+/// before the typed rejection is returned.
+fn admit_malloc(
+    rt: &NodeRuntime,
+    ctx: &Arc<AppContext>,
+    size: u64,
+    kind: AllocKind,
+) -> Result<DeviceAddr, CudaError> {
+    let policy = rt.policy();
+    let (mut retries_left, backoff) = policy
+        .config()
+        .map(|c| (c.admission_retries, c.admission_backoff))
+        .unwrap_or((0, RETRY_BACKOFF));
+    loop {
+        match policy.try_charge(ctx.id, size) {
+            Ok(()) => break,
+            Err(CudaError::QuotaExceeded(_)) if retries_left > 0 => {
+                retries_left -= 1;
+                // Through the clock, not `thread::sleep`: queued admission
+                // must replay bit-for-bit under a virtual clock.
+                rt.clock().backoff(backoff);
+            }
+            Err(e) => {
+                if matches!(e, CudaError::QuotaExceeded(_)) {
+                    RuntimeMetrics::bump(&rt.metrics_ref().quota_rejections);
+                    rt.tracer().record(TraceEvent::QuotaRejected {
+                        ctx: ctx.id,
+                        what: format!("malloc of {size} bytes"),
+                    });
+                }
+                return Err(e);
+            }
+        }
+    }
+    match rt.memory().malloc(ctx.id, size, kind) {
+        Ok(ptr) => Ok(ptr),
+        Err(e) => {
+            policy.uncharge(ctx.id, size);
+            Err(e)
+        }
     }
 }
 
@@ -315,6 +384,16 @@ fn launch_loop(
     if let Some(err) = ctx.inner().failed.clone() {
         return Err(err.into());
     }
+    // Guardian-style boundary validation: a malformed or forged descriptor
+    // dies here with a typed error, before scheduling or the memory manager
+    // see it (both the handler-thread and the mux worker path run through
+    // this check).
+    if let Err(e) = guard::validate_launch_spec(&spec, &DescriptorLimits::default()) {
+        RuntimeMetrics::bump(&rt.metrics_ref().descriptor_rejections);
+        return Err(e.into());
+    }
+    // An expired lease refuses new work even before the reaper visits.
+    rt.policy().check_active(ctx.id)?;
     // Table 1 "Launch": check valid PTEs (and extend to nested closures).
     let closure = rt.memory().launch_closure(ctx.id, &spec.args)?;
     // §4.5 fine-grained handling: only entries reachable through read-write
@@ -391,7 +470,16 @@ fn launch_loop(
                 {
                     continue;
                 }
-                // 3b. No application honoured the request: unbind and retry
+                // 3b. Priority preemption (policy layer): a tenant whose
+                // lease outranks its co-tenants may evict their resident
+                // pages instead of yielding the device itself.
+                if rt.policy().enabled()
+                    && ctx.is_eligible()
+                    && try_priority_preempt(rt, ctx.id, &binding, need)
+                {
+                    continue;
+                }
+                // 3c. No application honoured the request: unbind and retry
                 // later (§4.5).
                 unbind_self(rt, ctx, &binding, SwapReason::Unbind)?;
                 RuntimeMetrics::bump(&rt.metrics_ref().launch_retries);
@@ -488,6 +576,64 @@ fn recover_from_device_loss(
             Err(CudaError::DeviceUnavailable)
         }
     }
+}
+
+/// Priority-aware preemption on `binding.vgpu.device`: evict resident
+/// pages of co-tenants whose lease priority is *strictly lower* than the
+/// requester's, least-important victims first, until the shortfall is
+/// covered. Victims keep their vGPU binding — this preempts memory, not
+/// the device slot — and their data re-materializes from swap at their
+/// next launch. Returns `true` if enough bytes were freed.
+fn try_priority_preempt(rt: &NodeRuntime, requester: CtxId, binding: &Binding, need: u64) -> bool {
+    let my_prio = rt.policy().priority_of(requester);
+    let mut candidates: Vec<(u8, u64, CtxId)> = rt
+        .bindings()
+        .bound_on(binding.vgpu.device)
+        .into_iter()
+        .filter(|&id| id != requester)
+        .map(|id| (rt.policy().priority_of(id), rt.memory().resident_bytes(id), id))
+        .filter(|&(prio, resident, _)| prio < my_prio && resident > 0)
+        .collect();
+    // Lowest priority first; ties break by (resident, id) so the victim
+    // sequence is a pure function of state.
+    candidates.sort_unstable_by_key(|&(prio, resident, id)| (prio, resident, id));
+    let mut freed_total = 0u64;
+    for (_, _, victim_id) in candidates {
+        if freed_total >= need {
+            break;
+        }
+        let Some(victim) = rt.context(victim_id) else { continue };
+        if !victim.is_eligible() {
+            continue;
+        }
+        // Like inter-app swap, only an idle victim can be preempted; a
+        // busy one (mid-call / mid-kernel) is skipped.
+        let Some(_guard) = victim.try_service_lock() else { continue };
+        // Re-validate under the lock: still bound here, still outranked.
+        let Some(vb) = victim.binding() else { continue };
+        if vb.vgpu.device != binding.vgpu.device || rt.policy().priority_of(victim_id) >= my_prio {
+            continue;
+        }
+        match rt.memory().swap_out_ctx(victim_id, &vb, SwapReason::Preempted) {
+            Ok(out) if out.freed > 0 => {
+                freed_total += out.freed;
+                victim.stats.times_swapped_out.fetch_add(1, Ordering::Relaxed);
+                RuntimeMetrics::bump(&rt.metrics_ref().priority_preemptions);
+                rt.tracer().record(TraceEvent::SwappedOut {
+                    ctx: victim_id,
+                    bytes: out.freed,
+                    reason: SwapReason::Preempted.into(),
+                });
+                rt.tracer().record(TraceEvent::Preempted {
+                    victim: victim_id,
+                    by: requester,
+                    bytes: out.freed,
+                });
+            }
+            Ok(_) | Err(_) => continue,
+        }
+    }
+    freed_total >= need
 }
 
 /// Attempts an inter-application swap on `binding.vgpu.device`: find one

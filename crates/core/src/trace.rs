@@ -46,6 +46,15 @@ pub enum TraceEvent {
     Failed { ctx: CtxId },
     /// The connection was relayed to a peer node (§4.7).
     Offloaded { ctx: CtxId, peer: String },
+    /// The admission controller refused a request (over-quota allocation
+    /// or context creation); `what` names the exhausted resource.
+    QuotaRejected { ctx: CtxId, what: String },
+    /// A tenant's lease TTL elapsed and this context was reaped: failed,
+    /// evicted if bound, and its pages freed.
+    LeaseReaped { ctx: CtxId },
+    /// A low-priority victim was evicted so a higher-priority tenant could
+    /// materialize under memory pressure.
+    Preempted { victim: CtxId, by: CtxId, bytes: u64 },
     /// Debug-build observability: a ranked lock saw `count` contended
     /// acquisitions since the last monitor pass. Structural counts only —
     /// no timings — and never emitted by sequential (deterministic)
@@ -67,6 +76,10 @@ pub enum UnbindReason {
     Migration,
     /// The device failed.
     DeviceLoss,
+    /// Evicted by a higher-priority tenant under memory pressure.
+    Preempted,
+    /// The tenant's lease expired and the context was reaped.
+    LeaseReaped,
 }
 
 /// Serializable mirror of [`SwapReason`] for trace records.
@@ -76,6 +89,7 @@ pub enum SwapKindTag {
     Unbind,
     Migration,
     DeviceLoss,
+    Preempted,
 }
 
 impl From<SwapReason> for SwapKindTag {
@@ -85,6 +99,7 @@ impl From<SwapReason> for SwapKindTag {
             SwapReason::Unbind => SwapKindTag::Unbind,
             SwapReason::Migration => SwapKindTag::Migration,
             SwapReason::DeviceLoss => SwapKindTag::DeviceLoss,
+            SwapReason::Preempted => SwapKindTag::Preempted,
         }
     }
 }

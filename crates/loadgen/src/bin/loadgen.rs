@@ -1,9 +1,11 @@
 //! Closed-/open-loop load harness CLI.
 //!
 //! ```text
-//! loadgen [--mode closed|open] [--clients N] [--requests N] [--rate R]
+//! loadgen [--profile normal|hostile]
+//!         [--mode closed|open] [--clients N] [--requests N] [--rate R]
 //!         [--seed S] [--devices D] [--vgpus V] [--virtual-clock]
 //!         [--persistent] [--connections N]
+//!         [--hostile N] [--hostile-iters N] [--max-degradation F]
 //!         [--quick] [--max-fairness F] [--out PATH]
 //! ```
 //!
@@ -12,17 +14,29 @@
 //! of reconnecting per request; with `--virtual-clock` it selects the
 //! deterministic mux replay.
 //!
+//! `--profile hostile` runs the adversarial-tenant isolation battery
+//! instead: a hostile-free baseline pass, then the same honest tenants
+//! racing `--hostile N` lease-capped greedy tenants. The report compares
+//! honest p99 across the passes and `--max-degradation F` turns the ratio
+//! into an exit-code gate (as does any over-quota grant).
+//!
 //! Runs a load pass against a private in-process node daemon, prints a
 //! one-line summary, writes the JSON report (default `results/`), and
-//! exits non-zero if any request failed or the fairness ratio exceeds
-//! `--max-fairness`.
+//! exits non-zero if any request failed or a gate was breached.
 
-use mtgpu_loadgen::{run_det, run_load, DetLoadConfig, LoadgenConfig, Mode};
+use mtgpu_loadgen::{
+    run_det, run_isolation, run_load, DetLoadConfig, IsolationConfig, LoadgenConfig, Mode,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     cfg: LoadgenConfig,
+    hostile: bool,
+    hostile_clients: Option<usize>,
+    hostile_iterations: Option<usize>,
+    max_degradation: Option<f64>,
+    quick: bool,
     virtual_clock: bool,
     max_fairness: Option<f64>,
     out: Option<PathBuf>,
@@ -30,9 +44,11 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--mode closed|open] [--clients N] [--requests N] \
-         [--rate R] [--seed S] [--devices D] [--vgpus V] [--virtual-clock] \
-         [--persistent] [--connections N] [--quick] [--max-fairness F] [--out PATH]"
+        "usage: loadgen [--profile normal|hostile] [--mode closed|open] \
+         [--clients N] [--requests N] [--rate R] [--seed S] [--devices D] \
+         [--vgpus V] [--virtual-clock] [--persistent] [--connections N] \
+         [--hostile N] [--hostile-iters N] [--max-degradation F] \
+         [--quick] [--max-fairness F] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -41,6 +57,11 @@ fn parse_args() -> Args {
     let mut cfg = LoadgenConfig::default();
     let mut mode_open = false;
     let mut rate = 100.0f64;
+    let mut hostile = false;
+    let mut hostile_clients = None;
+    let mut hostile_iterations = None;
+    let mut max_degradation = None;
+    let mut quick = false;
     let mut virtual_clock = false;
     let mut max_fairness = None;
     let mut out = None;
@@ -53,6 +74,14 @@ fn parse_args() -> Args {
             })
         };
         match flag.as_str() {
+            "--profile" => match value("--profile").as_str() {
+                "normal" => hostile = false,
+                "hostile" => hostile = true,
+                other => {
+                    eprintln!("unknown profile {other:?}");
+                    usage()
+                }
+            },
             "--mode" => match value("--mode").as_str() {
                 "closed" => mode_open = false,
                 "open" => mode_open = true,
@@ -76,11 +105,23 @@ fn parse_args() -> Args {
             "--connections" => {
                 cfg.connections = value("--connections").parse().unwrap_or_else(|_| usage())
             }
+            "--hostile" => {
+                hostile_clients = Some(value("--hostile").parse().unwrap_or_else(|_| usage()))
+            }
+            "--hostile-iters" => {
+                hostile_iterations =
+                    Some(value("--hostile-iters").parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-degradation" => {
+                max_degradation =
+                    Some(value("--max-degradation").parse().unwrap_or_else(|_| usage()))
+            }
             "--quick" => {
-                let quick = LoadgenConfig::quick();
-                cfg.clients = quick.clients;
-                cfg.requests_per_client = quick.requests_per_client;
-                cfg.devices = quick.devices;
+                quick = true;
+                let q = LoadgenConfig::quick();
+                cfg.clients = q.clients;
+                cfg.requests_per_client = q.requests_per_client;
+                cfg.devices = q.devices;
             }
             "--max-fairness" => {
                 max_fairness = Some(value("--max-fairness").parse().unwrap_or_else(|_| usage()))
@@ -96,11 +137,61 @@ fn parse_args() -> Args {
     if mode_open {
         cfg.mode = Mode::Open { rate_per_sec: rate };
     }
-    Args { cfg, virtual_clock, max_fairness, out }
+    Args {
+        cfg,
+        hostile,
+        hostile_clients,
+        hostile_iterations,
+        max_degradation,
+        quick,
+        virtual_clock,
+        max_fairness,
+        out,
+    }
+}
+
+/// The adversarial-tenant isolation battery (`--profile hostile`).
+fn main_hostile(args: &Args) -> ExitCode {
+    let mut cfg = if args.quick { IsolationConfig::quick() } else { IsolationConfig::default() };
+    cfg.seed = args.cfg.seed;
+    if let Some(n) = args.hostile_clients {
+        cfg.hostile_clients = n;
+    }
+    if let Some(n) = args.hostile_iterations {
+        cfg.hostile_iterations = n;
+    }
+    let report = run_isolation(&cfg);
+    println!("{}", report.summary_line());
+    let path = match &args.out {
+        Some(path) => path.clone(),
+        None => PathBuf::from("results").join("BENCH_isolation.json"),
+    };
+    let written = path
+        .parent()
+        .map_or(Ok(()), std::fs::create_dir_all)
+        .and_then(|()| std::fs::write(&path, report.to_json()));
+    match written {
+        Ok(()) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Even without an explicit latency bound, the structural half of the
+    // gate (no honest failures, no over-quota grants, a live battery) must
+    // hold for the run to count.
+    if let Err(reason) = report.gate(args.max_degradation.unwrap_or(f64::MAX)) {
+        eprintln!("isolation gate failed: {reason}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.hostile {
+        return main_hostile(&args);
+    }
     let report = if args.virtual_clock {
         let det = DetLoadConfig {
             clients: args.cfg.clients,

@@ -1,0 +1,480 @@
+//! Adversarial-tenant isolation harness (`loadgen --profile hostile`).
+//!
+//! Two passes against private node daemons with the tenant-policy layer
+//! armed (DESIGN.md §13):
+//!
+//! 1. **baseline** — honest tenants only, closed loop over the Table 2
+//!    catalog, recording the honest latency distribution;
+//! 2. **contended** — the same honest tenants racing a pack of hostile
+//!    tenants, each bound to a deliberately tiny [`GpuLease`] and spamming
+//!    over-quota allocations, greedy within-quota allocations, context
+//!    churn, and context-cap probes as fast as the wire allows.
+//!
+//! The report compares honest p50/p99 across the passes (the *degradation
+//! ratio*) and counts every hostile outcome. The isolation claim the CI
+//! gate enforces: a greedy tenant is held to its lease bit-for-bit (zero
+//! over-quota grants), and its spam cannot degrade honest tail latency
+//! beyond a fixed ratio.
+
+use crate::hist::{LatencyHistogram, LatencySummary};
+use crate::report::fairness_ratio;
+use mtgpu_api::transport::TcpTransport;
+use mtgpu_api::{CudaClient, CudaError, FrontendClient};
+use mtgpu_cluster::ClusterNode;
+use mtgpu_core::{GpuLease, MetricsSnapshot, RuntimeConfig, TenantPolicyConfig};
+use mtgpu_gpusim::GpuSpec;
+use mtgpu_simtime::{Clock, DetRng};
+use mtgpu_workloads::{catalog, register_workload};
+use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Memory lease granted to each hostile tenant, in MiB.
+const HOSTILE_MEM_MB: u64 = 8;
+/// An allocation far over the hostile lease; every attempt must bounce.
+const OVERQUOTA_BYTES: u64 = 64 << 20;
+/// A within-quota allocation the greedy tenant hoards up to its cap.
+const SMALL_BYTES: u64 = 2 << 20;
+/// Over-quota malloc attempts per hostile iteration.
+const OVERQUOTA_PER_ITER: usize = 4;
+/// Within-quota mallocs per iteration (3 x 2 MiB fits the 8 MiB lease).
+const SMALL_PER_ITER: usize = 3;
+
+fn hostile_app(i: usize) -> u64 {
+    0xBAD0 + i as u64
+}
+
+/// Parameters of one isolation run (both passes share them).
+#[derive(Debug, Clone)]
+pub struct IsolationConfig {
+    /// Honest closed-loop tenants running catalog workloads.
+    pub honest_clients: usize,
+    /// Hostile tenants spamming the admission path.
+    pub hostile_clients: usize,
+    /// Catalog requests per honest tenant.
+    pub requests_per_client: usize,
+    /// Spam iterations per hostile tenant (each: context churn + cap probe
+    /// + over-quota and greedy mallocs).
+    pub hostile_iterations: usize,
+    pub seed: u64,
+    pub devices: usize,
+    pub vgpus_per_device: u32,
+    /// Real seconds per simulated second on the node clock.
+    pub clock_scale: f64,
+}
+
+impl Default for IsolationConfig {
+    fn default() -> Self {
+        IsolationConfig {
+            honest_clients: 6,
+            hostile_clients: 3,
+            requests_per_client: 6,
+            hostile_iterations: 12,
+            seed: 42,
+            devices: 4,
+            vgpus_per_device: 4,
+            clock_scale: 1e-7,
+        }
+    }
+}
+
+impl IsolationConfig {
+    /// The CI configuration: small enough for seconds-scale runtime, large
+    /// enough that honest p99 rests on a few dozen samples.
+    pub fn quick() -> Self {
+        IsolationConfig {
+            honest_clients: 4,
+            hostile_clients: 2,
+            requests_per_client: 4,
+            hostile_iterations: 8,
+            devices: 2,
+            ..Self::default()
+        }
+    }
+
+    /// The lease table both passes run under: honest tenants stay
+    /// anonymous under an unlimited high-priority default lease; each
+    /// hostile tenant adopts its own application with a tiny memory cap, a
+    /// single-context cap, and bottom priority.
+    fn policy(&self) -> TenantPolicyConfig {
+        let mut policy = TenantPolicyConfig::default()
+            .with_default_lease(GpuLease::unlimited().with_priority(100));
+        for i in 0..self.hostile_clients {
+            policy = policy.with_tenant_lease(
+                hostile_app(i),
+                GpuLease { mem_mb: HOSTILE_MEM_MB, max_contexts: 1, ttl_s: 0, priority: 1 },
+            );
+        }
+        policy
+    }
+}
+
+/// Aggregate hostile-side outcome of the contended pass.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HostileReport {
+    /// Over-quota malloc attempts issued.
+    pub overquota_attempts: u64,
+    /// ... of which were rejected with the typed quota error.
+    pub overquota_rejected: u64,
+    /// ... of which were wrongly granted. The gate requires zero.
+    pub overquota_granted: u64,
+    /// Context-cap probes rejected at `cudaSetApplication` time.
+    pub context_cap_rejections: u64,
+    /// Full connect/adopt/spam/exit cycles completed (context churn).
+    pub context_churns: u64,
+    /// Within-quota mallocs that were (correctly) granted.
+    pub small_allocs_granted: u64,
+    /// Transport-level or unexpected typed errors.
+    pub errors: u64,
+}
+
+impl HostileReport {
+    fn merge(&mut self, o: &HostileReport) {
+        self.overquota_attempts += o.overquota_attempts;
+        self.overquota_rejected += o.overquota_rejected;
+        self.overquota_granted += o.overquota_granted;
+        self.context_cap_rejections += o.context_cap_rejections;
+        self.context_churns += o.context_churns;
+        self.small_allocs_granted += o.small_allocs_granted;
+        self.errors += o.errors;
+    }
+}
+
+/// Honest-side outcome of one pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PassReport {
+    pub honest_latency: LatencySummary,
+    pub honest_completed: u64,
+    pub honest_errors: u64,
+    /// Max/min honest makespan ratio (1.0 is perfectly fair).
+    pub honest_fairness_ratio: f64,
+    /// Runtime counters at pass end (quota rejections, reaps, ...).
+    pub runtime: MetricsSnapshot,
+}
+
+/// The JSON artifact of a hostile-profile run (`results/BENCH_isolation.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IsolationReport {
+    pub honest_clients: usize,
+    pub hostile_clients: usize,
+    pub requests_per_client: usize,
+    pub hostile_iterations: usize,
+    pub seed: u64,
+    pub devices: usize,
+    pub vgpus_per_device: u32,
+    pub baseline: PassReport,
+    pub contended: PassReport,
+    pub hostile: HostileReport,
+    /// contended honest p50 / baseline honest p50.
+    pub p50_degradation: f64,
+    /// contended honest p99 / baseline honest p99 — the gated number.
+    pub p99_degradation: f64,
+}
+
+impl IsolationReport {
+    /// Canonical JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("isolation report serializes")
+    }
+
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "isolation: {} honest vs {} hostile, honest p99 {:.3} ms -> {:.3} ms \
+             (x{:.2}), hostile over-quota {}/{} rejected, {} ctx-cap bounces, \
+             {} churns",
+            self.honest_clients,
+            self.hostile_clients,
+            self.baseline.honest_latency.p99_nanos as f64 / 1e6,
+            self.contended.honest_latency.p99_nanos as f64 / 1e6,
+            self.p99_degradation,
+            self.hostile.overquota_rejected,
+            self.hostile.overquota_attempts,
+            self.hostile.context_cap_rejections,
+            self.hostile.context_churns,
+        )
+    }
+
+    /// The CI isolation gate: every way the run can fail the claim, with a
+    /// readable reason. `max_degradation` bounds contended/baseline honest
+    /// p99.
+    pub fn gate(&self, max_degradation: f64) -> Result<(), String> {
+        if self.baseline.honest_errors > 0 || self.contended.honest_errors > 0 {
+            return Err(format!(
+                "honest requests failed: {} baseline, {} contended",
+                self.baseline.honest_errors, self.contended.honest_errors
+            ));
+        }
+        if self.hostile.overquota_granted > 0 {
+            return Err(format!(
+                "{} over-quota allocation(s) were granted past the lease",
+                self.hostile.overquota_granted
+            ));
+        }
+        if self.hostile.overquota_rejected == 0 {
+            return Err("degenerate run: no over-quota attempt was ever rejected".into());
+        }
+        if self.contended.runtime.quota_rejections == 0 {
+            return Err("degenerate run: runtime recorded no quota rejections".into());
+        }
+        if self.p99_degradation > max_degradation {
+            return Err(format!(
+                "honest p99 degraded x{:.2} under hostile load (limit x{:.2})",
+                self.p99_degradation, max_degradation
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct HonestOutcome {
+    hist: LatencyHistogram,
+    completed: u64,
+    errors: u64,
+    makespan_nanos: u64,
+}
+
+/// One honest tenant: the plain reconnect-per-request closed loop from the
+/// concurrent driver, never calling `cudaSetApplication` — exactly the
+/// traffic an uninvolved tenant offers while a neighbour misbehaves.
+fn honest_loop(
+    tenant: usize,
+    cfg: &IsolationConfig,
+    addr: SocketAddr,
+    clock: &Clock,
+) -> HonestOutcome {
+    let mut rng = DetRng::from_seed(cfg.seed).fork(&format!("honest-{tenant}"));
+    let kinds = catalog::draw_kinds(&catalog::short_pool(), cfg.requests_per_client, &mut rng);
+    let mut out =
+        HonestOutcome { hist: LatencyHistogram::new(), completed: 0, errors: 0, makespan_nanos: 0 };
+    // mtlint: allow(wall-clock, reason = "honest-tenant latency under hostile load is a real-time measurement by design")
+    let t0 = Instant::now();
+    for kind in kinds {
+        let job = kind.build(mtgpu_workloads::calib::Scale::TINY);
+        // mtlint: allow(wall-clock, reason = "per-request latency epoch for the isolation measurement")
+        let started = Instant::now();
+        let ok = (|| -> Result<bool, String> {
+            let transport = TcpTransport::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            let mut client = FrontendClient::new(transport).with_pipelining();
+            register_workload(&mut client, job.as_ref()).map_err(|e| format!("register: {e}"))?;
+            let report = job.run(&mut client, clock).map_err(|e| format!("{}: {e}", job.name()))?;
+            client.exit().map_err(|e| format!("exit: {e}"))?;
+            Ok(report.verified)
+        })();
+        match ok {
+            Ok(true) => {
+                out.completed += 1;
+                out.hist.record(started.elapsed().as_nanos() as u64);
+                out.makespan_nanos = t0.elapsed().as_nanos() as u64;
+            }
+            _ => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// One hostile tenant: a tight loop of context churn, context-cap probes,
+/// over-quota malloc spam, and greedy within-quota hoarding — no pacing, no
+/// kernels, just admission pressure.
+fn hostile_loop(tenant: usize, cfg: &IsolationConfig, addr: SocketAddr) -> HostileReport {
+    let app = hostile_app(tenant);
+    let mut out = HostileReport::default();
+    for _ in 0..cfg.hostile_iterations {
+        let Ok(transport) = TcpTransport::connect(addr) else {
+            out.errors += 1;
+            continue;
+        };
+        let mut client = FrontendClient::new(transport);
+        if let Err(e) = client.set_application(app) {
+            // Adoption can only bounce off our own single-context cap if a
+            // previous incarnation is still tearing down; retry next spin.
+            match e {
+                CudaError::QuotaExceeded(_) => out.context_cap_rejections += 1,
+                _ => out.errors += 1,
+            }
+            let _ = client.exit();
+            continue;
+        }
+        // Probe the context cap: a second thread of this application must
+        // be refused while the first holds the single-context lease.
+        if let Ok(probe_tp) = TcpTransport::connect(addr) {
+            let mut probe = FrontendClient::new(probe_tp);
+            match probe.set_application(app) {
+                Err(CudaError::QuotaExceeded(_)) => out.context_cap_rejections += 1,
+                Err(_) => out.errors += 1,
+                Ok(()) => {} // cap is 1; reaching here means the first exit raced ahead
+            }
+            let _ = probe.exit();
+        }
+        for _ in 0..OVERQUOTA_PER_ITER {
+            out.overquota_attempts += 1;
+            match client.malloc(OVERQUOTA_BYTES) {
+                Err(CudaError::QuotaExceeded(_)) => out.overquota_rejected += 1,
+                Err(_) => out.errors += 1,
+                Ok(_) => out.overquota_granted += 1,
+            }
+        }
+        let mut held = Vec::new();
+        for _ in 0..SMALL_PER_ITER {
+            match client.malloc(SMALL_BYTES) {
+                Ok(ptr) => {
+                    out.small_allocs_granted += 1;
+                    held.push(ptr);
+                }
+                Err(CudaError::QuotaExceeded(_)) => {}
+                Err(_) => out.errors += 1,
+            }
+        }
+        // Free one, abandon the rest: teardown must settle the lease book.
+        if let Some(ptr) = held.first() {
+            let _ = client.free(*ptr);
+        }
+        if client.exit().is_ok() {
+            out.context_churns += 1;
+        } else {
+            out.errors += 1;
+        }
+    }
+    out
+}
+
+/// Runs one pass (honest tenants, optionally racing hostile tenants)
+/// against a fresh private node with the lease table armed.
+fn run_pass(cfg: &IsolationConfig, with_hostile: bool) -> (PassReport, HostileReport) {
+    mtgpu_workloads::install_kernel_library();
+    let clock = Clock::with_scale(cfg.clock_scale);
+    let specs = (0..cfg.devices).map(|_| GpuSpec::test_small()).collect();
+    let rt_cfg = RuntimeConfig::paper_default()
+        .with_vgpus(cfg.vgpus_per_device)
+        .with_seed(cfg.seed)
+        .with_tenant_policy(cfg.policy());
+    let node = ClusterNode::start("isolation".into(), clock.clone(), specs, rt_cfg, true);
+    let addr = node.addr().expect("listening node");
+
+    let hostile_handles: Vec<_> = if with_hostile {
+        (0..cfg.hostile_clients)
+            .map(|t| {
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("hostile-{t}"))
+                    .spawn(move || hostile_loop(t, &cfg, addr))
+                    .expect("spawn hostile thread")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let honest_handles: Vec<_> = (0..cfg.honest_clients)
+        .map(|t| {
+            let cfg = cfg.clone();
+            let clock = clock.clone();
+            std::thread::Builder::new()
+                .name(format!("honest-{t}"))
+                .spawn(move || honest_loop(t, &cfg, addr, &clock))
+                .expect("spawn honest thread")
+        })
+        .collect();
+
+    let honest: Vec<HonestOutcome> =
+        honest_handles.into_iter().map(|h| h.join().expect("honest thread panicked")).collect();
+    let mut hostile = HostileReport::default();
+    for h in hostile_handles {
+        hostile.merge(&h.join().expect("hostile thread panicked"));
+    }
+
+    let runtime = node.metrics();
+    node.shutdown();
+
+    let mut hist = LatencyHistogram::new();
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut basis = Vec::with_capacity(honest.len());
+    for o in &honest {
+        hist.merge(&o.hist);
+        completed += o.completed;
+        errors += o.errors;
+        basis.push(o.makespan_nanos);
+    }
+    (
+        PassReport {
+            honest_latency: hist.summary(),
+            honest_completed: completed,
+            honest_errors: errors,
+            honest_fairness_ratio: fairness_ratio(&basis),
+            runtime,
+        },
+        hostile,
+    )
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Runs the full isolation battery: baseline pass, then the contended
+/// pass, and returns the comparison report (not yet written to disk).
+pub fn run_isolation(cfg: &IsolationConfig) -> IsolationReport {
+    let (baseline, _) = run_pass(cfg, false);
+    let (contended, hostile) = run_pass(cfg, true);
+    let p50_degradation =
+        ratio(contended.honest_latency.p50_nanos, baseline.honest_latency.p50_nanos);
+    let p99_degradation =
+        ratio(contended.honest_latency.p99_nanos, baseline.honest_latency.p99_nanos);
+    IsolationReport {
+        honest_clients: cfg.honest_clients,
+        hostile_clients: cfg.hostile_clients,
+        requests_per_client: cfg.requests_per_client,
+        hostile_iterations: cfg.hostile_iterations,
+        seed: cfg.seed,
+        devices: cfg.devices,
+        vgpus_per_device: cfg.vgpus_per_device,
+        baseline,
+        contended,
+        hostile,
+        p50_degradation,
+        p99_degradation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostile_battery_smoke() {
+        let cfg = IsolationConfig {
+            honest_clients: 2,
+            hostile_clients: 1,
+            requests_per_client: 2,
+            hostile_iterations: 4,
+            devices: 2,
+            ..IsolationConfig::default()
+        };
+        let report = run_isolation(&cfg);
+        // Structural gate only (no latency bound: unit tests race the rest
+        // of the suite, so wall-clock ratios are not meaningful here).
+        assert_eq!(report.baseline.honest_errors, 0, "baseline honest failed");
+        assert_eq!(report.contended.honest_errors, 0, "contended honest failed");
+        assert_eq!(report.hostile.overquota_granted, 0, "lease was pierced");
+        assert_eq!(
+            report.hostile.overquota_rejected, report.hostile.overquota_attempts,
+            "every over-quota malloc must bounce"
+        );
+        assert!(report.hostile.overquota_attempts >= 16);
+        assert!(report.contended.runtime.quota_rejections > 0, "runtime never said no");
+        assert!(report.hostile.context_churns > 0);
+        assert_eq!(report.hostile.errors, 0, "hostile saw non-typed failures");
+        assert_eq!(report.baseline.runtime.quota_rejections, 0, "baseline must be clean");
+        // The JSON artifact round-trips.
+        let back: IsolationReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back.to_json(), report.to_json());
+        assert!(report.summary_line().contains("hostile"));
+        // The gate passes once the latency bound is generous enough to be
+        // immune to test-suite scheduling noise.
+        report.gate(1e9).unwrap();
+    }
+}

@@ -8,7 +8,10 @@
 //! * **open loop** ([`Mode::Open`]) — requests start on a fixed aggregate
 //!   schedule and latency charges any time spent behind it;
 //! * **deterministic** ([`run_det`]) — a sequential virtual-clock replay
-//!   whose latency distribution is a pure function of the seed.
+//!   whose latency distribution is a pure function of the seed;
+//! * **adversarial isolation** ([`run_isolation`]) — honest tenants racing
+//!   lease-capped hostile tenants under the tenant-policy layer, comparing
+//!   honest tail latency against a hostile-free baseline.
 //!
 //! All drivers emit a [`LoadReport`] (JSON, conventionally under
 //! `results/`) with per-request latency quantiles, throughput, per-tenant
@@ -17,9 +20,11 @@
 pub mod det;
 pub mod driver;
 pub mod hist;
+pub mod isolation;
 pub mod report;
 
 pub use det::{run_det, DetLoadConfig, DetLoadFingerprint, DetTransport};
 pub use driver::{run_load, LoadgenConfig, Mode};
 pub use hist::{LatencyHistogram, LatencySummary};
+pub use isolation::{run_isolation, IsolationConfig, IsolationReport};
 pub use report::{fairness_ratio, LoadReport, TenantReport, FAIRNESS_STARVED};

@@ -71,6 +71,8 @@ pub mod lock_rank {
     pub const WAIT_SLOT: LockRank = LockRank { value: 60, name: "WAIT_SLOT" };
     /// A context's inner bookkeeping (binding, credits, kernels).
     pub const CTX_INNER: LockRank = LockRank { value: 70, name: "CTX_INNER" };
+    /// The tenant-policy lease book (quota charges, TTLs, priorities).
+    pub const TENANT_POLICY: LockRank = LockRank { value: 75, name: "TENANT_POLICY" };
     /// The driver's device-slot table (held across `Gpu::fail` on detach).
     pub const DRIVER_SLOTS: LockRank = LockRank { value: 80, name: "DRIVER_SLOTS" };
     /// Runtime handler-thread bookkeeping (join handles).
@@ -110,6 +112,7 @@ pub mod lock_rank {
         SCHED_LOBBY,
         WAIT_SLOT,
         CTX_INNER,
+        TENANT_POLICY,
         DRIVER_SLOTS,
         RT_HANDLERS,
         RT_MONITOR,

@@ -24,6 +24,15 @@
 #                                detection), then the debug-build ranked-
 #                                lock test subset (seeded inversion panics,
 #                                mid-swap fault never trips the checker)
+#   tier 6  tenant isolation     the adversarial-tenant battery: quota-
+#                                pressure deterministic replay must be
+#                                bit-identical, the hostile wire battery
+#                                and mid-preemption fault case must pass,
+#                                then loadgen --profile hostile must hold
+#                                a greedy tenant to its lease (zero
+#                                over-quota grants) with honest p99 within
+#                                2x of the hostile-free baseline
+#                                (results/BENCH_isolation.json)
 #
 # Usage: scripts/ci.sh [tier]   (default: all tiers)
 
@@ -32,9 +41,9 @@ cd "$(dirname "$0")/.."
 
 tier="${1:-all}"
 case "$tier" in
-all | 0 | 1 | 2 | 3 | 4 | 5) ;;
+all | 0 | 1 | 2 | 3 | 4 | 5 | 6) ;;
 *)
-    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4, 5 or all)" >&2
+    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4, 5, 6 or all)" >&2
     exit 2
     ;;
 esac
@@ -116,6 +125,30 @@ if [[ "$tier" == "all" || "$tier" == "5" ]]; then
     cargo test -q --test fault_matrix \
         device_failure_mid_swap_never_trips_lock_checker > /dev/null
     echo "mtlint workspace-clean + lock-graph acyclic + ranked-lock tests: ok"
+fi
+
+if [[ "$tier" == "all" || "$tier" == "6" ]]; then
+    run_tier 6 "adversarial-tenant isolation battery"
+    cargo build -q --release -p mtgpu-loadgen --bin loadgen
+    # Every policy decision must replay bit-for-bit: three runs of the
+    # quota-pressure shape (admission rejections, a lease expiry, reaping)
+    # collapse to one fingerprint.
+    cargo test -q --test deterministic_repro quota_pressure -- --exact \
+        quota_pressure_with_lease_expiry_replays_bit_for_bit > /dev/null
+    # Hostile wire battery: malformed/oversized/tampered descriptors must
+    # bounce with typed errors before dispatch.
+    cargo test -q -p mtgpu-api --test wire_robustness > /dev/null
+    # A device dying mid-preemption must leave victims classifiable and
+    # the lease book consistent.
+    cargo test -q --test fault_matrix \
+        device_failure_mid_preemption_keeps_victim_classifiable_and_leases_consistent \
+        > /dev/null
+    # The isolation gate proper: greedy tenants held to their leases
+    # (zero over-quota grants) and honest p99 within 2x of the
+    # hostile-free baseline.
+    ./target/release/loadgen --profile hostile --quick --max-degradation 2.0 \
+        --out results/BENCH_isolation.json > /dev/null
+    echo "quota-pressure replay + hostile wire/fault battery + isolation gate: ok"
 fi
 
 echo "CI: all requested tiers passed"

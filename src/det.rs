@@ -20,7 +20,7 @@
 
 use mtgpu_api::transport::ChannelTransport;
 use mtgpu_api::{CudaCall, CudaClient, CudaError, FrontendClient, HostBuf, ReplyValue};
-use mtgpu_core::{MetricsSnapshot, NodeRuntime, RuntimeConfig};
+use mtgpu_core::{GpuLease, MetricsSnapshot, NodeRuntime, RuntimeConfig, TenantPolicyConfig};
 use mtgpu_gpusim::kernel::{library, KernelExec, RegisteredKernel};
 use mtgpu_gpusim::{
     DeviceAddr, Driver, FaultKind, FaultPlan, GpuError, GpuSpec, KernelArg, KernelDesc,
@@ -93,6 +93,14 @@ pub struct DetScenario {
     pub step_advance: SimDuration,
     /// Scripted faults, polled once per step.
     pub plan: FaultPlan,
+    /// Per-client application ids: `client_apps[i] = Some(app)` makes
+    /// client `i`'s first scripted call `cudaSetApplication(app)`. Shorter
+    /// than `clients` means the remainder stay anonymous; empty disables
+    /// application identity entirely (the legacy shape).
+    pub client_apps: Vec<Option<u64>>,
+    /// Tenant-policy layer for the run; `None` keeps admission off, so all
+    /// pre-policy scenarios fingerprint exactly as before.
+    pub tenant_policy: Option<TenantPolicyConfig>,
 }
 
 impl DetScenario {
@@ -114,6 +122,8 @@ impl DetScenario {
             quiet_steps: 0,
             step_advance: SimDuration::from_millis(50),
             plan: FaultPlan::new(),
+            client_apps: Vec::new(),
+            tenant_policy: None,
         }
     }
 
@@ -136,6 +146,29 @@ impl DetScenario {
     /// device is lost, and a quiet window for faults to land in.
     pub fn fault_shape(seed: u64) -> Self {
         DetScenario { clients: 6, rounds: 2, quiet_steps: 6, ..Self::fig7_shape(seed) }
+    }
+
+    /// A quota-pressure scenario for the tenant-policy layer: six clients
+    /// across three applications — a high-priority unlimited one, one whose
+    /// memory lease is too small for its members' combined footprint
+    /// (deterministic `QuotaExceeded` rejections), and one whose 1-second
+    /// lease expires mid-run (deterministic reaping, `LeaseExpired` on the
+    /// survivors' remaining script). Steps advance 200 ms of virtual time,
+    /// so the TTL elapses around step 5 of ~15.
+    pub fn quota_shape(seed: u64) -> Self {
+        let policy = TenantPolicyConfig::default()
+            .with_default_lease(GpuLease::unlimited().with_priority(50))
+            .with_tenant_lease(1, GpuLease { mem_mb: 0, max_contexts: 0, ttl_s: 0, priority: 200 })
+            .with_tenant_lease(2, GpuLease { mem_mb: 25, max_contexts: 2, ttl_s: 0, priority: 20 })
+            .with_tenant_lease(3, GpuLease { mem_mb: 0, max_contexts: 0, ttl_s: 1, priority: 10 });
+        DetScenario {
+            clients: 6,
+            rounds: 3,
+            client_apps: vec![Some(1), Some(1), Some(2), Some(2), Some(3), Some(3)],
+            tenant_policy: Some(policy),
+            step_advance: SimDuration::from_millis(200),
+            ..Self::fig7_shape(seed)
+        }
     }
 }
 
@@ -181,6 +214,9 @@ impl DetFingerprint {
 /// One scripted CUDA operation.
 #[derive(Debug, Clone)]
 enum Op {
+    SetApplication {
+        app: u64,
+    },
     Malloc {
         buf: usize,
     },
@@ -246,6 +282,9 @@ fn build_client(scenario: &DetScenario, i: usize) -> (Vec<BufState>, Vec<Op>) {
         })
         .collect();
     let mut script = Vec::new();
+    if let Some(&Some(app)) = scenario.client_apps.get(i) {
+        script.push(Op::SetApplication { app });
+    }
     for buf in 0..scenario.buffers_per_client {
         script.push(Op::Malloc { buf });
         script.push(Op::Upload { buf });
@@ -295,10 +334,13 @@ pub fn run(scenario: DetScenario) -> DetFingerprint {
     register_det_kernels();
     let clock = Clock::virtual_clock();
     let driver = Driver::with_devices(clock.clone(), scenario.devices.clone());
-    let cfg = RuntimeConfig::default()
+    let mut cfg = RuntimeConfig::default()
         .with_vgpus(scenario.vgpus_per_device)
         .with_seed(scenario.seed)
         .with_background_monitor(false);
+    if let Some(policy) = scenario.tenant_policy.clone() {
+        cfg = cfg.with_tenant_policy(policy);
+    }
     let rt = NodeRuntime::start(Arc::clone(&driver), cfg);
 
     let mut states: Vec<ClientState> = Vec::with_capacity(scenario.clients);
@@ -376,6 +418,7 @@ pub fn run(scenario: DetScenario) -> DetFingerprint {
 fn exec_op(state: &mut ClientState, op: &Op) -> Result<(), CudaError> {
     let client = state.client.as_mut().expect("caller checked liveness");
     match *op {
+        Op::SetApplication { app } => client.set_application(app),
         Op::Malloc { buf } => {
             let declared = state.bufs[buf].declared;
             state.bufs[buf].addr = Some(client.malloc(declared)?);

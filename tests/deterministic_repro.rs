@@ -104,6 +104,56 @@ fn seed_matrix_replays_and_seeds_diverge() {
 }
 
 #[test]
+fn quota_pressure_with_lease_expiry_replays_bit_for_bit() {
+    // The tenant-policy tentpole under deterministic replay: three
+    // applications — unlimited high-priority, one whose memory lease is
+    // too small for its members' mallocs, one whose 1-second lease expires
+    // mid-run — produce admission rejections and lease reaping at exact
+    // virtual instants. Three full runs must collapse to one fingerprint.
+    let runs = [
+        run(DetScenario::quota_shape(42)),
+        run(DetScenario::quota_shape(42)),
+        run(DetScenario::quota_shape(42)),
+    ];
+    assert_eq!(runs[0].canonical(), runs[1].canonical(), "quota replay 2 diverged");
+    assert_eq!(runs[0].canonical(), runs[2].canonical(), "quota replay 3 diverged");
+
+    // The fingerprint must come out of the regime under test: real
+    // rejections, a real expiry, real reaping — not a policy no-op.
+    let a = &runs[0];
+    assert!(a.metrics.quota_rejections > 0, "no admission rejections recorded");
+    assert!(a.metrics.lease_expiries > 0, "no lease expired");
+    assert!(a.metrics.lease_reaps > 0, "no contexts reaped");
+    // The unlimited high-priority application (clients 0 and 1) must ride
+    // out its neighbours' rejections and reaping untouched.
+    assert!(a.clients[0].verified && a.clients[1].verified, "honest tenant was damaged");
+    assert_eq!(a.clients[0].ops_err, 0);
+    assert_eq!(a.clients[1].ops_err, 0);
+    // The over-quota application saw typed rejections, not silent grants.
+    assert!(
+        a.clients[2].first_error.as_deref().unwrap_or("").contains("QuotaExceeded")
+            || a.clients[3].first_error.as_deref().unwrap_or("").contains("QuotaExceeded"),
+        "expected a QuotaExceeded first_error, got {:?} / {:?}",
+        a.clients[2].first_error,
+        a.clients[3].first_error
+    );
+    // The expired application's clients were cut off with the typed error.
+    assert!(
+        a.clients[4].first_error.as_deref().unwrap_or("").contains("LeaseExpired")
+            || a.clients[5].first_error.as_deref().unwrap_or("").contains("LeaseExpired"),
+        "expected a LeaseExpired first_error, got {:?} / {:?}",
+        a.clients[4].first_error,
+        a.clients[5].first_error
+    );
+
+    // The policy layer is live in the fingerprint: the same seed with the
+    // layer off tells a different story.
+    let off = run(DetScenario { tenant_policy: None, ..DetScenario::quota_shape(42) });
+    assert_ne!(a.canonical(), off.canonical(), "policy layer is decorative");
+    assert_eq!(off.metrics.quota_rejections, 0);
+}
+
+#[test]
 fn virtual_time_is_part_of_the_fingerprint() {
     let a = run(DetScenario { clients: 3, rounds: 2, ..DetScenario::fig7_shape(9) });
     let b = run(DetScenario { clients: 3, rounds: 2, ..DetScenario::fig7_shape(9) });

@@ -225,6 +225,104 @@ fn device_failure_mid_swap_leaves_page_table_consistent() {
 }
 
 #[test]
+fn device_failure_mid_preemption_keeps_victim_classifiable_and_leases_consistent() {
+    // The tenant-policy variant of the mid-swap probe: the device dies
+    // while a *priority preemption* is evicting a victim's resident pages
+    // (`SwapReason::Preempted` rides the same pipelined writeback plan).
+    // Two invariants: (1) the failed eviction leaves every victim
+    // page-table entry in a state `on_device_lost` can classify — exactly
+    // like any other interrupted swap; (2) the lease book, which charges on
+    // *admission* rather than residency, is bit-for-bit untouched by the
+    // whole ordeal, and settling the victim afterwards frees exactly what
+    // was charged.
+    use mtgpu::api::protocol::AllocKind;
+    use mtgpu::api::HostBuf;
+    use mtgpu::core::{
+        Binding, CtxId, GpuLease, LeaseBook, MemoryConfig, MemoryManager, Recovery, RuntimeMetrics,
+        SwapReason, TenantPolicyConfig, VGpuId,
+    };
+    use mtgpu::gpusim::{Gpu, GpuSpec};
+    use mtgpu::simtime::Clock;
+    use std::sync::Arc;
+
+    const VICTIM: CtxId = CtxId(1);
+    const DECLARED: u64 = 128 << 20;
+    const PAYLOAD: usize = 2048;
+
+    let clock = Clock::with_scale(1.0);
+    let book = LeaseBook::new(Some(TenantPolicyConfig::default().with_default_lease(GpuLease {
+        mem_mb: 1024,
+        max_contexts: 0,
+        ttl_s: 0,
+        priority: 10,
+    })));
+    book.register_ctx(VICTIM, clock.now());
+
+    let m = MemoryManager::new(MemoryConfig::default(), Arc::new(RuntimeMetrics::default()));
+    m.register_ctx(VICTIM);
+    let gpu = Gpu::new(GpuSpec::tesla_c2050(), clock.clone(), 0);
+    let gpu_ctx = gpu.create_context().unwrap();
+    let binding = Binding {
+        vgpu: VGpuId { device: mtgpu::gpusim::DeviceId(0), index: 0 },
+        gpu: Arc::clone(&gpu),
+        gpu_ctx,
+    };
+    let payloads: Vec<Vec<u8>> = (0..6).map(|i| vec![0xB0 + i as u8; PAYLOAD]).collect();
+    let bases: Vec<_> = payloads
+        .iter()
+        .map(|p| {
+            book.try_charge(VICTIM, DECLARED).expect("admission fits the lease");
+            let v = m.malloc(VICTIM, DECLARED, AllocKind::Linear).unwrap();
+            m.copy_h2d(VICTIM, v, &HostBuf::with_shadow(DECLARED, p.clone()), None).unwrap();
+            v
+        })
+        .collect();
+    let charged = 6 * DECLARED;
+    assert_eq!(book.global_used(), charged);
+    assert_eq!(m.materialize(VICTIM, &bases, &binding).unwrap(), mtgpu::core::Materialize::Ready);
+    m.mark_launched(VICTIM, &bases);
+
+    // Fault timer: fires ~40 ms into the ~100 ms preemption writeback.
+    let killer = {
+        let gpu = Arc::clone(&gpu);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            gpu.fail();
+        })
+    };
+    let res = m.swap_out_ctx(VICTIM, &binding, SwapReason::Preempted);
+    killer.join().unwrap();
+    assert!(res.is_err(), "mid-preemption device failure must surface: {res:?}");
+
+    // (1) Every victim entry is classifiable: still allocated, or fully
+    // swapped out (host-authoritative, marked for re-upload).
+    let mut still_allocated = 0;
+    for &base in &bases {
+        let f = m.flags_of(VICTIM, base).unwrap();
+        if f.allocated {
+            still_allocated += 1;
+        } else {
+            assert!(f.to_dev && !f.to_swap, "freed entry must be host-authoritative: {f:?}");
+        }
+    }
+    assert!(still_allocated > 0, "a 40 ms fault cannot have let all six evictions finish");
+
+    // (2) Lease accounting never moved: eviction (failed or not) is a
+    // residency event, not an admission event.
+    assert_eq!(book.global_used(), charged, "failed preemption corrupted the lease book");
+    assert!(book.check_active(VICTIM).is_ok(), "victim's lease must survive the fault");
+
+    // Recovery classifies the loss; the books still balance, and settling
+    // the victim frees exactly the admitted bytes.
+    assert_eq!(m.on_device_lost(VICTIM), Recovery::LostDirtyData);
+    assert_eq!(book.global_used(), charged);
+    m.remove_ctx(VICTIM, None);
+    assert_eq!(book.release_ctx(VICTIM), charged, "reap must free exactly the charge");
+    assert_eq!(book.global_used(), 0);
+    assert_eq!(m.swap_used(), 0, "manager leaked swap bytes on teardown");
+}
+
+#[test]
 fn device_failure_mid_swap_never_trips_lock_checker() {
     // Same mid-plan fault shape as the page-table probe above, but the
     // property under test is the concurrency discipline: the failure path

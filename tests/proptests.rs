@@ -354,6 +354,140 @@ fn fig4_concurrent_swap_free_regressions() {
 }
 
 // ---------------------------------------------------------------------
+// Tenant lease book: admission under random interleavings
+// ---------------------------------------------------------------------
+
+use mtgpu::core::{GpuLease, LeaseBook, TenantKey, TenantPolicyConfig};
+
+#[derive(Debug, Clone, Copy)]
+enum LeaseOp {
+    /// Register context slot `n` as a fresh anonymous tenant.
+    Register(u8),
+    /// Adopt context slot `.0` into application `.1`.
+    Adopt(u8, u8),
+    /// Charge an allocation of `.1` bytes to context slot `.0`.
+    Charge(u8, u64),
+    /// Credit `.1` bytes back to context slot `.0` (a free).
+    Uncharge(u8, u64),
+    /// Tear the context down (connection closed).
+    Release(u8),
+    /// Advance the virtual clock by `.0` milliseconds.
+    Advance(u16),
+    /// Run the monitor's expiry scan and reap whatever it condemns.
+    Tick,
+}
+
+fn lease_op_strategy() -> impl Strategy<Value = LeaseOp> {
+    prop_oneof![
+        (0u8..6).prop_map(LeaseOp::Register),
+        (0u8..6, 0u8..3).prop_map(|(c, a)| LeaseOp::Adopt(c, a)),
+        (0u8..6, 1u64..2 * 1024 * 1024).prop_map(|(c, b)| LeaseOp::Charge(c, b)),
+        (0u8..6, 1u64..2 * 1024 * 1024).prop_map(|(c, b)| LeaseOp::Uncharge(c, b)),
+        (0u8..6).prop_map(LeaseOp::Release),
+        (1u16..700).prop_map(LeaseOp::Advance),
+        Just(LeaseOp::Tick),
+    ]
+}
+
+proptest! {
+    /// Random interleavings of lease grants, adoptions, allocations, frees,
+    /// TTL expiries and reaping: no tenant ever exceeds its memory lease or
+    /// context cap, the node never exceeds its global admission cap, the
+    /// book's global counter never drifts from an independent model of the
+    /// accepted charges, and releasing (or reaping) a context frees exactly
+    /// the bytes that were charged to it.
+    #[test]
+    fn lease_book_interleavings_never_exceed_caps(
+        ops in prop::collection::vec(lease_op_strategy(), 1..120)
+    ) {
+        const MB: u64 = 1 << 20;
+        let cfg = TenantPolicyConfig::default()
+            .with_default_lease(GpuLease { mem_mb: 2, max_contexts: 0, ttl_s: 0, priority: 50 })
+            .with_tenant_lease(0, GpuLease { mem_mb: 4, max_contexts: 3, ttl_s: 1, priority: 10 })
+            .with_tenant_lease(1, GpuLease { mem_mb: 3, max_contexts: 2, ttl_s: 0, priority: 200 })
+            .with_global_mem_bytes(8 * MB);
+        let clock = Clock::virtual_clock();
+        let book = LeaseBook::new(Some(cfg.clone()));
+        // Independent model: bytes the book *accepted* per live context.
+        let mut charged: std::collections::BTreeMap<u64, u64> = Default::default();
+        let mut registered: std::collections::BTreeSet<u64> = Default::default();
+        for op in ops {
+            match op {
+                LeaseOp::Register(slot) => {
+                    let id = slot as u64;
+                    if registered.insert(id) {
+                        book.register_ctx(CtxId(id), clock.now());
+                        charged.insert(id, 0);
+                    }
+                }
+                LeaseOp::Adopt(slot, app) => {
+                    // Moving a context between tenants moves its charges
+                    // with it; acceptance or rejection leaves the per-ctx
+                    // model untouched either way.
+                    if registered.contains(&(slot as u64)) {
+                        let _ = book.adopt(CtxId(slot as u64), app as u64, clock.now());
+                    }
+                }
+                LeaseOp::Charge(slot, bytes) => {
+                    let id = slot as u64;
+                    if registered.contains(&id) && book.try_charge(CtxId(id), bytes).is_ok() {
+                        *charged.get_mut(&id).unwrap() += bytes;
+                    }
+                }
+                LeaseOp::Uncharge(slot, bytes) => {
+                    let id = slot as u64;
+                    if registered.contains(&id) {
+                        book.uncharge(CtxId(id), bytes);
+                        let c = charged.get_mut(&id).unwrap();
+                        *c -= bytes.min(*c);
+                    }
+                }
+                LeaseOp::Release(slot) => {
+                    let id = slot as u64;
+                    if registered.remove(&id) {
+                        let freed = book.release_ctx(CtxId(id));
+                        prop_assert_eq!(freed, charged.remove(&id).unwrap(),
+                            "release must free exactly the charge");
+                    }
+                }
+                LeaseOp::Advance(ms) => clock.advance(SimDuration::from_millis(ms as u64)),
+                LeaseOp::Tick => {
+                    let (_, doomed) = book.tick(clock.now());
+                    for ctx in doomed {
+                        // The monitor's reap settles each doomed context.
+                        let freed = book.release_ctx(ctx);
+                        prop_assert_eq!(freed, charged.remove(&ctx.0).unwrap(),
+                            "reaping must free exactly the charge");
+                        registered.remove(&ctx.0);
+                    }
+                }
+            }
+            // Invariants, re-checked after every single step.
+            let model_total: u64 = charged.values().sum();
+            prop_assert_eq!(book.global_used(), model_total, "book drifted from the model");
+            prop_assert!(model_total <= 8 * MB, "global admission cap exceeded");
+            for app in 0..3u64 {
+                if let Some(u) = book.app_usage(app) {
+                    let lease = cfg.lease_for(app);
+                    prop_assert!(u.used_bytes <= lease.mem_bytes(),
+                        "app {} exceeded its lease: {} bytes", app, u.used_bytes);
+                    if lease.max_contexts > 0 {
+                        prop_assert!(u.contexts as u32 <= lease.max_contexts,
+                            "app {} exceeded its context cap: {}", app, u.contexts);
+                    }
+                }
+            }
+            for &id in &registered {
+                if let Some(u) = book.usage(TenantKey::Anon(id)) {
+                    prop_assert!(u.used_bytes <= cfg.default_lease.mem_bytes(),
+                        "anonymous tenant {} exceeded the default lease", id);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Multiplexed wire framing (DESIGN.md §12)
 // ---------------------------------------------------------------------
 
