@@ -10,16 +10,31 @@
 //! Buffers declare 4 MiB (what the PCIe model charges) but carry a 4 KiB
 //! real payload, so host memory stays tiny while the timing is paper-scale.
 //!
+//! A second suite sweeps *oversubscription*: a hot/cold working-set
+//! rotation sized at 1.5×/2×/4× of device memory, run once per eviction
+//! policy, measuring end-to-end makespan at clock scale 1.0. The hot set is
+//! dirty (kernel output) and re-touched every cycle; cold buffers stream
+//! through once, clean. `SeedOrder` (largest-first) thrashes the hot set —
+//! every eviction pays a writeback and a re-upload — while the cost-aware
+//! policy evicts stale clean cold buffers for free. A prefetch case swaps
+//! the working set out and streams it back on the speculative lanes,
+//! recording the copy-engine overlap it achieves.
+//!
 //! Emits a JSON report (default `results/BENCH_memory.json`) and exits
 //! nonzero if the 2-engine pipelined materialize misses `--gate RATIO`
-//! over serial, or if the 1-engine "pipelined" run strays more than 5%
-//! from its serial baseline (it runs the identical inline path).
+//! over serial, if the 1-engine "pipelined" run strays more than 5%
+//! from its serial baseline (it runs the identical inline path), if
+//! `CostAware` misses `--gate-makespan RATIO` over `SeedOrder` makespan at
+//! 2× oversubscription, or if prefetch produced no transfer overlap.
 //!
-//! Usage: memory [--quick] [--gate RATIO] [--out PATH]
+//! Usage: memory [--quick] [--gate RATIO] [--gate-makespan RATIO] [--out PATH]
 
 use mtgpu_api::protocol::AllocKind;
 use mtgpu_api::HostBuf;
-use mtgpu_core::{Binding, CtxId, MemoryConfig, MemoryManager, RuntimeMetrics, SwapReason, VGpuId};
+use mtgpu_core::{
+    Binding, CtxId, EvictionPolicyKind, MemoryConfig, MemoryManager, RuntimeMetrics, SwapReason,
+    VGpuId,
+};
 use mtgpu_gpusim::{DeviceAddr, DeviceId, Gpu, GpuSpec};
 use mtgpu_simtime::Clock;
 use serde::Serialize;
@@ -55,6 +70,40 @@ struct Gate {
 }
 
 #[derive(Serialize)]
+struct OversubCase {
+    policy: String,
+    oversubscription: f64,
+    total_buffers: usize,
+    rounds: usize,
+    makespan_nanos: u64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    intra_app_swaps: u64,
+    swap_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct PrefetchCase {
+    cycles: usize,
+    prefetch_plans: u64,
+    prefetch_bytes: u64,
+    prefetch_cancelled: u64,
+    transfer_overlap_events: u64,
+}
+
+#[derive(Serialize)]
+struct MakespanGate {
+    oversubscription: f64,
+    baseline_policy: String,
+    contender_policy: String,
+    required_ratio: f64,
+    /// baseline makespan / contender makespan (>1 means the contender won).
+    measured_ratio: f64,
+    overlap_events_with_prefetch: u64,
+    pass: bool,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: String,
     quick: bool,
@@ -62,6 +111,9 @@ struct Report {
     buffer_declared_bytes: u64,
     cases: Vec<Case>,
     gate: Gate,
+    oversubscription: Vec<OversubCase>,
+    prefetch: PrefetchCase,
+    makespan_gate: MakespanGate,
 }
 
 /// One timed episode: materialize N dirty buffers (uploads), mark them
@@ -106,16 +158,127 @@ fn run_mode(spec: &GpuSpec, buffers: usize, pipelined: bool, samples: usize) -> 
     best
 }
 
+/// The oversubscription testbed: the tiny 64 MiB device with a second copy
+/// engine, so two-lane overlap and memory pressure both engage at small
+/// buffer counts.
+fn oversub_spec() -> GpuSpec {
+    let mut spec = GpuSpec::test_small();
+    spec.copy_engines = 2;
+    spec
+}
+
+/// Hot buffers: re-touched (and kernel-written) every cycle.
+const HOT_BUFFERS: usize = 6;
+/// Cold buffers streamed per cycle between hot-set touches.
+const COLDS_PER_CYCLE: usize = 2;
+
+fn oversub_manager(policy: EvictionPolicyKind) -> (MemoryManager, Binding, Arc<RuntimeMetrics>) {
+    let metrics = Arc::new(RuntimeMetrics::default());
+    let cfg = MemoryConfig { eviction_policy: policy, ..MemoryConfig::default() };
+    let m = MemoryManager::new(cfg, Arc::clone(&metrics));
+    m.register_ctx(CTX);
+    let gpu = Gpu::new(oversub_spec(), Clock::with_scale(1.0), 0);
+    let gpu_ctx = gpu.create_context().expect("context");
+    (m, Binding { vgpu: VGpuId { device: DeviceId(0), index: 0 }, gpu, gpu_ctx }, metrics)
+}
+
+fn alloc_dirty(m: &MemoryManager, n: usize) -> Vec<DeviceAddr> {
+    (0..n)
+        .map(|i| {
+            let v = m.malloc(CTX, BUFFER_DECLARED, AllocKind::Linear).expect("malloc");
+            let payload = vec![(i % 251) as u8; PAYLOAD];
+            m.copy_h2d(CTX, v, &HostBuf::with_shadow(BUFFER_DECLARED, payload), None)
+                .expect("copy_h2d");
+            v
+        })
+        .collect()
+}
+
+/// One end-to-end oversubscription run: a rotation of `factor × capacity`
+/// buffers through the device. Cold buffers are allocated first (low
+/// addresses) and the hot set last, so `SeedOrder`'s largest-first,
+/// highest-address tie-break picks hot buffers as victims — the worst case
+/// the recency/cost policies are designed to avoid.
+fn run_oversub(policy: EvictionPolicyKind, factor: f64) -> OversubCase {
+    let (m, binding, metrics) = oversub_manager(policy);
+    let capacity_bufs = (binding.gpu.mem_available() / BUFFER_DECLARED) as usize;
+    let total = ((capacity_bufs as f64) * factor).round() as usize;
+    assert!(total > capacity_bufs, "factor {factor} does not oversubscribe");
+    let cold = alloc_dirty(&m, total - HOT_BUFFERS);
+    let hot = alloc_dirty(&m, HOT_BUFFERS);
+    let mut rounds = 0usize;
+    let start = Instant::now();
+    for chunk in cold.chunks(COLDS_PER_CYCLE) {
+        // Hot kernel: touches and rewrites its whole working set.
+        let r = m.materialize(CTX, &hot, &binding).expect("materialize hot");
+        assert_eq!(r, mtgpu_core::Materialize::Ready, "hot set must fit");
+        m.mark_launched(CTX, &hot);
+        rounds += 1;
+        // Streaming kernels: each reads one fresh cold buffer and leaves
+        // it clean (read-only input — eviction needs no writeback).
+        for &c in chunk {
+            let ws = [c];
+            let r = m.materialize(CTX, &ws, &binding).expect("materialize cold");
+            assert_eq!(r, mtgpu_core::Materialize::Ready, "one buffer must fit");
+            rounds += 1;
+        }
+    }
+    let makespan = start.elapsed().as_nanos() as u64;
+    let stats = binding.gpu.stats().snapshot();
+    let snap = metrics.snapshot();
+    OversubCase {
+        policy: policy.name().to_string(),
+        oversubscription: factor,
+        total_buffers: total,
+        rounds,
+        makespan_nanos: makespan,
+        h2d_bytes: stats.h2d_bytes,
+        d2h_bytes: stats.d2h_bytes,
+        intra_app_swaps: snap.intra_app_swaps,
+        swap_bytes: snap.swap_bytes,
+    }
+}
+
+/// Async-prefetch demonstration: repeatedly swap the working set out
+/// (unbind) and stream it back through `prefetch` on the speculative
+/// lanes before the admit-path materialize runs. With two copy engines a
+/// multi-op prefetch overlaps transfers, which `transfer_overlap_events`
+/// records.
+fn run_prefetch_case(cycles: usize) -> PrefetchCase {
+    let (m, binding, metrics) = oversub_manager(EvictionPolicyKind::CostAware);
+    let hot = alloc_dirty(&m, HOT_BUFFERS);
+    for _ in 0..cycles {
+        let plan = m.prefetch_plan(CTX, &[]);
+        m.prefetch(CTX, &plan, &binding);
+        let r = m.materialize(CTX, &hot, &binding).expect("materialize");
+        assert_eq!(r, mtgpu_core::Materialize::Ready);
+        m.mark_launched(CTX, &hot);
+        m.swap_out_ctx(CTX, &binding, SwapReason::Unbind).expect("swap_out");
+    }
+    let snap = metrics.snapshot();
+    PrefetchCase {
+        cycles,
+        prefetch_plans: snap.prefetch_plans,
+        prefetch_bytes: snap.prefetch_bytes,
+        prefetch_cancelled: snap.prefetch_cancelled,
+        transfer_overlap_events: snap.transfer_overlap_events,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut gate_ratio = 1.4f64;
+    let mut makespan_ratio = 1.2f64;
     let mut out_path = "results/BENCH_memory.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--gate" => gate_ratio = it.next().expect("--gate RATIO").parse().expect("ratio"),
+            "--gate-makespan" => {
+                makespan_ratio = it.next().expect("--gate-makespan RATIO").parse().expect("ratio");
+            }
             "--out" => out_path = it.next().expect("--out PATH").clone(),
             // cargo bench passes --bench through to the harness binary.
             "--bench" => {}
@@ -187,6 +350,57 @@ fn main() {
         pass,
     };
 
+    // Oversubscription sweep: every policy at every factor, end-to-end.
+    let factors: &[f64] = if quick { &[1.5, 2.0] } else { &[1.5, 2.0, 4.0] };
+    let mut oversub = Vec::new();
+    for &factor in factors {
+        for policy in EvictionPolicyKind::ALL {
+            let case = run_oversub(policy, factor);
+            eprintln!(
+                "oversub {:.1}x policy={:<12} rounds={:<3} makespan={:>8.2}ms h2d={:>4}MiB d2h={:>4}MiB swaps={}",
+                factor,
+                case.policy,
+                case.rounds,
+                case.makespan_nanos as f64 / 1e6,
+                case.h2d_bytes >> 20,
+                case.d2h_bytes >> 20,
+                case.intra_app_swaps,
+            );
+            oversub.push(case);
+        }
+    }
+    let prefetch = run_prefetch_case(if quick { 3 } else { 6 });
+    eprintln!(
+        "prefetch cycles={} plans={} bytes={}MiB cancelled={} overlap_events={}",
+        prefetch.cycles,
+        prefetch.prefetch_plans,
+        prefetch.prefetch_bytes >> 20,
+        prefetch.prefetch_cancelled,
+        prefetch.transfer_overlap_events,
+    );
+
+    // Gate 3: at 2x oversubscription the cost-aware policy must finish the
+    // rotation `makespan_ratio` faster than the seed-order baseline, and
+    // prefetch must have actually overlapped transfers on the two lanes.
+    let makespan_of = |policy: &str| {
+        oversub
+            .iter()
+            .find(|c| c.oversubscription == 2.0 && c.policy == policy)
+            .expect("2x case measured")
+            .makespan_nanos as f64
+    };
+    let measured_ratio = makespan_of("seed_order") / makespan_of("cost_aware");
+    let makespan_pass = measured_ratio >= makespan_ratio && prefetch.transfer_overlap_events > 0;
+    let makespan_gate = MakespanGate {
+        oversubscription: 2.0,
+        baseline_policy: "seed_order".to_string(),
+        contender_policy: "cost_aware".to_string(),
+        required_ratio: makespan_ratio,
+        measured_ratio,
+        overlap_events_with_prefetch: prefetch.transfer_overlap_events,
+        pass: makespan_pass,
+    };
+
     let report = Report {
         bench: "memory".to_string(),
         quick,
@@ -194,6 +408,9 @@ fn main() {
         buffer_declared_bytes: BUFFER_DECLARED,
         cases,
         gate,
+        oversubscription: oversub,
+        prefetch,
+        makespan_gate,
     };
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
         if !parent.as_os_str().is_empty() {
@@ -210,8 +427,15 @@ fn main() {
         report.gate.single_engine_drift * 100.0,
         if report.gate.pass { "PASS" } else { "FAIL" }
     );
+    eprintln!(
+        "makespan gate: cost_aware {:.2}x over seed_order at 2x (need {:.2}x), prefetch overlap events {} -> {}",
+        report.makespan_gate.measured_ratio,
+        makespan_ratio,
+        report.makespan_gate.overlap_events_with_prefetch,
+        if report.makespan_gate.pass { "PASS" } else { "FAIL" }
+    );
     eprintln!("wrote {out_path}");
-    if !report.gate.pass {
+    if !report.gate.pass || !report.makespan_gate.pass {
         std::process::exit(1);
     }
 }

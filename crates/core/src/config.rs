@@ -95,6 +95,20 @@ pub struct RuntimeConfig {
     /// priority preemption. `None` (the default) disables the layer
     /// entirely — every tenant is admitted unconditionally, as before.
     pub tenant_policy: Option<crate::policy::TenantPolicyConfig>,
+    /// Victim-selection policy for intra- and inter-application swap.
+    /// `SeedOrder` (the default) reproduces the original largest-first /
+    /// (resident, id) ordering; the other policies score candidates off
+    /// virtual-clock touch stamps and clean/dirty PTE state.
+    pub eviction_policy: crate::memory::EvictionPolicyKind,
+    /// Prefetch a context's predicted working set (its last launch's
+    /// argument buffers) onto idle copy-engine lanes while the launch
+    /// waits for admission. Speculative traffic runs at lane offset 1 and
+    /// is charge-accounted against the tenant's lease for its duration.
+    pub async_prefetch: bool,
+    /// Split a launch's materialization into a first-touch wave and a
+    /// remainder wave: the kernel dispatches once wave 1 commits while
+    /// wave 2 streams on the second copy-engine lane.
+    pub double_buffer_launch: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -122,6 +136,9 @@ impl Default for RuntimeConfig {
             mux_workers: 0,
             mux_bind_slice: Duration::from_millis(5),
             tenant_policy: None,
+            eviction_policy: crate::memory::EvictionPolicyKind::SeedOrder,
+            async_prefetch: false,
+            double_buffer_launch: false,
         }
     }
 }
@@ -189,6 +206,24 @@ impl RuntimeConfig {
         self.tenant_policy = Some(policy);
         self
     }
+
+    /// Builder-style override of the eviction policy.
+    pub fn with_eviction_policy(mut self, p: crate::memory::EvictionPolicyKind) -> Self {
+        self.eviction_policy = p;
+        self
+    }
+
+    /// Builder-style toggle of async launch prefetch.
+    pub fn with_async_prefetch(mut self, on: bool) -> Self {
+        self.async_prefetch = on;
+        self
+    }
+
+    /// Builder-style toggle of double-buffered launch materialization.
+    pub fn with_double_buffer_launch(mut self, on: bool) -> Self {
+        self.double_buffer_launch = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +265,20 @@ mod tests {
         assert!(c.background_monitor);
         assert!(c.pipelined_transfers);
         assert_eq!(c.max_inflight_transfers, 0, "0 tracks the device engine count");
+        assert_eq!(c.eviction_policy, crate::memory::EvictionPolicyKind::SeedOrder);
+        assert!(!c.async_prefetch, "prefetch is opt-in");
+        assert!(!c.double_buffer_launch, "double-buffering is opt-in");
+    }
+
+    #[test]
+    fn adaptive_memory_builders_compose() {
+        let c = RuntimeConfig::default()
+            .with_eviction_policy(crate::memory::EvictionPolicyKind::CostAware)
+            .with_async_prefetch(true)
+            .with_double_buffer_launch(true);
+        assert_eq!(c.eviction_policy, crate::memory::EvictionPolicyKind::CostAware);
+        assert!(c.async_prefetch);
+        assert!(c.double_buffer_launch);
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub mod trace;
 pub use config::{RuntimeConfig, SchedulerPolicy};
 pub use ctx::{AppContext, Binding, CtxId, VGpuId};
 pub use memory::{
-    Flags, Materialize, MemoryConfig, MemoryManager, Recovery, SwapOutcome, SwapReason,
+    EvictionPolicyKind, Flags, Materialize, MemoryConfig, MemoryManager, PendingWave, PrefetchPlan,
+    Recovery, SwapOutcome, SwapReason, TouchStamp,
 };
 pub use metrics::{MetricsSnapshot, RuntimeMetrics};
 pub use mux::{MuxGateway, MuxGatewayHandle};

@@ -19,6 +19,7 @@
 //! under it again.
 
 use crate::ctx::{Binding, CtxId};
+use crate::memory::eviction::{self, CtxCandidate, EntryCandidate, EvictionPolicyKind, TouchStamp};
 use crate::memory::page_table::{PageTable, PageTableEntry, SwapSlab};
 use crate::memory::swap::SwapArea;
 use crate::memory::transfer::{self, PlanShape, TransferOp};
@@ -28,8 +29,8 @@ use mtgpu_api::protocol::AllocKind;
 use mtgpu_api::{CudaError, CudaResult, HostBuf};
 use mtgpu_gpusim::device::DEFAULT_MATERIALIZE_CAP;
 use mtgpu_gpusim::{DeviceAddr, KernelArg};
-use mtgpu_simtime::{lock_rank, RankedMutex};
-use std::collections::{HashMap, HashSet};
+use mtgpu_simtime::{lock_rank, Clock, RankedMutex};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Base of the virtual address space handed to applications. High enough to
@@ -88,10 +89,54 @@ pub enum Recovery {
     LostDirtyData,
 }
 
+/// The remainder wave of a double-buffered launch: uploads planned but not
+/// yet executed, streamed on the speculative lane while the kernel runs.
+/// Until [`MemoryManager::execute_wave`] commits, every deferred entry keeps
+/// its `to_dev` flag — a device lost between the waves leaves each PTE in
+/// its classifiable "upload pending" state, slab data intact.
+#[derive(Debug)]
+pub struct PendingWave {
+    ops: Vec<TransferOp>,
+}
+
+impl PendingWave {
+    /// Number of deferred upload operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total deferred bytes.
+    pub fn bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.size).sum()
+    }
+}
+
+/// An async-prefetch plan: predicted next-launch buffers and the lease
+/// charge uploading them would incur.
+#[derive(Debug, Clone, Default)]
+pub struct PrefetchPlan {
+    /// PTE bases to warm.
+    pub bases: Vec<DeviceAddr>,
+    /// Declared bytes across `bases` (the tenant-lease charge).
+    pub bytes: u64,
+}
+
+/// The lane offset speculative waves execute on: lane 0 serves the admit
+/// path's own plan, so prefetches and remainder waves stream from lane 1
+/// upward. A pure function of the plan — never of observed engine load — so
+/// placement replays bit-for-bit.
+const SPECULATIVE_LANE_OFFSET: usize = 1;
+
 struct MmState {
     tables: HashMap<CtxId, PageTable>,
     swap: SwapArea,
     next_vaddr: u64,
+    /// Monotone touch sequence shared by every table; assigned under this
+    /// lock so stamps are totally ordered and replay-stable.
+    touch_seq: u64,
+    /// Per-context argument closure of the most recent materialized launch —
+    /// the prefetch predictor's one-launch history.
+    last_launch: HashMap<CtxId, Vec<DeviceAddr>>,
 }
 
 /// Memory-manager configuration slice (copied from
@@ -108,6 +153,9 @@ pub struct MemoryConfig {
     pub max_ptes_per_context: usize,
     pub swap_capacity: Option<u64>,
     pub materialize_cap: u64,
+    /// Victim-selection policy for intra-application eviction (and, via the
+    /// service layer, inter-application victim ordering).
+    pub eviction_policy: EvictionPolicyKind,
 }
 
 impl Default for MemoryConfig {
@@ -121,6 +169,7 @@ impl Default for MemoryConfig {
             max_ptes_per_context: 1 << 20,
             swap_capacity: None,
             materialize_cap: DEFAULT_MATERIALIZE_CAP,
+            eviction_policy: EvictionPolicyKind::SeedOrder,
         }
     }
 }
@@ -130,6 +179,10 @@ pub struct MemoryManager {
     cfg: MemoryConfig,
     metrics: Arc<RuntimeMetrics>,
     tracer: Option<Arc<Tracer>>,
+    /// Virtual clock feeding touch stamps. Defaults to a fresh (never
+    /// advanced) virtual clock, in which case stamp ordering degenerates to
+    /// the sequence counter — still total, still deterministic.
+    clock: Clock,
     state: RankedMutex<MmState>,
 }
 
@@ -141,11 +194,32 @@ impl MemoryManager {
             cfg,
             metrics,
             tracer: None,
+            clock: Clock::virtual_clock(),
             state: RankedMutex::new(
                 lock_rank::MM_STATE,
-                MmState { tables: HashMap::new(), swap, next_vaddr: VADDR_BASE },
+                MmState {
+                    tables: HashMap::new(),
+                    swap,
+                    next_vaddr: VADDR_BASE,
+                    touch_seq: 0,
+                    last_launch: HashMap::new(),
+                },
             ),
         }
+    }
+
+    /// Attaches the runtime's clock so touch stamps carry virtual time in
+    /// addition to the sequence counter.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Mints the next touch stamp. Callers hold the `MmState` lock (the
+    /// `&mut` proves it), so sequence numbers are race-free.
+    fn stamp(&self, st: &mut MmState) -> TouchStamp {
+        st.touch_seq += 1;
+        TouchStamp { nanos: self.clock.now().since_epoch().as_nanos(), seq: st.touch_seq }
     }
 
     /// Contended `MmState` acquisitions since the last monitor pass (debug
@@ -208,6 +282,7 @@ impl MemoryManager {
     pub fn remove_ctx(&self, ctx: CtxId, binding: Option<&Binding>) {
         let frees: Vec<(DeviceAddr, u64)> = {
             let mut st = self.state.lock();
+            st.last_launch.remove(&ctx);
             let Some(table) = st.tables.remove(&ctx) else { return };
             let mut frees = Vec::new();
             let mut swap_bytes = 0;
@@ -242,7 +317,9 @@ impl MemoryManager {
         let vaddr = DeviceAddr(st.next_vaddr);
         st.next_vaddr += (size + VALIGN - 1) & !(VALIGN - 1);
         let slab = SwapSlab::new(size, self.cfg.materialize_cap);
+        let last_touch = self.stamp(&mut st);
         let table = st.tables.get_mut(&ctx).expect("table vanished");
+        let touch_gen = table.generation();
         table.insert(PageTableEntry {
             vaddr,
             size,
@@ -252,6 +329,8 @@ impl MemoryManager {
             slab,
             nested_members: Vec::new(),
             nested_parent: None,
+            last_touch,
+            touch_gen,
         });
         Ok(vaddr)
     }
@@ -318,6 +397,7 @@ impl MemoryManager {
         // Phase 1: validate, update slab + flags under the lock.
         let eager_plan = {
             let mut st = self.state.lock();
+            let touch = self.stamp(&mut st);
             let table = st.tables.get_mut(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
             let (base, offset) = table.resolve(dst).ok_or(CudaError::InvalidDevicePointer)?;
             let entry = table.get_mut(base).expect("resolved entry vanished");
@@ -332,6 +412,7 @@ impl MemoryManager {
             }
             entry.slab.write(offset, &buf.payload);
             entry.flags = entry.flags.on_copy_hd();
+            entry.last_touch = touch;
             if !self.cfg.defer_transfers && entry.flags.allocated {
                 entry.device_ptr.map(|d| (d, entry.size, entry.slab.data.clone()))
             } else {
@@ -390,10 +471,16 @@ impl MemoryManager {
                 entry.flags = entry.flags.on_copy_dh();
             }
         }
-        // Phase 3: serve from the slab.
-        let st = self.state.lock();
-        let entry =
-            st.tables.get(&ctx).and_then(|t| t.get(base)).ok_or(CudaError::InvalidDevicePointer)?;
+        // Phase 3: serve from the slab (a read is a touch — recency
+        // policies must not evict what the application is actively reading).
+        let mut st = self.state.lock();
+        let touch = self.stamp(&mut st);
+        let entry = st
+            .tables
+            .get_mut(&ctx)
+            .and_then(|t| t.get_mut(base))
+            .ok_or(CudaError::InvalidDevicePointer)?;
+        entry.last_touch = touch;
         Ok(HostBuf::with_shadow(len, entry.slab.read(offset, len)))
     }
 
@@ -443,10 +530,12 @@ impl MemoryManager {
             b.gpu.memcpy_d2d(b.gpu_ctx, ddptr, sdptr, len).map_err(CudaError::from_gpu)?;
             RuntimeMetrics::bump(&self.metrics.d2d_device_copies);
             let mut st = self.state.lock();
+            let touch = self.stamp(&mut st);
             if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(dst_base)) {
                 // The device now holds data the slab doesn't: same state a
                 // kernel write leaves behind.
                 entry.flags = entry.flags.on_launch();
+                entry.last_touch = touch;
             }
             return Ok(());
         }
@@ -515,10 +604,125 @@ impl MemoryManager {
         bases: &[DeviceAddr],
         binding: &Binding,
     ) -> CudaResult<Materialize> {
-        // Phase A — allocate: collect every unallocated working-set entry
-        // under one lock, then satisfy them (mallocs cost no simulated
-        // time). An OOM triggers one intra-app eviction and a full re-plan,
-        // since eviction changes which entries are resident.
+        if let Some(need) = self.ensure_resident(ctx, bases, binding)? {
+            return Ok(Materialize::NeedBytes(need));
+        }
+        let ops = self.plan_uploads(ctx, bases)?;
+        self.touch_working_set(ctx, bases);
+        if ops.is_empty() {
+            return Ok(Materialize::Ready);
+        }
+        // Execute concurrent uploads across the copy engines, no manager
+        // lock held; commit flag transitions under the lock after.
+        let lanes = self.plan_lanes(binding, ops.len());
+        let (outcomes, shape) = transfer::execute(&binding.gpu, binding.gpu_ctx, ops, lanes);
+        self.note_plan(ctx, &shape);
+        match self.commit_uploads(ctx, outcomes) {
+            None => Ok(Materialize::Ready),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Double-buffered variant of [`Self::materialize`]: the upload plan is
+    /// split into a **first-touch wave** (`first_touch` — normally the
+    /// kernel's direct pointer arguments) executed and committed before
+    /// returning, and a **remainder wave** (nested members, reached later by
+    /// pointer chasing) returned as a [`PendingWave`] for the caller to
+    /// stream on the speculative lane *while the kernel runs*.
+    ///
+    /// Residency (allocation) still covers the full closure before the
+    /// kernel dispatches — only payload uploads are deferred. In this
+    /// simulator a kernel payload dereferences its direct arguments only,
+    /// never nested members, so deferring member uploads past dispatch is
+    /// functionally safe; a real CUDA backend would fault wave-2 pages in
+    /// on demand.
+    pub fn materialize_split(
+        &self,
+        ctx: CtxId,
+        bases: &[DeviceAddr],
+        first_touch: &[DeviceAddr],
+        binding: &Binding,
+    ) -> CudaResult<(Materialize, Option<PendingWave>)> {
+        if let Some(need) = self.ensure_resident(ctx, bases, binding)? {
+            return Ok((Materialize::NeedBytes(need), None));
+        }
+        let ops = self.plan_uploads(ctx, bases)?;
+        self.touch_working_set(ctx, bases);
+        let (wave1, wave2): (Vec<TransferOp>, Vec<TransferOp>) =
+            ops.into_iter().partition(|op| first_touch.contains(&DeviceAddr(op.base)));
+        if !wave1.is_empty() {
+            let lanes = self.plan_lanes(binding, wave1.len());
+            let (outcomes, shape) = transfer::execute(&binding.gpu, binding.gpu_ctx, wave1, lanes);
+            self.note_plan(ctx, &shape);
+            if let Some(e) = self.commit_uploads(ctx, outcomes) {
+                return Err(e);
+            }
+        }
+        Ok((Materialize::Ready, (!wave2.is_empty()).then_some(PendingWave { ops: wave2 })))
+    }
+
+    /// Executes and commits a remainder wave on the speculative lane. Safe
+    /// to run concurrently with the kernel launch: no manager lock is held
+    /// during the transfers, and lane pinning keeps engine placement a pure
+    /// function of the plan. Ops that fail keep their `to_dev` flag, so
+    /// every entry stays classifiable after a device loss (the slab still
+    /// holds the authoritative data).
+    pub fn execute_wave(&self, ctx: CtxId, binding: &Binding, wave: PendingWave) -> CudaResult<()> {
+        if wave.ops.is_empty() {
+            return Ok(());
+        }
+        let (outcomes, shape) = transfer::execute_on_lanes(
+            &binding.gpu,
+            binding.gpu_ctx,
+            wave.ops,
+            1,
+            SPECULATIVE_LANE_OFFSET,
+        );
+        self.note_plan(ctx, &shape);
+        match self.commit_uploads(ctx, outcomes) {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Resolves a launch's *direct* pointer arguments to PTE bases, without
+    /// the nested-member extension — the first-touch set of a
+    /// double-buffered launch.
+    pub fn arg_bases(&self, ctx: CtxId, args: &[KernelArg]) -> CudaResult<Vec<DeviceAddr>> {
+        let st = self.state.lock();
+        let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+        let mut bases = Vec::new();
+        for arg in args {
+            if let KernelArg::Ptr(p) = arg {
+                let base =
+                    table.resolve(*p).map(|(b, _)| b).ok_or(CudaError::InvalidDevicePointer)?;
+                if !bases.contains(&base) {
+                    bases.push(base);
+                }
+            }
+        }
+        Ok(bases)
+    }
+
+    /// Phase A of materialization: make every entry in `bases` device-
+    /// resident, evicting the context's own non-working-set entries on OOM
+    /// (intra-application swap, §4.5). Returns `Some(shortfall)` when the
+    /// device cannot hold the working set even after evicting everything
+    /// else this context owns. Mallocs cost no simulated time; an OOM
+    /// triggers one eviction and a full re-plan, since eviction changes
+    /// which entries are resident.
+    fn ensure_resident(
+        &self,
+        ctx: CtxId,
+        bases: &[DeviceAddr],
+        binding: &Binding,
+    ) -> CudaResult<Option<u64>> {
+        // The policy-ordered victim queue is built lazily on the first OOM
+        // and reused across re-plans: candidate order is invariant within
+        // one plan generation (evictions only remove entries), so the seed
+        // behavior of re-sorting the full resident set on every re-plan
+        // was pure overhead.
+        let mut victims: Option<VecDeque<DeviceAddr>> = None;
         'alloc: loop {
             let pending: Vec<(DeviceAddr, u64)> = {
                 let st = self.state.lock();
@@ -533,7 +737,7 @@ impl MemoryManager {
                 pending
             };
             if pending.is_empty() {
-                break 'alloc;
+                return Ok(None);
             }
             for (base, size) in pending {
                 match binding.gpu.malloc(binding.gpu_ctx, size) {
@@ -550,9 +754,9 @@ impl MemoryManager {
                     }
                     Err(mtgpu_gpusim::GpuError::OutOfMemory) => {
                         if !self.cfg.intra_app_swap
-                            || !self.evict_one_own_entry(ctx, bases, binding)?
+                            || !self.evict_next_own_entry(ctx, bases, binding, &mut victims)?
                         {
-                            return Ok(Materialize::NeedBytes(size));
+                            return Ok(Some(size));
                         }
                         continue 'alloc;
                     }
@@ -560,12 +764,203 @@ impl MemoryManager {
                 }
             }
         }
-        // Phase B — plan: every entry awaiting upload, in working-set order,
-        // gathered under one lock.
-        let ops: Vec<TransferOp> = {
+    }
+
+    /// Plans one upload per entry awaiting its slab, in working-set order,
+    /// under one lock.
+    fn plan_uploads(&self, ctx: CtxId, bases: &[DeviceAddr]) -> CudaResult<Vec<TransferOp>> {
+        let st = self.state.lock();
+        let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
+        Ok(bases
+            .iter()
+            .filter_map(|&base| {
+                let entry = table.get(base)?;
+                (entry.flags.allocated && entry.flags.to_dev).then(|| TransferOp {
+                    base: base.0,
+                    dptr: entry.device_ptr.expect("allocated without ptr"),
+                    size: entry.size,
+                    payload: Some(entry.slab.data.clone()),
+                })
+            })
+            .collect())
+    }
+
+    /// Commits `to_dev` clears for successful uploads under one lock; the
+    /// first failed op (in plan order) becomes the caller's error.
+    fn commit_uploads(
+        &self,
+        ctx: CtxId,
+        outcomes: Vec<transfer::TransferOutcome>,
+    ) -> Option<CudaError> {
+        let mut first_err = None;
+        let mut st = self.state.lock();
+        for out in outcomes {
+            match out.result {
+                Ok(_) => {
+                    RuntimeMetrics::bump(&self.metrics.bulk_uploads);
+                    if let Some(entry) =
+                        st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
+                    {
+                        entry.flags.to_dev = false;
+                    }
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        first_err
+    }
+
+    /// Stamps a materialized working set, advances the table's launch
+    /// generation, and records the set as the prefetch predictor's
+    /// last-launch history.
+    fn touch_working_set(&self, ctx: CtxId, bases: &[DeviceAddr]) {
+        let mut st = self.state.lock();
+        let touch = self.stamp(&mut st);
+        st.last_launch.insert(ctx, bases.to_vec());
+        if let Some(table) = st.tables.get_mut(&ctx) {
+            let generation = table.advance_generation();
+            for &base in bases {
+                if let Some(entry) = table.get_mut(base) {
+                    entry.last_touch = touch;
+                    entry.touch_gen = generation;
+                }
+            }
+        }
+    }
+
+    /// Evicts the next victim among `ctx`'s own resident entries outside
+    /// the working set, in the configured policy's order. Returns `false`
+    /// when there is nothing left to evict.
+    fn evict_next_own_entry(
+        &self,
+        ctx: CtxId,
+        protected: &[DeviceAddr],
+        binding: &Binding,
+        victims: &mut Option<VecDeque<DeviceAddr>>,
+    ) -> CudaResult<bool> {
+        if victims.is_none() {
             let st = self.state.lock();
             let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
-            bases
+            let mut cands: Vec<EntryCandidate> = table
+                .iter()
+                .filter(|e| e.flags.allocated && !protected.contains(&e.vaddr))
+                .map(|e| EntryCandidate {
+                    vaddr: e.vaddr.0,
+                    size: e.size,
+                    dirty: e.flags.to_swap,
+                    last_touch: e.last_touch,
+                    touch_gen: e.touch_gen,
+                })
+                .collect();
+            eviction::order_entry_victims(
+                self.cfg.eviction_policy,
+                &mut cands,
+                table.generation(),
+                st.touch_seq,
+            );
+            *victims = Some(cands.into_iter().map(|c| DeviceAddr(c.vaddr)).collect());
+        }
+        let queue = victims.as_mut().expect("victim queue just built");
+        while let Some(base) = queue.pop_front() {
+            // Re-validate: no *new* candidates appear within a plan
+            // generation, but a popped one may have been freed since.
+            let plan = {
+                let st = self.state.lock();
+                st.tables.get(&ctx).and_then(|t| t.get(base)).filter(|e| e.flags.allocated).map(
+                    |e| (e.device_ptr.expect("allocated without ptr"), e.size, e.flags.to_swap),
+                )
+            };
+            let Some((dptr, size, dirty)) = plan else { continue };
+            let synced = if dirty {
+                Some(
+                    binding
+                        .gpu
+                        .memcpy_d2h(binding.gpu_ctx, dptr, size)
+                        .map_err(CudaError::from_gpu)?,
+                )
+            } else {
+                None
+            };
+            binding.gpu.free(binding.gpu_ctx, dptr).map_err(CudaError::from_gpu)?;
+            RuntimeMetrics::bump(&self.metrics.intra_app_swaps);
+            RuntimeMetrics::add(&self.metrics.swap_bytes, size);
+            let mut st = self.state.lock();
+            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                if let Some(bytes) = synced {
+                    entry.slab.write(0, &bytes);
+                }
+                entry.device_ptr = None;
+                entry.flags = entry.flags.on_swap();
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// What an async prefetch for `ctx` would upload: the previous launch's
+    /// working set minus `exclude` (the current launch's closure — the
+    /// admit path uploads those itself), restricted to entries that still
+    /// exist and still need device work. `bytes` is the charge the caller
+    /// accounts against the tenant's lease before executing.
+    pub fn prefetch_plan(&self, ctx: CtxId, exclude: &[DeviceAddr]) -> PrefetchPlan {
+        let st = self.state.lock();
+        let Some(table) = st.tables.get(&ctx) else {
+            return PrefetchPlan::default();
+        };
+        let mut plan = PrefetchPlan::default();
+        if let Some(last) = st.last_launch.get(&ctx) {
+            for &base in last {
+                if exclude.contains(&base) {
+                    continue;
+                }
+                let Some(entry) = table.get(base) else { continue };
+                if !entry.flags.allocated || entry.flags.to_dev {
+                    plan.bases.push(base);
+                    plan.bytes += entry.size;
+                }
+            }
+        }
+        plan
+    }
+
+    /// Executes a prefetch plan: opportunistically allocates (never
+    /// evicting — an OOM just drops the candidate), uploads on the
+    /// speculative lanes, and commits with re-validation. Entries whose
+    /// state moved on since the plan (freed, rewritten) are dropped at
+    /// commit — cancellation, counted in `prefetch_cancelled`. Returns the
+    /// committed bytes. Device errors cancel remaining ops rather than
+    /// erroring: a prefetch is speculative by definition, and the admit
+    /// path that follows will surface any real device failure.
+    pub fn prefetch(&self, ctx: CtxId, plan: &PrefetchPlan, binding: &Binding) -> u64 {
+        if plan.bases.is_empty() {
+            return 0;
+        }
+        RuntimeMetrics::bump(&self.metrics.prefetch_plans);
+        // Phase A — opportunistic allocation from free memory only.
+        for &base in &plan.bases {
+            let need = {
+                let st = self.state.lock();
+                st.tables
+                    .get(&ctx)
+                    .and_then(|t| t.get(base))
+                    .filter(|e| !e.flags.allocated)
+                    .map(|e| e.size)
+            };
+            let Some(size) = need else { continue };
+            let Ok(dptr) = binding.gpu.malloc(binding.gpu_ctx, size) else { continue };
+            let mut st = self.state.lock();
+            if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
+                entry.device_ptr = Some(dptr);
+                entry.flags.allocated = true;
+            } else {
+                let _ = binding.gpu.free(binding.gpu_ctx, dptr);
+            }
+        }
+        // Phase B — plan uploads for whatever is now resident and pending.
+        let ops: Vec<TransferOp> = {
+            let st = self.state.lock();
+            let Some(table) = st.tables.get(&ctx) else { return 0 };
+            plan.bases
                 .iter()
                 .filter_map(|&base| {
                     let entry = table.get(base)?;
@@ -579,79 +974,63 @@ impl MemoryManager {
                 .collect()
         };
         if ops.is_empty() {
-            return Ok(Materialize::Ready);
+            return 0;
         }
-        // Phase C — execute: concurrent uploads across the copy engines,
-        // no manager lock held.
+        // Phase C — execute on the speculative lanes, leaving lane 0 clear
+        // for the admit path that follows.
         let lanes = self.plan_lanes(binding, ops.len());
-        let (outcomes, shape) = transfer::execute(&binding.gpu, binding.gpu_ctx, ops, lanes);
+        let planned = ops.len() as u64;
+        let (outcomes, shape) = transfer::execute_on_lanes(
+            &binding.gpu,
+            binding.gpu_ctx,
+            ops,
+            lanes,
+            SPECULATIVE_LANE_OFFSET,
+        );
         self.note_plan(ctx, &shape);
-        // Phase D — commit flag transitions under one lock; the first
-        // failed op (in plan order) is the call's error.
-        let mut first_err = None;
+        // Phase D — commit with re-validation; anything else is cancelled.
+        let mut committed_bytes = 0;
+        let mut committed_ops = 0u64;
         {
             let mut st = self.state.lock();
             for out in outcomes {
-                match out.result {
-                    Ok(_) => {
-                        RuntimeMetrics::bump(&self.metrics.bulk_uploads);
-                        if let Some(entry) =
-                            st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
-                        {
-                            entry.flags.to_dev = false;
-                        }
+                let landed = out.result.is_ok();
+                if let Some(entry) =
+                    st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
+                {
+                    if landed && entry.flags.allocated && entry.flags.to_dev {
+                        entry.flags.to_dev = false;
+                        committed_bytes += out.size;
+                        committed_ops += 1;
                     }
-                    Err(e) => first_err = first_err.or(Some(e)),
                 }
             }
         }
-        match first_err {
-            None => Ok(Materialize::Ready),
-            Some(e) => Err(e),
+        let cancelled = planned - committed_ops;
+        RuntimeMetrics::add(&self.metrics.prefetch_bytes, committed_bytes);
+        RuntimeMetrics::add(&self.metrics.prefetch_cancelled, cancelled);
+        if let Some(tracer) = &self.tracer {
+            tracer.record(TraceEvent::Prefetched {
+                ctx,
+                ops: committed_ops as u32,
+                bytes: committed_bytes,
+                cancelled: cancelled as u32,
+            });
         }
+        committed_bytes
     }
 
-    /// Evicts one of `ctx`'s own resident entries that is *not* part of the
-    /// working set. Returns `false` when there is nothing left to evict.
-    fn evict_one_own_entry(
-        &self,
-        ctx: CtxId,
-        protected: &[DeviceAddr],
-        binding: &Binding,
-    ) -> CudaResult<bool> {
-        let plan = {
-            let st = self.state.lock();
-            let table = st.tables.get(&ctx).ok_or(CudaError::InvalidDevicePointer)?;
-            table
-                .iter()
-                .filter(|e| e.flags.allocated && !protected.contains(&e.vaddr))
-                // Evict the largest non-working-set entry first: frees the
-                // most contiguous space per swap operation.
-                .max_by_key(|e| e.size)
-                .map(|e| {
-                    (e.vaddr, e.device_ptr.expect("allocated without ptr"), e.size, e.flags.to_swap)
-                })
-        };
-        let Some((base, dptr, size, dirty)) = plan else {
-            return Ok(false);
-        };
-        let synced = if dirty {
-            Some(binding.gpu.memcpy_d2h(binding.gpu_ctx, dptr, size).map_err(CudaError::from_gpu)?)
-        } else {
-            None
-        };
-        binding.gpu.free(binding.gpu_ctx, dptr).map_err(CudaError::from_gpu)?;
-        RuntimeMetrics::bump(&self.metrics.intra_app_swaps);
-        RuntimeMetrics::add(&self.metrics.swap_bytes, size);
-        let mut st = self.state.lock();
-        if let Some(entry) = st.tables.get_mut(&ctx).and_then(|t| t.get_mut(base)) {
-            if let Some(bytes) = synced {
-                entry.slab.write(0, &bytes);
-            }
-            entry.device_ptr = None;
-            entry.flags = entry.flags.on_swap();
-        }
-        Ok(true)
+    /// Snapshot of a context as an inter-application victim candidate, for
+    /// policy-ordered victim selection in the service layer.
+    pub fn victim_candidate(&self, ctx: CtxId) -> Option<CtxCandidate> {
+        let st = self.state.lock();
+        let table = st.tables.get(&ctx)?;
+        Some(CtxCandidate {
+            id: ctx,
+            resident: table.resident_bytes(),
+            dirty_bytes: table.dirty_bytes(),
+            last_touch: table.last_touch(),
+        })
     }
 
     /// Rewrites a launch's virtual pointer arguments into device pointers.
@@ -678,10 +1057,12 @@ impl MemoryManager {
     /// now resident and (conservatively) dirty on device.
     pub fn mark_launched(&self, ctx: CtxId, bases: &[DeviceAddr]) {
         let mut st = self.state.lock();
+        let touch = self.stamp(&mut st);
         if let Some(table) = st.tables.get_mut(&ctx) {
             for &base in bases {
                 if let Some(entry) = table.get_mut(base) {
                     entry.flags = entry.flags.on_launch();
+                    entry.last_touch = touch;
                 }
             }
         }
@@ -951,7 +1332,9 @@ impl MemoryManager {
             st.next_vaddr = (max_end + VALIGN - 1) & !(VALIGN - 1);
         }
         let cap = self.cfg.materialize_cap;
+        let last_touch = self.stamp(&mut st);
         let table = st.tables.get_mut(&ctx).expect("table vanished");
+        let touch_gen = table.generation();
         for e in image.entries {
             let mut slab = SwapSlab::new(e.size, cap);
             slab.write(0, &e.data);
@@ -969,6 +1352,8 @@ impl MemoryManager {
                 slab,
                 nested_members: e.nested_members,
                 nested_parent: e.nested_parent,
+                last_touch,
+                touch_gen,
             });
         }
         Ok(())
@@ -1357,5 +1742,173 @@ mod tests {
         );
         let f = m.flags_of(CTX, v).unwrap();
         assert!(f.allocated && !f.to_dev);
+    }
+
+    #[test]
+    fn prefetch_restores_last_launch_working_set() {
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let m = MemoryManager::new(MemoryConfig::default(), Arc::clone(&metrics));
+        m.register_ctx(CTX);
+        let b = binding_with(GpuSpec::tesla_c2050());
+        let x = m.malloc(CTX, 4096, AllocKind::Linear).unwrap();
+        let y = m.malloc(CTX, 2048, AllocKind::Linear).unwrap();
+        m.copy_h2d(CTX, x, &HostBuf::from_slice(&[7u8; 4096]), None).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(x), KernelArg::Ptr(y)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        // Swapped out wholesale (unbind): the next launch would fault the
+        // set back in through the admit path — unless prefetch beats it.
+        m.swap_out_ctx(CTX, &b, SwapReason::Unbind).unwrap();
+        // Prediction = last launch's argument set minus the new closure.
+        let plan = m.prefetch_plan(CTX, &[y]);
+        assert_eq!(plan.bases, vec![x]);
+        assert_eq!(plan.bytes, 4096);
+        assert_eq!(m.prefetch(CTX, &plan, &b), 4096);
+        let f = m.flags_of(CTX, x).unwrap();
+        assert!(f.allocated && !f.to_dev, "prefetched entry is device-current");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.prefetch_plans, 1);
+        assert_eq!(snap.prefetch_bytes, 4096);
+        assert_eq!(snap.prefetch_cancelled, 0);
+        // The payload survived the swap → prefetch round trip.
+        let args = m.translate_args(CTX, &[KernelArg::Ptr(x)]).unwrap();
+        let KernelArg::Ptr(dptr) = args[0] else { unreachable!() };
+        assert_eq!(b.gpu.peek(dptr, 16).unwrap(), vec![7u8; 16]);
+    }
+
+    #[test]
+    fn prefetch_cancels_on_device_failure() {
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let m = MemoryManager::new(MemoryConfig::default(), Arc::clone(&metrics));
+        m.register_ctx(CTX);
+        let b = binding_with(GpuSpec::tesla_c2050());
+        let x = m.malloc(CTX, 1024, AllocKind::Linear).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(x)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        // Re-dirty on the host so the entry has a pending upload again.
+        m.copy_h2d(CTX, x, &HostBuf::from_slice(&[9u8; 1024]), None).unwrap();
+        b.gpu.fail();
+        let plan = m.prefetch_plan(CTX, &[]);
+        assert_eq!(plan.bases, vec![x]);
+        assert_eq!(m.prefetch(CTX, &plan, &b), 0, "dead device commits nothing");
+        assert_eq!(metrics.snapshot().prefetch_cancelled, 1);
+        let f = m.flags_of(CTX, x).unwrap();
+        assert!(f.allocated && f.to_dev, "cancelled prefetch keeps the entry classifiable");
+        assert!(matches!(m.on_device_lost(CTX), Recovery::Recovered));
+    }
+
+    #[test]
+    fn materialize_split_streams_nested_members_in_wave_two() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = binding_with(GpuSpec::tesla_c2050());
+        let parent = m.malloc(CTX, 1024, AllocKind::Linear).unwrap();
+        let member = m.malloc(CTX, 2048, AllocKind::Linear).unwrap();
+        m.register_nested(CTX, parent, vec![member]).unwrap();
+        m.copy_h2d(CTX, parent, &HostBuf::from_slice(&[1u8; 1024]), None).unwrap();
+        m.copy_h2d(CTX, member, &HostBuf::from_slice(&[2u8; 2048]), None).unwrap();
+        let closure = m.launch_closure(CTX, &[KernelArg::Ptr(parent)]).unwrap();
+        assert_eq!(closure.len(), 2, "closure extends to the nested member");
+        let first = m.arg_bases(CTX, &[KernelArg::Ptr(parent)]).unwrap();
+        assert_eq!(first, vec![parent], "first touch is the direct args only");
+        let (mat, wave) = m.materialize_split(CTX, &closure, &first, &b).unwrap();
+        assert_eq!(mat, Materialize::Ready);
+        let wave = wave.expect("member upload defers to wave 2");
+        assert_eq!(wave.op_count(), 1);
+        assert_eq!(wave.bytes(), 2048);
+        // Wave 1 committed before dispatch; the member is resident (full
+        // closure allocated) but its payload is still pending.
+        let fp = m.flags_of(CTX, parent).unwrap();
+        assert!(fp.allocated && !fp.to_dev);
+        let fm = m.flags_of(CTX, member).unwrap();
+        assert!(fm.allocated && fm.to_dev);
+        m.execute_wave(CTX, &b, wave).unwrap();
+        let fm = m.flags_of(CTX, member).unwrap();
+        assert!(fm.allocated && !fm.to_dev);
+        assert_eq!(b.gpu.stats().snapshot().h2d_bytes, 1024 + 2048);
+    }
+
+    #[test]
+    fn wave_two_failure_leaves_every_pte_classifiable() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = binding_with(GpuSpec::tesla_c2050());
+        let parent = m.malloc(CTX, 1024, AllocKind::Linear).unwrap();
+        let member = m.malloc(CTX, 2048, AllocKind::Linear).unwrap();
+        m.register_nested(CTX, parent, vec![member]).unwrap();
+        m.copy_h2d(CTX, member, &HostBuf::from_slice(&[2u8; 2048]), None).unwrap();
+        let closure = m.launch_closure(CTX, &[KernelArg::Ptr(parent)]).unwrap();
+        let first = m.arg_bases(CTX, &[KernelArg::Ptr(parent)]).unwrap();
+        let (_, wave) = m.materialize_split(CTX, &closure, &first, &b).unwrap();
+        // Device dies between wave-1 commit and wave-2 execute.
+        b.gpu.fail();
+        assert!(m.execute_wave(CTX, &b, wave.unwrap()).is_err());
+        let fm = m.flags_of(CTX, member).unwrap();
+        assert!(fm.allocated && fm.to_dev, "uncommitted wave-2 op keeps to_dev");
+        // Nothing dirty was device-only, so the context survives the loss.
+        assert!(matches!(m.on_device_lost(CTX), Recovery::Recovered));
+    }
+
+    #[test]
+    fn eviction_policy_changes_intra_app_victim() {
+        // `large` is touched more recently than `small`; under pressure
+        // SeedOrder evicts the biggest candidate while LRU protects the
+        // recently-used one and evicts the stale small buffer instead.
+        for (kind, large_evicted) in
+            [(EvictionPolicyKind::SeedOrder, true), (EvictionPolicyKind::Lru, false)]
+        {
+            let cfg = MemoryConfig { eviction_policy: kind, ..MemoryConfig::default() };
+            let m = MemoryManager::new(cfg, Arc::new(RuntimeMetrics::default()));
+            m.register_ctx(CTX);
+            let b = gpu_binding();
+            let avail = b.gpu.mem_available();
+            let large = m.malloc(CTX, avail / 5 * 2, AllocKind::Linear).unwrap();
+            let small = m.malloc(CTX, avail / 3, AllocKind::Linear).unwrap();
+            let c1 =
+                m.launch_closure(CTX, &[KernelArg::Ptr(large), KernelArg::Ptr(small)]).unwrap();
+            m.materialize(CTX, &c1, &b).unwrap();
+            let c2 = m.launch_closure(CTX, &[KernelArg::Ptr(large)]).unwrap();
+            m.materialize(CTX, &c2, &b).unwrap();
+            let d = m.malloc(CTX, avail / 3, AllocKind::Linear).unwrap();
+            let c3 = m.launch_closure(CTX, &[KernelArg::Ptr(d)]).unwrap();
+            assert_eq!(m.materialize(CTX, &c3, &b).unwrap(), Materialize::Ready);
+            assert_eq!(
+                !m.flags_of(CTX, large).unwrap().allocated,
+                large_evicted,
+                "policy {kind:?} picked the wrong victim"
+            );
+            assert_eq!(!m.flags_of(CTX, small).unwrap().allocated, !large_evicted);
+        }
+    }
+
+    #[test]
+    fn cost_aware_evicts_clean_bytes_before_dirty() {
+        // Equal sizes; `dirty` holds device-only kernel output, so its
+        // eviction pays a writeback. CostAware halves its score and evicts
+        // the clean buffer free of charge; SeedOrder breaks the size tie
+        // by highest address and picks `dirty`.
+        for (kind, clean_evicted) in
+            [(EvictionPolicyKind::SeedOrder, false), (EvictionPolicyKind::CostAware, true)]
+        {
+            let cfg = MemoryConfig { eviction_policy: kind, ..MemoryConfig::default() };
+            let m = MemoryManager::new(cfg, Arc::new(RuntimeMetrics::default()));
+            m.register_ctx(CTX);
+            let b = gpu_binding();
+            let avail = b.gpu.mem_available();
+            let clean = m.malloc(CTX, avail / 5 * 2, AllocKind::Linear).unwrap();
+            let dirty = m.malloc(CTX, avail / 5 * 2, AllocKind::Linear).unwrap();
+            let c1 =
+                m.launch_closure(CTX, &[KernelArg::Ptr(clean), KernelArg::Ptr(dirty)]).unwrap();
+            m.materialize(CTX, &c1, &b).unwrap();
+            m.mark_launched(CTX, &[dirty]);
+            let d = m.malloc(CTX, avail / 5 * 2, AllocKind::Linear).unwrap();
+            let c2 = m.launch_closure(CTX, &[KernelArg::Ptr(d)]).unwrap();
+            assert_eq!(m.materialize(CTX, &c2, &b).unwrap(), Materialize::Ready);
+            assert_eq!(
+                !m.flags_of(CTX, clean).unwrap().allocated,
+                clean_evicted,
+                "policy {kind:?} picked the wrong victim"
+            );
+            assert_eq!(!m.flags_of(CTX, dirty).unwrap().allocated, !clean_evicted);
+        }
     }
 }

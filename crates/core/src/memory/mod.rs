@@ -1,11 +1,16 @@
 //! Virtual memory for GPUs: page table, swap area, memory manager (§4.5).
 
+pub mod eviction;
 pub mod manager;
 pub mod page_table;
 pub mod swap;
 pub mod transfer;
 
-pub use manager::{Materialize, MemoryConfig, MemoryManager, Recovery, SwapOutcome, SwapReason};
+pub use eviction::{CtxCandidate, EntryCandidate, EvictionPolicyKind, TouchStamp};
+pub use manager::{
+    Materialize, MemoryConfig, MemoryManager, PendingWave, PrefetchPlan, Recovery, SwapOutcome,
+    SwapReason,
+};
 pub use page_table::{Flags, PageTable, PageTableEntry, SwapSlab};
 pub use swap::SwapArea;
 pub use transfer::{PlanShape, TransferOp, TransferOutcome};

@@ -81,6 +81,16 @@ pub struct RuntimeMetrics {
     /// Requests rejected by Guardian-style descriptor validation before
     /// reaching scheduling or dispatch.
     pub descriptor_rejections: AtomicU64,
+    /// Prefetch plans issued ahead of a launch (non-empty predicted sets).
+    pub prefetch_plans: AtomicU64,
+    /// Bytes committed to the device by async prefetch.
+    pub prefetch_bytes: AtomicU64,
+    /// Prefetch candidates planned but cancelled before commit (allocation
+    /// lost to eviction mid-flight, device error, or stale flags).
+    pub prefetch_cancelled: AtomicU64,
+    /// Launches whose materialization split into two waves, dispatching the
+    /// kernel after wave 1 while wave 2 streamed on the speculative lane.
+    pub double_buffer_launches: AtomicU64,
 }
 
 /// Serializable snapshot of [`RuntimeMetrics`].
@@ -116,6 +126,10 @@ pub struct MetricsSnapshot {
     pub lease_reaps: u64,
     pub priority_preemptions: u64,
     pub descriptor_rejections: u64,
+    pub prefetch_plans: u64,
+    pub prefetch_bytes: u64,
+    pub prefetch_cancelled: u64,
+    pub double_buffer_launches: u64,
 }
 
 impl MetricsSnapshot {
@@ -171,6 +185,10 @@ impl RuntimeMetrics {
             lease_reaps: self.lease_reaps.load(Ordering::Relaxed),
             priority_preemptions: self.priority_preemptions.load(Ordering::Relaxed),
             descriptor_rejections: self.descriptor_rejections.load(Ordering::Relaxed),
+            prefetch_plans: self.prefetch_plans.load(Ordering::Relaxed),
+            prefetch_bytes: self.prefetch_bytes.load(Ordering::Relaxed),
+            prefetch_cancelled: self.prefetch_cancelled.load(Ordering::Relaxed),
+            double_buffer_launches: self.double_buffer_launches.load(Ordering::Relaxed),
         }
     }
 }

@@ -94,11 +94,13 @@ impl NodeRuntime {
                 max_inflight_transfers: cfg.max_inflight_transfers,
                 max_ptes_per_context: cfg.max_ptes_per_context,
                 swap_capacity: cfg.swap_capacity,
+                eviction_policy: cfg.eviction_policy,
                 ..MemoryConfig::default()
             },
             Arc::clone(&metrics),
         )
-        .with_tracer(Arc::clone(&tracer));
+        .with_tracer(Arc::clone(&tracer))
+        .with_clock(clock.clone());
         let bm = BindingManager::new_seeded(cfg.scheduler, Arc::clone(&metrics), cfg.seed);
         let local_slots = match (cfg.offload_threshold, cfg.offload_peers.is_empty()) {
             (Some(t), false) => t as i64,

@@ -55,6 +55,15 @@ pub enum TraceEvent {
     /// A low-priority victim was evicted so a higher-priority tenant could
     /// materialize under memory pressure.
     Preempted { victim: CtxId, by: CtxId, bytes: u64 },
+    /// Async prefetch committed `ops` predicted uploads (`bytes` total)
+    /// ahead of the context's next launch; `cancelled` candidates were
+    /// planned but dropped before commit (OOM, device error, stale flags).
+    Prefetched { ctx: CtxId, ops: u32, bytes: u64, cancelled: u32 },
+    /// A launch's materialization split into two waves: the kernel
+    /// dispatched once its first-touch wave committed while `wave2_ops`
+    /// uploads (`wave2_bytes`) streamed on the speculative copy-engine
+    /// lane during execution.
+    DoubleBuffered { ctx: CtxId, wave2_ops: u32, wave2_bytes: u64 },
     /// Debug-build observability: a ranked lock saw `count` contended
     /// acquisitions since the last monitor pass. Structural counts only —
     /// no timings — and never emitted by sequential (deterministic)

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Runs the gated benchmarks and writes their JSON reports into results/.
-# Memory: serial-vs-pipelined transfer benchmark; writes
-# results/BENCH_memory.json. Fails (nonzero exit) when the 2-engine
-# pipelined materialize misses the 1.4x gate or the 1-engine path drifts
-# more than 5% from its serial baseline. Extra args pass through to the
-# bench binary (e.g. --quick).
+# Memory: serial-vs-pipelined transfer benchmark plus the eviction-policy
+# oversubscription sweep; writes results/BENCH_memory.json. Fails (nonzero
+# exit) when the 2-engine pipelined materialize misses the 1.4x gate, the
+# 1-engine path drifts more than 5% from its serial baseline, or the
+# cost-aware policy misses the 1.2x end-to-end makespan gate over the seed
+# policy at 2x oversubscription (with prefetch overlap observed). Extra
+# args pass through to the bench binary (e.g. --quick).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
 # Absolute path: cargo runs the bench binary from the package dir, not
 # the workspace root.
 cargo bench -q -p mtgpu-bench --bench memory -- --gate 1.4 \
-    --out "$PWD/results/BENCH_memory.json" "$@"
+    --gate-makespan 1.2 --out "$PWD/results/BENCH_memory.json" "$@"
 # Dispatcher throughput plus the ranked-lock overhead gate: in release
 # builds RankedMutex must cost no more than 1.02x the raw shim mutex (the
 # rank bookkeeping is #[cfg(debug_assertions)] and must compile out).

@@ -7,9 +7,11 @@
 #   tier 2  tests                cargo test -q --workspace
 #   tier 3  determinism smoke    fig7 --quick --virtual-clock --seed 42 runs
 #                                clean, then the sequential det-harness replay
-#                                of the fig7 shape must be bit-identical, and
-#                                the pipelined-transfer fingerprint must be
-#                                stable across three runs
+#                                of the fig7 shape must be bit-identical, the
+#                                pipelined-transfer fingerprint must be
+#                                stable across three runs, and every eviction
+#                                policy's fingerprint must be stable (and the
+#                                recency policies divergent from seed order)
 #   tier 4  dispatch stress      256-client TCP stress under a 60s timeout,
 #                                the 10k-persistent-connection reactor soak
 #                                (out-of-process daemon) under a 600s
@@ -17,7 +19,8 @@
 #                                if the tenant fairness ratio exceeds 2.0,
 #                                then --quick memory-transfer and transport
 #                                bench smokes (pipelined >= serial,
-#                                persistent >= reconnect)
+#                                cost-aware makespan >= seed policy at 2x
+#                                oversubscription, persistent >= reconnect)
 #   tier 5  static analysis      mtlint --deny over the workspace (all
 #                                determinism rules + the ranked-lock
 #                                constructor check + lock-graph cycle
@@ -80,7 +83,12 @@ if [[ "$tier" == "all" || "$tier" == "3" ]]; then
     # multi-engine shape must produce one canonical fingerprint.
     cargo test -q --test deterministic_repro pipelined -- --exact \
         pipelined_path_fingerprint_stable_across_three_runs > /dev/null
-    echo "fig7 smoke + seed-42 det-harness replay + pipelined fingerprint: ok"
+    # Each eviction policy must replay bit-for-bit (3 runs, one
+    # fingerprint) and the recency policies must actually diverge from
+    # the seed policy on the same shape.
+    cargo test -q --test deterministic_repro eviction_policy -- --exact \
+        eviction_policy_fingerprints_stable_and_divergent > /dev/null
+    echo "fig7 smoke + seed-42 det replay + pipelined/policy fingerprints: ok"
 fi
 
 if [[ "$tier" == "all" || "$tier" == "4" ]]; then
@@ -102,10 +110,12 @@ if [[ "$tier" == "all" || "$tier" == "4" ]]; then
     # tenant completion-time ratio gates scheduling fairness.
     ./target/release/loadgen --quick --max-fairness 2.0 \
         --out target/ci-loadgen-quick.json > /dev/null
-    # Transfer-pipelining smoke: on the 2-engine spec pipelined materialize
-    # must at least match serial (the full 1.4x gate runs via bench.sh).
+    # Transfer-pipelining + oversubscription smoke: pipelined materialize
+    # must at least match serial and the cost-aware policy must at least
+    # match the seed policy's makespan at 2x oversubscription (the full
+    # 1.4x / 1.2x gates run via bench.sh).
     cargo bench -q -p mtgpu-bench --bench memory -- --quick --gate 1.0 \
-        --out "$PWD/target/ci-bench-memory.json" 2> /dev/null
+        --gate-makespan 1.0 --out "$PWD/target/ci-bench-memory.json" 2> /dev/null
     # Transport smoke: persistent multiplexed connections must at least
     # match reconnect throughput (the full 1.3x gate runs via bench.sh).
     cargo bench -q -p mtgpu-bench --bench loadgen -- --quick --gate-throughput 1.0 \

@@ -20,7 +20,9 @@
 
 use mtgpu_api::transport::ChannelTransport;
 use mtgpu_api::{CudaCall, CudaClient, CudaError, FrontendClient, HostBuf, ReplyValue};
-use mtgpu_core::{GpuLease, MetricsSnapshot, NodeRuntime, RuntimeConfig, TenantPolicyConfig};
+use mtgpu_core::{
+    EvictionPolicyKind, GpuLease, MetricsSnapshot, NodeRuntime, RuntimeConfig, TenantPolicyConfig,
+};
 use mtgpu_gpusim::kernel::{library, KernelExec, RegisteredKernel};
 use mtgpu_gpusim::{
     DeviceAddr, Driver, FaultKind, FaultPlan, GpuError, GpuSpec, KernelArg, KernelDesc,
@@ -101,6 +103,15 @@ pub struct DetScenario {
     /// Tenant-policy layer for the run; `None` keeps admission off, so all
     /// pre-policy scenarios fingerprint exactly as before.
     pub tenant_policy: Option<TenantPolicyConfig>,
+    /// Victim-selection policy for the run's memory manager. The default
+    /// ([`EvictionPolicyKind::SeedOrder`]) keeps pre-policy fingerprints
+    /// unchanged.
+    pub eviction_policy: EvictionPolicyKind,
+    /// Enable the async prefetch path (predicted next-launch uploads on the
+    /// speculative copy-engine lane).
+    pub async_prefetch: bool,
+    /// Enable the two-wave double-buffered launch path.
+    pub double_buffer_launch: bool,
 }
 
 impl DetScenario {
@@ -124,6 +135,9 @@ impl DetScenario {
             plan: FaultPlan::new(),
             client_apps: Vec::new(),
             tenant_policy: None,
+            eviction_policy: EvictionPolicyKind::SeedOrder,
+            async_prefetch: false,
+            double_buffer_launch: false,
         }
     }
 
@@ -337,7 +351,10 @@ pub fn run(scenario: DetScenario) -> DetFingerprint {
     let mut cfg = RuntimeConfig::default()
         .with_vgpus(scenario.vgpus_per_device)
         .with_seed(scenario.seed)
-        .with_background_monitor(false);
+        .with_background_monitor(false)
+        .with_eviction_policy(scenario.eviction_policy)
+        .with_async_prefetch(scenario.async_prefetch)
+        .with_double_buffer_launch(scenario.double_buffer_launch);
     if let Some(policy) = scenario.tenant_policy.clone() {
         cfg = cfg.with_tenant_policy(policy);
     }

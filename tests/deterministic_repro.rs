@@ -68,6 +68,108 @@ fn pipelined_path_fingerprint_stable_across_three_runs() {
 }
 
 #[test]
+fn eviction_policy_fingerprints_stable_and_divergent() {
+    use mtgpu::core::EvictionPolicyKind;
+    // One client with eight 12 MiB buffers on a 64 MiB device (60 MiB
+    // usable: exactly five resident), launching each buffer in turn for two
+    // rounds. Every launch past the fifth must evict, so the victim
+    // sequence — and with it the writeback/re-upload traffic in the metrics
+    // — *is* the policy under test. Seed order victimizes the
+    // most-recently-allocated buffer (largest vaddr among equal sizes) and
+    // thrashes; the recency policies evict the coldest buffer instead, so
+    // their eviction counts and byte totals tell a different story.
+    let mk = |policy| DetScenario {
+        clients: 1,
+        rounds: 2,
+        devices: vec![mtgpu::gpusim::GpuSpec::test_small()],
+        vgpus_per_device: 1,
+        buffers_per_client: 8,
+        declared_base: 12 * 1024 * 1024,
+        declared_stride: 0,
+        eviction_policy: policy,
+        ..DetScenario::fig7_shape(42)
+    };
+    let mut prints = std::collections::BTreeMap::new();
+    for policy in EvictionPolicyKind::ALL {
+        let runs = [run(mk(policy)), run(mk(policy)), run(mk(policy))];
+        assert_eq!(
+            runs[0].canonical(),
+            runs[1].canonical(),
+            "{}: replay 2 diverged",
+            policy.name()
+        );
+        assert_eq!(
+            runs[0].canonical(),
+            runs[2].canonical(),
+            "{}: replay 3 diverged",
+            policy.name()
+        );
+        let a = &runs[0];
+        assert!(a.clients.iter().all(|c| c.verified), "{}: data integrity", policy.name());
+        assert!(a.metrics.intra_app_swaps > 0, "{}: shape never evicted", policy.name());
+        prints.insert(policy.name(), runs[0].canonical());
+    }
+    // The policy knob is live: every non-seed policy diverges from the seed
+    // fingerprint on this shape. (The recency policies may agree with each
+    // other here — all victims are equal-sized and dirty — and that's fine.)
+    for policy in
+        [EvictionPolicyKind::Lru, EvictionPolicyKind::WorkingSet, EvictionPolicyKind::CostAware]
+    {
+        assert_ne!(
+            prints["seed_order"],
+            prints[policy.name()],
+            "{} fingerprint identical to seed order — the policy is decorative",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn adaptive_prefetch_fingerprint_stable_across_three_runs() {
+    // Four tenants, two 16 MiB buffers each, one 60 MiB-usable device: only
+    // three buffers fit, so the fourth tenant's very first launch must
+    // inter-app-swap a peer — and because every requester's *own* spare
+    // buffer is then already host-resident, each subsequent launch keeps
+    // 3a-ing the next peer in a deterministic cascade. A victim's
+    // last-launch buffer is therefore swapped out when its next launch
+    // arrives, which is exactly the state the prefetch predictor plans
+    // for. With prefetch and the double-buffered launch path both enabled,
+    // three full runs must still collapse to one fingerprint (the
+    // speculative lane is planned and committed under the same locks as
+    // everything else).
+    let mk = || {
+        let mut spec = mtgpu::gpusim::GpuSpec::test_small();
+        spec.copy_engines = 2;
+        DetScenario {
+            clients: 4,
+            rounds: 3,
+            devices: vec![spec],
+            vgpus_per_device: 4,
+            buffers_per_client: 2,
+            declared_base: 16 * 1024 * 1024,
+            declared_stride: 0,
+            async_prefetch: true,
+            double_buffer_launch: true,
+            ..DetScenario::fig7_shape(42)
+        }
+    };
+    let runs = [run(mk()), run(mk()), run(mk())];
+    assert_eq!(runs[0].canonical(), runs[1].canonical(), "prefetch replay 2 diverged");
+    assert_eq!(runs[0].canonical(), runs[2].canonical(), "prefetch replay 3 diverged");
+
+    let a = &runs[0];
+    assert!(a.clients.iter().all(|c| c.verified), "data integrity with prefetch on");
+    assert!(a.metrics.prefetch_plans > 0, "shape never prefetched");
+    assert!(a.metrics.inter_app_swaps > 0, "no inter-app cascade to feed the predictor");
+
+    // The prefetch path is live in the fingerprint: the same shape with the
+    // adaptive features off tells a different story.
+    let off = run(DetScenario { async_prefetch: false, double_buffer_launch: false, ..mk() });
+    assert_eq!(off.metrics.prefetch_plans, 0);
+    assert_ne!(a.canonical(), off.canonical(), "prefetch is decorative");
+}
+
+#[test]
 fn fig9_unbalanced_shape_replays_bit_for_bit() {
     let a = run(DetScenario::fig9_shape(42));
     let b = run(DetScenario::fig9_shape(42));

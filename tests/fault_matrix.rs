@@ -323,6 +323,125 @@ fn device_failure_mid_preemption_keeps_victim_classifiable_and_leases_consistent
 }
 
 #[test]
+fn device_failure_between_waves_keeps_entries_classifiable_and_leases_balanced() {
+    // The double-buffered launch probe: wave 1 (the kernel's direct
+    // arguments) has committed and the kernel is notionally dispatched;
+    // the device dies at the exact boundary before wave 2 (nested members)
+    // executes on the speculative lane. Three invariants: (1) the failed
+    // wave surfaces its error and leaves *every* page-table entry
+    // classifiable — wave-2 members keep `to_dev` so the slab stays
+    // authoritative; (2) the lease book, charged on admission, never moves
+    // through the failed wave, a cancelled prefetch, or recovery; (3) no
+    // dirty data existed (the kernel never marked), so recovery is
+    // `Recovered` and every payload survives byte-for-byte.
+    use mtgpu::api::protocol::AllocKind;
+    use mtgpu::api::{CudaError, HostBuf};
+    use mtgpu::core::{
+        Binding, CtxId, GpuLease, LeaseBook, Materialize, MemoryConfig, MemoryManager, Recovery,
+        RuntimeMetrics, TenantPolicyConfig, VGpuId,
+    };
+    use mtgpu::gpusim::{Gpu, GpuSpec};
+    use mtgpu::simtime::Clock;
+    use std::sync::Arc;
+
+    const CTX: CtxId = CtxId(1);
+    const DECLARED: u64 = 1 << 20;
+    const PAYLOAD: usize = 2048;
+
+    let clock = Clock::with_scale(1e-6);
+    let book = LeaseBook::new(Some(TenantPolicyConfig::default().with_default_lease(GpuLease {
+        mem_mb: 64,
+        max_contexts: 0,
+        ttl_s: 0,
+        priority: 10,
+    })));
+    book.register_ctx(CTX, clock.now());
+
+    let m = MemoryManager::new(MemoryConfig::default(), Arc::new(RuntimeMetrics::default()));
+    m.register_ctx(CTX);
+    let gpu = Gpu::new(GpuSpec::tesla_c2050(), clock, 0);
+    let gpu_ctx = gpu.create_context().unwrap();
+    let binding = Binding {
+        vgpu: VGpuId { device: mtgpu::gpusim::DeviceId(0), index: 0 },
+        gpu: Arc::clone(&gpu),
+        gpu_ctx,
+    };
+
+    // A nested structure: one direct argument (wave 1) pointing at two
+    // members (wave 2), everything uploaded to slabs first.
+    let payloads: Vec<Vec<u8>> = (0..3).map(|i| vec![0xC0 + i as u8; PAYLOAD]).collect();
+    let bases: Vec<_> = payloads
+        .iter()
+        .map(|p| {
+            book.try_charge(CTX, DECLARED).expect("admission fits the lease");
+            let v = m.malloc(CTX, DECLARED, AllocKind::Linear).unwrap();
+            m.copy_h2d(CTX, v, &HostBuf::with_shadow(DECLARED, p.clone()), None).unwrap();
+            v
+        })
+        .collect();
+    let (parent, members) = (bases[0], vec![bases[1], bases[2]]);
+    m.register_nested(CTX, parent, members.clone()).unwrap();
+    let charged = 3 * DECLARED;
+    assert_eq!(book.global_used(), charged);
+
+    let closure = [parent, members[0], members[1]];
+    let (ready, wave) = m.materialize_split(CTX, &closure, &[parent], &binding).unwrap();
+    assert_eq!(ready, Materialize::Ready);
+    let wave = wave.expect("nested members form a remainder wave");
+    // Wave-1 boundary state: the parent committed, the members are resident
+    // but still awaiting their payload.
+    let pf = m.flags_of(CTX, parent).unwrap();
+    assert!(pf.allocated && !pf.to_dev, "wave 1 must have committed: {pf:?}");
+    for &mb in &members {
+        let f = m.flags_of(CTX, mb).unwrap();
+        assert!(f.allocated && f.to_dev, "member must await wave 2: {f:?}");
+    }
+
+    // The device dies exactly between the waves.
+    gpu.fail();
+    let res = m.execute_wave(CTX, &binding, wave);
+    assert!(
+        matches!(res, Err(CudaError::DeviceUnavailable)),
+        "wave 2 on a dead device must surface the loss: {res:?}"
+    );
+
+    // (1) Classifiability: failed wave-2 ops keep `to_dev`, so every entry
+    // is either clean-committed (the parent) or host-authoritative with a
+    // pending re-upload (the members). Nothing in between, nothing dirty.
+    for (i, &base) in bases.iter().enumerate() {
+        let f = m.flags_of(CTX, base).unwrap();
+        assert!(f.allocated, "entry {i} lost its residency record: {f:?}");
+        assert!(!f.to_swap, "entry {i} claims unsynced device data: {f:?}");
+        assert_eq!(f.to_dev, i != 0, "entry {i} misclassified: {f:?}");
+    }
+
+    // (2) A prefetch attempted against the dead device cancels without
+    // committing; its transient lease charge unwinds to exactly the
+    // admitted bytes, the way the service layer drives it.
+    let plan = m.prefetch_plan(CTX, &[parent]);
+    if plan.bytes > 0 && book.try_charge(CTX, plan.bytes).is_ok() {
+        assert_eq!(m.prefetch(CTX, &plan, &binding), 0, "dead device cannot commit a prefetch");
+        book.uncharge(CTX, plan.bytes);
+    }
+    assert_eq!(book.global_used(), charged, "failed wave/prefetch corrupted the lease book");
+    assert!(book.check_active(CTX).is_ok(), "the lease must survive the fault");
+
+    // (3) No entry was dirty — the kernel never marked — so recovery keeps
+    // the context, and the slabs still serve the original payloads.
+    assert_eq!(m.on_device_lost(CTX), Recovery::Recovered);
+    for (i, &base) in bases.iter().enumerate() {
+        let f = m.flags_of(CTX, base).unwrap();
+        assert!(!f.allocated && f.to_dev && !f.to_swap, "entry {i} not reset: {f:?}");
+        let buf = m.copy_d2h(CTX, base, PAYLOAD as u64, None).unwrap();
+        assert_eq!(buf.payload, payloads[i], "entry {i} slab corrupted");
+    }
+    m.remove_ctx(CTX, None);
+    assert_eq!(book.release_ctx(CTX), charged, "settling must free exactly the charge");
+    assert_eq!(book.global_used(), 0);
+    assert_eq!(m.swap_used(), 0, "manager leaked swap bytes on teardown");
+}
+
+#[test]
 fn device_failure_mid_swap_never_trips_lock_checker() {
     // Same mid-plan fault shape as the page-table probe above, but the
     // property under test is the concurrency discipline: the failure path

@@ -144,6 +144,8 @@ proptest! {
                 slab: SwapSlab::new(size, 1 << 16),
                 nested_members: Vec::new(),
                 nested_parent: None,
+                last_touch: TouchStamp::default(),
+                touch_gen: 0,
             });
             ranges.push((base, size));
             base += size + (base % 97); // irregular gaps
@@ -637,6 +639,153 @@ fn mux_framing_seeded_chunkings_replay() {
             frames,
             "seed {seed:#x}: irregular cuts"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eviction-policy victim ordering vs independent reference models
+// ---------------------------------------------------------------------
+
+use mtgpu::core::memory::eviction::{self, EntryCandidate, TouchStamp};
+use mtgpu::core::{EvictionPolicyKind, Materialize};
+
+fn entry_candidates_strategy() -> impl Strategy<Value = Vec<EntryCandidate>> {
+    prop::collection::vec((1u64..1_000_000, any::<bool>(), 0u64..40, 0u64..40, 0u64..8), 1..40)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (size, dirty, nanos, seq, touch_gen))| EntryCandidate {
+                    // Unique vaddrs (as in a real page table); stamps are drawn
+                    // from a small range so collisions exercise the vaddr
+                    // tie-break.
+                    vaddr: 0x1000 + i as u64 * 0x100,
+                    size,
+                    dirty,
+                    last_touch: TouchStamp { nanos, seq },
+                    touch_gen,
+                })
+                .collect()
+        })
+}
+
+/// Independent LRU reference: repeated linear scan for the oldest stamp
+/// with explicit field-by-field comparison, ties to the smaller vaddr.
+/// Deliberately not a sort-by-key, so it cannot share a bug with the
+/// implementation's comparator.
+fn lru_reference(mut pool: Vec<EntryCandidate>) -> Vec<u64> {
+    let mut out = Vec::with_capacity(pool.len());
+    while !pool.is_empty() {
+        let mut best = 0;
+        for i in 1..pool.len() {
+            let (a, b) = (&pool[i], &pool[best]);
+            let older = if a.last_touch.nanos != b.last_touch.nanos {
+                a.last_touch.nanos < b.last_touch.nanos
+            } else if a.last_touch.seq != b.last_touch.seq {
+                a.last_touch.seq < b.last_touch.seq
+            } else {
+                a.vaddr < b.vaddr
+            };
+            if older {
+                best = i;
+            }
+        }
+        out.push(pool.swap_remove(best).vaddr);
+    }
+    out
+}
+
+/// Independent WorkingSet reference: everything outside the last two launch
+/// generations first (oldest within), then the in-set remainder.
+fn working_set_reference(pool: Vec<EntryCandidate>, table_gen: u64) -> Vec<u64> {
+    let (stale, fresh): (Vec<_>, Vec<_>) =
+        pool.into_iter().partition(|c| c.touch_gen + 1 < table_gen);
+    let mut out = lru_reference(stale);
+    out.extend(lru_reference(fresh));
+    out
+}
+
+proptest! {
+    /// The Lru victim order equals the independent oldest-first model for
+    /// any candidate set, including stamp collisions.
+    #[test]
+    fn lru_ordering_matches_reference_model(cands in entry_candidates_strategy()) {
+        let expected = lru_reference(cands.clone());
+        let mut got = cands;
+        eviction::order_entry_victims(EvictionPolicyKind::Lru, &mut got, 0, 100);
+        prop_assert_eq!(got.iter().map(|c| c.vaddr).collect::<Vec<_>>(), expected);
+    }
+
+    /// The WorkingSet victim order equals the independent
+    /// stale-generations-first model for any candidate set and generation.
+    #[test]
+    fn working_set_ordering_matches_reference_model(
+        cands in entry_candidates_strategy(),
+        table_gen in 0u64..10,
+    ) {
+        let expected = working_set_reference(cands.clone(), table_gen);
+        let mut got = cands;
+        eviction::order_entry_victims(EvictionPolicyKind::WorkingSet, &mut got, table_gen, 100);
+        prop_assert_eq!(got.iter().map(|c| c.vaddr).collect::<Vec<_>>(), expected);
+    }
+}
+
+proptest! {
+    // Each case builds a simulated GPU; 5! touch orders only need a modest
+    // case count for full coverage.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// End-to-end through the manager: for *any* touch order, the recency
+    /// policies evict exactly the buffer the independent model predicts —
+    /// the least recently materialized one — while everything touched later
+    /// stays resident.
+    #[test]
+    fn recency_policies_evict_reference_victim(
+        order_keys in prop::collection::vec(any::<u64>(), 5),
+        use_working_set in any::<bool>(),
+    ) {
+        // Random keys define a permutation of the five buffers (ties break
+        // by index, so any key vector is a valid order).
+        let mut order: Vec<usize> = (0..5).collect();
+        order.sort_by_key(|&i| (order_keys[i], i));
+        let policy = if use_working_set {
+            EvictionPolicyKind::WorkingSet
+        } else {
+            EvictionPolicyKind::Lru
+        };
+        let clock = Clock::with_scale(1e-8);
+        let gpu = Gpu::new(GpuSpec::test_small(), clock, 0);
+        let mm = MemoryManager::new(
+            MemoryConfig { eviction_policy: policy, ..MemoryConfig::default() },
+            Arc::new(RuntimeMetrics::default()),
+        );
+        let ctx = CtxId(1);
+        mm.register_ctx(ctx);
+        let binding = Binding {
+            vgpu: VGpuId { device: DeviceId(0), index: 0 },
+            gpu: gpu.clone(),
+            gpu_ctx: gpu.create_context().unwrap(),
+        };
+        // Five buffers fill the device exactly; materializing each alone in
+        // the generated order defines the recency history.
+        let size = gpu.mem_available() / 5;
+        let bufs: Vec<DeviceAddr> = (0..5)
+            .map(|_| mm.malloc(ctx, size, mtgpu::api::protocol::AllocKind::Linear).unwrap())
+            .collect();
+        for &i in &order {
+            let m = mm.materialize(ctx, &[bufs[i]], &binding).unwrap();
+            prop_assert!(matches!(m, Materialize::Ready));
+        }
+        // A sixth buffer fits only by evicting one victim; the reference
+        // model says it must be the first-touched buffer.
+        let newcomer = mm.malloc(ctx, size, mtgpu::api::protocol::AllocKind::Linear).unwrap();
+        let m = mm.materialize(ctx, &[newcomer], &binding).unwrap();
+        prop_assert!(matches!(m, Materialize::Ready));
+        for (i, &v) in bufs.iter().enumerate() {
+            let resident = mm.flags_of(ctx, v).unwrap().allocated;
+            prop_assert_eq!(resident, i != order[0],
+                "policy {:?}, touch order {:?}: buffer {} wrong residency", policy, order, i);
+        }
+        prop_assert!(mm.flags_of(ctx, newcomer).unwrap().allocated);
     }
 }
 
