@@ -1,0 +1,124 @@
+//! Migration payoff gate: the utilization rebalancer against static
+//! placement on a skewed 4-device mix.
+//!
+//! The scenario (see `mtgpu_loadgen::migration`) strands long-running
+//! tenants on slow devices through churn — short tenants claim the fast
+//! devices first and exit early. The rebalanced pass must then deliver:
+//!
+//!   * throughput ≥ `--gate` × the static pass (default 1.3×), and
+//!   * p99 latency no worse than the static pass, and
+//!   * at least one successful live migration (no aborted ones).
+//!
+//! Both passes replay on a virtual clock, so the ratios are deterministic:
+//! one sample per pass is exact, not noisy.
+//!
+//! Emits a JSON report (default `results/BENCH_migration.json`) and exits
+//! nonzero on gate failure.
+//!
+//! Usage: migration [--quick] [--gate RATIO] [--out PATH]
+
+use mtgpu_loadgen::{run_migration_load, MigrationLoadConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Gate {
+    speedup: f64,
+    min_speedup: f64,
+    p99_ratio: f64,
+    live_migrations: u64,
+    pass: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    quick: bool,
+    config: ConfigEcho,
+    report: mtgpu_loadgen::MigrationBenchReport,
+    gate: Gate,
+}
+
+#[derive(Serialize)]
+struct ConfigEcho {
+    seed: u64,
+    short_tenants: usize,
+    long_tenants: usize,
+    long_rounds: usize,
+    slow_clock_ratio: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut min_speedup = 1.3f64;
+    let mut out_path = "results/BENCH_migration.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--gate" => min_speedup = it.next().expect("--gate RATIO").parse().expect("ratio"),
+            "--out" => out_path = it.next().expect("--out PATH").clone(),
+            // cargo bench passes --bench through to the harness binary.
+            "--bench" => {}
+            other => {
+                eprintln!("unknown arg: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = MigrationLoadConfig {
+        long_rounds: if quick { 4 } else { 6 },
+        ..MigrationLoadConfig::default()
+    };
+    let report = run_migration_load(&cfg);
+    for p in [&report.static_pass, &report.rebalanced_pass] {
+        eprintln!(
+            "{:<11} {:>3} jobs  {:>10.1} jobs/vsec  p50 {:>8.3}ms  p99 {:>8.3}ms  migrations {}",
+            p.label,
+            p.completed,
+            p.throughput_jps,
+            p.p50_nanos as f64 / 1e6,
+            p.p99_nanos as f64 / 1e6,
+            p.live_migrations,
+        );
+    }
+    let gate_err = report.gate(min_speedup).err();
+    let gate = Gate {
+        speedup: report.speedup,
+        min_speedup,
+        p99_ratio: report.p99_ratio,
+        live_migrations: report.rebalanced_pass.live_migrations,
+        pass: gate_err.is_none(),
+    };
+    eprintln!(
+        "gate: speedup {:.2}x (min {:.2}x), p99 ratio {:.3} (max 1.000) => {}",
+        gate.speedup,
+        min_speedup,
+        gate.p99_ratio,
+        if gate.pass { "PASS" } else { "FAIL" }
+    );
+
+    let out = Report {
+        bench: "migration".to_string(),
+        quick,
+        config: ConfigEcho {
+            seed: cfg.seed,
+            short_tenants: cfg.short_tenants,
+            long_tenants: cfg.long_tenants,
+            long_rounds: cfg.long_rounds,
+            slow_clock_ratio: cfg.slow_clock_ratio,
+        },
+        report,
+        gate,
+    };
+    let json = serde_json::to_string(&out).expect("report serializes");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("report: {out_path}");
+    if let Some(reason) = gate_err {
+        eprintln!("FAIL: {reason}");
+        std::process::exit(1);
+    }
+}

@@ -17,10 +17,12 @@
 pub mod node;
 pub mod queue;
 pub mod sem;
+pub mod stage;
 pub mod torque;
 
 pub use node::ClusterNode;
 pub use queue::{JobId, JobQueue, JobState};
+pub use stage::{stage_context, StagedContext};
 pub use torque::{ClusterRunResult, GpuVisibility, Torque};
 
 use mtgpu_core::RuntimeConfig;

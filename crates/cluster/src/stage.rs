@@ -1,0 +1,48 @@
+//! Cross-node context staging: the host-staged half of live migration.
+//!
+//! Within a node, `NodeRuntime::migrate_ctx` moves the working set
+//! peer-to-peer over the PCIe fabric. Across nodes there is no shared
+//! fabric, so migration degrades to checkpoint/restart (§4.6): the source
+//! node checkpoints the context into a [`ContextImage`] (an implicit
+//! checkpoint synchronizes every dirty page first), the image travels as
+//! plain serializable data, and the destination node restores it into a
+//! fresh context with every virtual address preserved.
+//!
+//! The commit discipline mirrors the intra-node protocol: the source
+//! context is left fully intact until the destination import returns
+//! `Ok` — a failure at any point leaves the application exactly where it
+//! was, still runnable on the source node.
+
+use mtgpu_api::protocol::ContextImage;
+use mtgpu_api::{CudaClient, CudaResult};
+
+/// What a completed staging moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedContext {
+    /// Declared bytes across all allocations (the virtual working set).
+    pub declared_bytes: u64,
+    /// Materialized bytes actually carried in the image.
+    pub payload_bytes: u64,
+    /// Number of allocations restored.
+    pub entries: usize,
+}
+
+/// Stages `src`'s context onto `dst` (a fresh context on another node).
+///
+/// On success the destination context holds the full working set at the
+/// original virtual addresses and the *caller* retires the source context
+/// (`src.exit()`) — the single commit point, after which the application
+/// continues on `dst`. On error the source context is untouched.
+pub fn stage_context(
+    src: &mut dyn CudaClient,
+    dst: &mut dyn CudaClient,
+) -> CudaResult<StagedContext> {
+    let image: ContextImage = src.export_image()?;
+    let staged = StagedContext {
+        declared_bytes: image.declared_bytes(),
+        payload_bytes: image.entries.iter().map(|e| e.data.len() as u64).sum(),
+        entries: image.entries.len(),
+    };
+    dst.import_image(image)?;
+    Ok(staged)
+}

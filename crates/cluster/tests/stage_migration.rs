@@ -1,0 +1,71 @@
+//! Cross-node staging (`mtgpu_cluster::stage_context`): the host-staged
+//! migration path. The working set leaves node A as a checkpoint image,
+//! lands on node B at the same virtual addresses, and a failed import
+//! leaves the source context untouched — the commit discipline of the
+//! intra-node protocol, stretched across the wire.
+
+use mtgpu_api::{CudaClient, CudaError, HostBuf};
+use mtgpu_cluster::{stage_context, ClusterNode};
+use mtgpu_core::RuntimeConfig;
+use mtgpu_gpusim::GpuSpec;
+use mtgpu_simtime::Clock;
+
+fn new_node(name: &str, clock: &Clock) -> ClusterNode {
+    ClusterNode::start(
+        name.to_string(),
+        clock.clone(),
+        vec![GpuSpec::test_small()],
+        RuntimeConfig::paper_default(),
+        false,
+    )
+}
+
+#[test]
+fn staging_moves_working_set_across_nodes_with_pointers_intact() {
+    let clock = Clock::with_scale(1e-7);
+    let node_a = new_node("a", &clock);
+    let node_b = new_node("b", &clock);
+
+    let mut src = node_a.client();
+    let ptr = src.malloc(256).unwrap();
+    src.memcpy_h2d(ptr, HostBuf::from_slice(&[0x42u8; 256])).unwrap();
+
+    let mut dst = node_b.client();
+    let staged = stage_context(&mut src, &mut dst).unwrap();
+    assert_eq!(staged.entries, 1);
+    assert_eq!(staged.declared_bytes, 256);
+    assert!(staged.payload_bytes > 0, "materialized data must travel");
+
+    // The application's pointer is valid verbatim on the new node.
+    assert_eq!(dst.memcpy_d2h(ptr, 256).unwrap().payload, vec![0x42u8; 256]);
+
+    // Commit: the caller retires the source context only after success.
+    src.exit().unwrap();
+    dst.exit().unwrap();
+    node_a.shutdown();
+    node_b.shutdown();
+}
+
+#[test]
+fn failed_import_leaves_source_context_runnable() {
+    let clock = Clock::with_scale(1e-7);
+    let node_a = new_node("a", &clock);
+    let node_b = new_node("b", &clock);
+
+    // The destination context already holds an allocation, so the import
+    // must be refused — and the source must remain fully usable.
+    let mut dst = node_b.client();
+    dst.malloc(64).unwrap();
+
+    let mut src = node_a.client();
+    let ptr = src.malloc(128).unwrap();
+    src.memcpy_h2d(ptr, HostBuf::from_slice(&[7u8; 128])).unwrap();
+
+    assert_eq!(stage_context(&mut src, &mut dst).unwrap_err(), CudaError::InvalidValue);
+    assert_eq!(src.memcpy_d2h(ptr, 128).unwrap().payload, vec![7u8; 128]);
+
+    src.exit().unwrap();
+    dst.exit().unwrap();
+    node_a.shutdown();
+    node_b.shutdown();
+}

@@ -109,6 +109,15 @@ pub struct RuntimeConfig {
     /// remainder wave: the kernel dispatches once wave 1 commits while
     /// wave 2 streams on the second copy-engine lane.
     pub double_buffer_launch: bool,
+    /// Utilization-driven rebalancer (DESIGN.md §15): each monitor pass
+    /// samples per-device pressure (resident bytes, swap traffic, queue
+    /// depth), scores placements deterministically off the virtual clock,
+    /// and **live-migrates** ([`crate::NodeRuntime::migrate_ctx`]) the
+    /// costliest-misplaced context off the hottest device — working set
+    /// moved device-to-device over peer-DMA lanes, not through the swap
+    /// tier. Respects lease priorities: a higher-priority tenant is never
+    /// displaced for a lower one.
+    pub utilization_rebalancer: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -139,6 +148,7 @@ impl Default for RuntimeConfig {
             eviction_policy: crate::memory::EvictionPolicyKind::SeedOrder,
             async_prefetch: false,
             double_buffer_launch: false,
+            utilization_rebalancer: false,
         }
     }
 }
@@ -224,6 +234,12 @@ impl RuntimeConfig {
         self.double_buffer_launch = on;
         self
     }
+
+    /// Builder-style toggle of the utilization-driven rebalancer.
+    pub fn with_utilization_rebalancer(mut self, on: bool) -> Self {
+        self.utilization_rebalancer = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +284,14 @@ mod tests {
         assert_eq!(c.eviction_policy, crate::memory::EvictionPolicyKind::SeedOrder);
         assert!(!c.async_prefetch, "prefetch is opt-in");
         assert!(!c.double_buffer_launch, "double-buffering is opt-in");
+        assert!(!c.utilization_rebalancer, "the rebalancer is opt-in");
+    }
+
+    #[test]
+    fn rebalancer_builder_composes() {
+        let c = RuntimeConfig::default().with_utilization_rebalancer(true);
+        assert!(c.utilization_rebalancer);
+        assert!(!c.dynamic_load_balancing, "legacy balancer stays independent");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod config;
 pub mod ctx;
 pub mod memory;
 pub mod metrics;
+pub mod migrate;
 pub mod monitor;
 pub mod mux;
 pub mod policy;
@@ -42,10 +43,11 @@ pub mod trace;
 pub use config::{RuntimeConfig, SchedulerPolicy};
 pub use ctx::{AppContext, Binding, CtxId, VGpuId};
 pub use memory::{
-    EvictionPolicyKind, Flags, Materialize, MemoryConfig, MemoryManager, PendingWave, PrefetchPlan,
-    Recovery, SwapOutcome, SwapReason, TouchStamp,
+    EvictionPolicyKind, Flags, Materialize, MemoryConfig, MemoryManager, MigrationEntry,
+    PendingWave, PrefetchPlan, Recovery, SwapOutcome, SwapReason, TouchStamp,
 };
-pub use metrics::{MetricsSnapshot, RuntimeMetrics};
+pub use metrics::{DeviceUtilization, MetricsSnapshot, RuntimeMetrics};
+pub use migrate::{MigrationError, MigrationPhase, MigrationStats};
 pub use mux::{MuxGateway, MuxGatewayHandle};
 pub use policy::{GpuLease, LeaseBook, TenantKey, TenantPolicyConfig, TenantUsage};
 pub use runtime::{LoadInfo, NodeRuntime};

@@ -28,9 +28,9 @@ use crate::trace::{TraceEvent, Tracer};
 use mtgpu_api::protocol::AllocKind;
 use mtgpu_api::{CudaError, CudaResult, HostBuf};
 use mtgpu_gpusim::device::DEFAULT_MATERIALIZE_CAP;
-use mtgpu_gpusim::{DeviceAddr, KernelArg};
+use mtgpu_gpusim::{DeviceAddr, DeviceId, KernelArg};
 use mtgpu_simtime::{lock_rank, Clock, RankedMutex};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Base of the virtual address space handed to applications. High enough to
@@ -76,6 +76,21 @@ pub struct SwapOutcome {
     pub writeback_bytes: u64,
     /// Freed bytes whose swap copy was already current — no writeback.
     pub clean_bytes: u64,
+}
+
+/// One entry of a live-migration transfer plan
+/// ([`MemoryManager::migration_plan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationEntry {
+    /// The entry's virtual address (plan key — stable across the move).
+    pub vaddr: DeviceAddr,
+    /// Its current allocation on the source device.
+    pub src_dptr: DeviceAddr,
+    pub size: u64,
+    /// The device copy is current (`!to_dev`): the bytes must travel with
+    /// the context. Otherwise the slab is authoritative and the source
+    /// copy is dropped.
+    pub device_current: bool,
 }
 
 /// Outcome of device-loss recovery for one context.
@@ -137,6 +152,10 @@ struct MmState {
     /// Per-context argument closure of the most recent materialized launch —
     /// the prefetch predictor's one-launch history.
     last_launch: HashMap<CtxId, Vec<DeviceAddr>>,
+    /// Cumulative per-device swap traffic: `device → (bytes_in, bytes_out)`.
+    /// `in` counts host→device upload commits, `out` counts device→host
+    /// writeback commits — the pressure signal the rebalancer reads.
+    dev_swap: BTreeMap<DeviceId, (u64, u64)>,
 }
 
 /// Memory-manager configuration slice (copied from
@@ -203,6 +222,7 @@ impl MemoryManager {
                     next_vaddr: VADDR_BASE,
                     touch_seq: 0,
                     last_launch: HashMap::new(),
+                    dev_swap: BTreeMap::new(),
                 },
             ),
         }
@@ -270,6 +290,18 @@ impl MemoryManager {
                 bytes: shape.bytes,
             });
         }
+    }
+
+    /// Records swap traffic against a device, under the held `MmState` lock.
+    fn note_dev_swap(st: &mut MmState, dev: DeviceId, bytes_in: u64, bytes_out: u64) {
+        let e = st.dev_swap.entry(dev).or_insert((0, 0));
+        e.0 += bytes_in;
+        e.1 += bytes_out;
+    }
+
+    /// Cumulative `(bytes_in, bytes_out)` swap traffic of one device.
+    pub fn device_swap_traffic(&self, dev: DeviceId) -> (u64, u64) {
+        self.state.lock().dev_swap.get(&dev).copied().unwrap_or((0, 0))
     }
 
     /// Registers a fresh context.
@@ -470,6 +502,7 @@ impl MemoryManager {
                 entry.slab.write(0, &bytes);
                 entry.flags = entry.flags.on_copy_dh();
             }
+            Self::note_dev_swap(&mut st, b.vgpu.device, 0, size);
         }
         // Phase 3: serve from the slab (a read is a touch — recency
         // policies must not evict what the application is actively reading).
@@ -617,7 +650,7 @@ impl MemoryManager {
         let lanes = self.plan_lanes(binding, ops.len());
         let (outcomes, shape) = transfer::execute(&binding.gpu, binding.gpu_ctx, ops, lanes);
         self.note_plan(ctx, &shape);
-        match self.commit_uploads(ctx, outcomes) {
+        match self.commit_uploads(ctx, binding.vgpu.device, outcomes) {
             None => Ok(Materialize::Ready),
             Some(e) => Err(e),
         }
@@ -654,7 +687,7 @@ impl MemoryManager {
             let lanes = self.plan_lanes(binding, wave1.len());
             let (outcomes, shape) = transfer::execute(&binding.gpu, binding.gpu_ctx, wave1, lanes);
             self.note_plan(ctx, &shape);
-            if let Some(e) = self.commit_uploads(ctx, outcomes) {
+            if let Some(e) = self.commit_uploads(ctx, binding.vgpu.device, outcomes) {
                 return Err(e);
             }
         }
@@ -679,7 +712,7 @@ impl MemoryManager {
             SPECULATIVE_LANE_OFFSET,
         );
         self.note_plan(ctx, &shape);
-        match self.commit_uploads(ctx, outcomes) {
+        match self.commit_uploads(ctx, binding.vgpu.device, outcomes) {
             None => Ok(()),
             Some(e) => Err(e),
         }
@@ -790,6 +823,7 @@ impl MemoryManager {
     fn commit_uploads(
         &self,
         ctx: CtxId,
+        dev: DeviceId,
         outcomes: Vec<transfer::TransferOutcome>,
     ) -> Option<CudaError> {
         let mut first_err = None;
@@ -798,10 +832,14 @@ impl MemoryManager {
             match out.result {
                 Ok(_) => {
                     RuntimeMetrics::bump(&self.metrics.bulk_uploads);
-                    if let Some(entry) =
-                        st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
-                    {
-                        entry.flags.to_dev = false;
+                    let landed = st
+                        .tables
+                        .get_mut(&ctx)
+                        .and_then(|t| t.get_mut(DeviceAddr(out.base)))
+                        .map(|entry| entry.flags.to_dev = false)
+                        .is_some();
+                    if landed {
+                        Self::note_dev_swap(&mut st, dev, out.size, 0);
                     }
                 }
                 Err(e) => first_err = first_err.or(Some(e)),
@@ -891,6 +929,9 @@ impl MemoryManager {
                 }
                 entry.device_ptr = None;
                 entry.flags = entry.flags.on_swap();
+            }
+            if dirty {
+                Self::note_dev_swap(&mut st, binding.vgpu.device, 0, size);
             }
             return Ok(true);
         }
@@ -1005,6 +1046,7 @@ impl MemoryManager {
                     }
                 }
             }
+            Self::note_dev_swap(&mut st, binding.vgpu.device, committed_bytes, 0);
         }
         let cancelled = planned - committed_ops;
         RuntimeMetrics::add(&self.metrics.prefetch_bytes, committed_bytes);
@@ -1132,12 +1174,18 @@ impl MemoryManager {
                 match out.result {
                     Ok(bytes) => {
                         let bytes = bytes.expect("D2H op returns data");
-                        if let Some(entry) =
-                            st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
-                        {
-                            entry.slab.write(0, &bytes);
-                            entry.flags = entry.flags.on_copy_dh();
+                        let landed = st
+                            .tables
+                            .get_mut(&ctx)
+                            .and_then(|t| t.get_mut(DeviceAddr(out.base)))
+                            .map(|entry| {
+                                entry.slab.write(0, &bytes);
+                                entry.flags = entry.flags.on_copy_dh();
+                            })
+                            .is_some();
+                        if landed {
                             synced.insert(out.base);
+                            Self::note_dev_swap(&mut st, binding.vgpu.device, 0, out.size);
                         }
                     }
                     Err(e) => sync_err = sync_err.or(Some(e)),
@@ -1182,6 +1230,61 @@ impl MemoryManager {
         }
     }
 
+    /// Plans a live migration: every allocated entry of `ctx`, in
+    /// page-table order. Entries whose device copy is current
+    /// (`device_current`) must move with the context (peer-DMA on the
+    /// transfer lanes); the rest are slab-authoritative and their source
+    /// copies are simply dropped, rematerializing lazily on the
+    /// destination. The plan does **not** mutate any PTE — a failure
+    /// between plan and [`Self::commit_migration`] leaves the context
+    /// fully on its source with every flag intact.
+    pub fn migration_plan(&self, ctx: CtxId) -> Vec<MigrationEntry> {
+        let st = self.state.lock();
+        st.tables
+            .get(&ctx)
+            .map(|table| {
+                table
+                    .iter()
+                    .filter(|e| e.flags.allocated)
+                    .map(|e| MigrationEntry {
+                        vaddr: e.vaddr,
+                        src_dptr: e.device_ptr.expect("allocated without ptr"),
+                        size: e.size,
+                        device_current: !e.flags.to_dev,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Commits a live migration under one lock: `moves` rewrites each
+    /// entry's device pointer to its destination allocation (flags
+    /// untouched — a dirty entry stays dirty, now on the destination);
+    /// `dropped` entries lose their (stale) source copy and fall back to
+    /// their authoritative slab (`on_swap` transition). This is the
+    /// migration's single atomic commit point: before it the context is
+    /// fully on src, after it fully on dst.
+    pub fn commit_migration(
+        &self,
+        ctx: CtxId,
+        moves: &[(DeviceAddr, DeviceAddr)],
+        dropped: &[DeviceAddr],
+    ) {
+        let mut st = self.state.lock();
+        let Some(table) = st.tables.get_mut(&ctx) else { return };
+        for &(vaddr, dst_dptr) in moves {
+            if let Some(entry) = table.get_mut(vaddr) {
+                entry.device_ptr = Some(dst_dptr);
+            }
+        }
+        for &vaddr in dropped {
+            if let Some(entry) = table.get_mut(vaddr) {
+                entry.device_ptr = None;
+                entry.flags = entry.flags.on_swap();
+            }
+        }
+    }
+
     /// Checkpoint (§4.6): synchronize every dirty device-resident entry to
     /// the swap area *without* evicting it, leaving the context restartable.
     /// Dirty entries are synchronized as one pipelined D2H plan.
@@ -1214,11 +1317,17 @@ impl MemoryManager {
                 match out.result {
                     Ok(bytes) => {
                         let bytes = bytes.expect("D2H op returns data");
-                        if let Some(entry) =
-                            st.tables.get_mut(&ctx).and_then(|t| t.get_mut(DeviceAddr(out.base)))
-                        {
-                            entry.slab.write(0, &bytes);
-                            entry.flags = entry.flags.on_copy_dh();
+                        let landed = st
+                            .tables
+                            .get_mut(&ctx)
+                            .and_then(|t| t.get_mut(DeviceAddr(out.base)))
+                            .map(|entry| {
+                                entry.slab.write(0, &bytes);
+                                entry.flags = entry.flags.on_copy_dh();
+                            })
+                            .is_some();
+                        if landed {
+                            Self::note_dev_swap(&mut st, binding.vgpu.device, 0, out.size);
                         }
                     }
                     Err(e) => first_err = first_err.or(Some(e)),
@@ -1610,6 +1719,87 @@ mod tests {
         assert_eq!(m.copy_d2d(CTX, dst, src, 0, None), Err(CudaError::InvalidValue));
         assert_eq!(m.copy_d2d(CTX, dst, src, 130, None), Err(CudaError::OutOfBounds));
         assert_eq!(m.copy_d2d(CTX, dst, src, 100, None), Err(CudaError::SizeMismatch));
+    }
+
+    #[test]
+    fn migration_plan_and_commit_rewrite_only_what_moved() {
+        let m = mm();
+        m.register_ctx(CTX);
+        let b = gpu_binding();
+        let a_ptr = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        let b_ptr = m.malloc(CTX, 64, AllocKind::Linear).unwrap();
+        m.copy_h2d(CTX, a_ptr, &HostBuf::from_slice(&[1u8; 128]), None).unwrap();
+        m.copy_h2d(CTX, b_ptr, &HostBuf::from_slice(&[2u8; 64]), None).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(a_ptr), KernelArg::Ptr(b_ptr)]).unwrap();
+        m.materialize(CTX, &c, &b).unwrap();
+        // Host-touch `b_ptr` after the launch: its device copy goes stale
+        // (to_dev), so a migration must *drop* it, not carry it.
+        m.copy_h2d(CTX, b_ptr, &HostBuf::from_slice(&[3u8; 64]), None).unwrap();
+
+        let plan = m.migration_plan(CTX);
+        assert_eq!(plan.len(), 2);
+        let pa = plan.iter().find(|e| e.vaddr == a_ptr).unwrap();
+        let pb = plan.iter().find(|e| e.vaddr == b_ptr).unwrap();
+        assert!(pa.device_current, "kernel output must travel with the context");
+        assert!(!pb.device_current, "stale device copy must be dropped, slab wins");
+        assert_eq!(pa.size, 128);
+
+        let dst_dptr = DeviceAddr(0x7f00_0000);
+        m.commit_migration(CTX, &[(a_ptr, dst_dptr)], &[b_ptr]);
+
+        // Moved entry: flags untouched, pointer rewritten (visible through a
+        // fresh plan). Dropped entry: host-authoritative `on_swap` state,
+        // classifiable, slab intact.
+        let plan2 = m.migration_plan(CTX);
+        assert_eq!(plan2.len(), 1, "dropped entry must leave the resident set");
+        assert_eq!(plan2[0].vaddr, a_ptr);
+        assert_eq!(plan2[0].src_dptr, dst_dptr);
+        let fa = m.flags_of(CTX, a_ptr).unwrap();
+        assert!(fa.allocated && !fa.to_dev);
+        let fb = m.flags_of(CTX, b_ptr).unwrap();
+        assert!(!fb.allocated && fb.to_dev && !fb.to_swap);
+        assert_eq!(m.copy_d2h(CTX, b_ptr, 64, None).unwrap().payload, vec![3u8; 64]);
+    }
+
+    #[test]
+    fn copy_d2d_cross_device_non_resident_rejects_bad_bounds_before_staging() {
+        // Regression for the migration path: a context that left its old
+        // device (everything host-authoritative) and rebound elsewhere
+        // issues a D2D copy. Bad bounds must reject *before* a single
+        // staging byte moves on either device, and the valid copy must
+        // host-route through the slabs — the old device is never touched
+        // again.
+        let m = mm();
+        m.register_ctx(CTX);
+        let old = gpu_binding();
+        let src = m.malloc(CTX, 128, AllocKind::Linear).unwrap();
+        let dst = m.malloc(CTX, 64, AllocKind::Linear).unwrap();
+        m.copy_h2d(CTX, src, &HostBuf::from_slice(&[7u8; 128]), None).unwrap();
+        let c = m.launch_closure(CTX, &[KernelArg::Ptr(src), KernelArg::Ptr(dst)]).unwrap();
+        m.materialize(CTX, &c, &old).unwrap();
+        m.swap_out_ctx(CTX, &old, SwapReason::Migration).unwrap();
+        let new = binding_with(GpuSpec::test_small());
+
+        let before_old = old.gpu.stats().snapshot();
+        let before_new = new.gpu.stats().snapshot();
+        assert_eq!(m.copy_d2d(CTX, dst, src, 200, Some(&new)), Err(CudaError::OutOfBounds));
+        assert_eq!(m.copy_d2d(CTX, dst, src, 100, Some(&new)), Err(CudaError::SizeMismatch));
+        for (label, gpu, before) in [("old", &old.gpu, &before_old), ("new", &new.gpu, &before_new)]
+        {
+            let s = gpu.stats().snapshot();
+            assert_eq!(s.h2d_bytes, before.h2d_bytes, "{label}: rejected copy staged H2D");
+            assert_eq!(s.d2h_bytes, before.d2h_bytes, "{label}: rejected copy staged D2H");
+            assert_eq!(s.d2d_bytes, before.d2d_bytes, "{label}: rejected copy ran D2D");
+        }
+
+        // The valid copy host-routes slab→slab: correct bytes, still zero
+        // traffic on the old device (both entries are non-resident, so the
+        // new device stays idle too until something materializes).
+        m.copy_d2d(CTX, dst, src, 64, Some(&new)).unwrap();
+        assert_eq!(m.copy_d2h(CTX, dst, 64, Some(&new)).unwrap().payload, vec![7u8; 64]);
+        let after_old = old.gpu.stats().snapshot();
+        assert_eq!(after_old.h2d_bytes, before_old.h2d_bytes, "old device touched after unbind");
+        assert_eq!(after_old.d2h_bytes, before_old.d2h_bytes, "old device touched after unbind");
     }
 
     fn binding_with(spec: GpuSpec) -> Binding {

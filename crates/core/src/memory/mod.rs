@@ -8,8 +8,8 @@ pub mod transfer;
 
 pub use eviction::{CtxCandidate, EntryCandidate, EvictionPolicyKind, TouchStamp};
 pub use manager::{
-    Materialize, MemoryConfig, MemoryManager, PendingWave, PrefetchPlan, Recovery, SwapOutcome,
-    SwapReason,
+    Materialize, MemoryConfig, MemoryManager, MigrationEntry, PendingWave, PrefetchPlan, Recovery,
+    SwapOutcome, SwapReason,
 };
 pub use page_table::{Flags, PageTable, PageTableEntry, SwapSlab};
 pub use swap::SwapArea;

@@ -1,6 +1,7 @@
 //! Runtime-wide counters: the numbers the paper annotates its figures with
 //! (swap operations in Figs. 7–8, migrations in Fig. 9, offloads in §5.4).
 
+use mtgpu_gpusim::DeviceId;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -27,6 +28,17 @@ pub struct RuntimeMetrics {
     pub d2d_device_copies: AtomicU64,
     /// Contexts migrated between devices (dynamic binding), §5.3.4.
     pub migrations: AtomicU64,
+    /// Live migrations (`migrate_ctx`): quiesce → transfer → rebind →
+    /// resume without routing the working set through the swap tier.
+    pub live_migrations: AtomicU64,
+    /// Bytes moved device-to-device by live migrations (peer DMA lanes).
+    pub migration_p2p_bytes: AtomicU64,
+    /// Live migrations aborted and rolled back (destination full, device
+    /// death mid-transfer); the context stayed fully on its source.
+    pub migration_failures: AtomicU64,
+    /// Migrations initiated by the utilization rebalancer (subset of
+    /// `live_migrations`).
+    pub rebalance_migrations: AtomicU64,
     /// Connections relayed to another node, §4.7.
     pub offloaded_connections: AtomicU64,
     /// Context-to-vGPU bindings granted.
@@ -93,8 +105,31 @@ pub struct RuntimeMetrics {
     pub double_buffer_launches: AtomicU64,
 }
 
+/// One device's utilization sample, taken when a [`MetricsSnapshot`] is
+/// assembled: the pressure signals the rebalancer scores placements with
+/// (DESIGN.md §15), surfaced so operators can see them too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceUtilization {
+    pub device: DeviceId,
+    /// Bytes currently device-resident across every context bound here.
+    pub resident_bytes: u64,
+    /// Cumulative bytes swapped *in* to this device (uploads via
+    /// materialize/prefetch commits).
+    pub swap_in_bytes: u64,
+    /// Cumulative bytes swapped *out* of this device (writebacks).
+    pub swap_out_bytes: u64,
+    /// Contexts currently bound to this device's vGPUs.
+    pub bound_contexts: u32,
+    /// Kernels queued or running on the compute engine right now.
+    pub queue_depth: u64,
+}
+
 /// Serializable snapshot of [`RuntimeMetrics`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `per_device` is populated by [`crate::NodeRuntime::metrics`] (the raw
+/// counter struct has no device axis); snapshots taken straight off
+/// [`RuntimeMetrics::snapshot`] leave it empty.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     pub intra_app_swaps: u64,
     pub inter_app_swaps: u64,
@@ -104,6 +139,10 @@ pub struct MetricsSnapshot {
     pub transfer_overlap_events: u64,
     pub d2d_device_copies: u64,
     pub migrations: u64,
+    pub live_migrations: u64,
+    pub migration_p2p_bytes: u64,
+    pub migration_failures: u64,
+    pub rebalance_migrations: u64,
     pub offloaded_connections: u64,
     pub bindings: u64,
     pub unbindings: u64,
@@ -130,6 +169,9 @@ pub struct MetricsSnapshot {
     pub prefetch_bytes: u64,
     pub prefetch_cancelled: u64,
     pub double_buffer_launches: u64,
+    /// Per-device utilization samples, in device-id order (empty unless
+    /// assembled by the node runtime).
+    pub per_device: Vec<DeviceUtilization>,
 }
 
 impl MetricsSnapshot {
@@ -163,6 +205,10 @@ impl RuntimeMetrics {
             transfer_overlap_events: self.transfer_overlap_events.load(Ordering::Relaxed),
             d2d_device_copies: self.d2d_device_copies.load(Ordering::Relaxed),
             migrations: self.migrations.load(Ordering::Relaxed),
+            live_migrations: self.live_migrations.load(Ordering::Relaxed),
+            migration_p2p_bytes: self.migration_p2p_bytes.load(Ordering::Relaxed),
+            migration_failures: self.migration_failures.load(Ordering::Relaxed),
+            rebalance_migrations: self.rebalance_migrations.load(Ordering::Relaxed),
             offloaded_connections: self.offloaded_connections.load(Ordering::Relaxed),
             bindings: self.bindings.load(Ordering::Relaxed),
             unbindings: self.unbindings.load(Ordering::Relaxed),
@@ -189,6 +235,7 @@ impl RuntimeMetrics {
             prefetch_bytes: self.prefetch_bytes.load(Ordering::Relaxed),
             prefetch_cancelled: self.prefetch_cancelled.load(Ordering::Relaxed),
             double_buffer_launches: self.double_buffer_launches.load(Ordering::Relaxed),
+            per_device: Vec::new(),
         }
     }
 }

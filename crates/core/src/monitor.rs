@@ -34,12 +34,19 @@ use std::sync::Arc;
 /// worth its data-transfer cost.
 const MIGRATION_SPEEDUP: f64 = 1.25;
 
+/// Minimum pressure ratio (hottest / coolest device) before the
+/// utilization rebalancer moves a context: below this the placement is
+/// close enough that a migration would thrash.
+const REBALANCE_MARGIN: f64 = 1.25;
+
 /// Monitor entry point; returns when the runtime shuts down.
 pub(crate) fn run(rt: Arc<NodeRuntime>) {
     while !rt.is_shutdown() {
         reap_expired_leases(&rt);
         recover_failed_devices(&rt);
-        if rt.config().dynamic_load_balancing {
+        if rt.config().utilization_rebalancer {
+            rebalance_once(&rt);
+        } else if rt.config().dynamic_load_balancing {
             balance_once(&rt);
         }
         rt.observe_lock_contention();
@@ -162,6 +169,123 @@ pub(crate) fn balance_once(rt: &NodeRuntime) {
         return;
     }
     migrate_one(rt, slow, fast);
+}
+
+/// The utilization rebalancer (DESIGN.md §15): samples per-device pressure
+/// signals, scores every device deterministically off the virtual clock,
+/// and live-migrates ([`NodeRuntime::migrate_ctx`]) the costliest-misplaced
+/// context from the hottest device to the coolest — at most one migration
+/// per pass, like [`balance_once`].
+///
+/// Pressure combines resident-memory fraction, vGPU occupancy, compute
+/// queue depth and the device's swap-traffic rate (bytes per virtual
+/// second, normalized by PCIe bandwidth), inflated on slower devices: the
+/// same load costs more where FLOPS are scarcer. Every input is sampled
+/// runtime state or the virtual clock — never the wall clock — so a
+/// deterministic harness replays every migration decision bit-for-bit.
+pub(crate) fn rebalance_once(rt: &NodeRuntime) {
+    let views = rt.bindings().device_views();
+    if views.len() < 2 {
+        return;
+    }
+    // Waiting contexts outrank migration (§5.3.4): they will soak up the
+    // free capacity themselves.
+    if rt.bindings().waiting_count() > 0 {
+        return;
+    }
+    let healthy: Vec<&DeviceView> = views.iter().filter(|v| !v.gpu.is_failed()).collect();
+    if healthy.len() < 2 {
+        return;
+    }
+    let max_flops =
+        healthy.iter().map(|v| v.effective_flops).fold(f64::MIN, f64::max).max(f64::MIN_POSITIVE);
+    let scores: Vec<f64> =
+        healthy.iter().map(|v| pressure_score_with(rt, v, 0, 0, max_flops)).collect();
+    // First strictly-hottest wins ties, so selection is a pure function of
+    // the (device-id ordered) views.
+    let mut hot = None;
+    for (i, v) in healthy.iter().enumerate() {
+        if !v.bound.is_empty() && hot.is_none_or(|h: usize| scores[i] > scores[h]) {
+            hot = Some(i);
+        }
+    }
+    let Some(hot) = hot else { return };
+    // Targets in ascending pressure order (stable sort: score ties keep
+    // device-id order).
+    let mut targets: Vec<usize> =
+        (0..healthy.len()).filter(|&i| i != hot && healthy[i].free_vgpus > 0).collect();
+    targets.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    if targets.is_empty() {
+        return;
+    }
+    let from = healthy[hot].id;
+    // Candidate order: lowest lease priority first — a higher-priority
+    // tenant is only disturbed after every lower-priority candidate was
+    // tried, so it can never be migrated "to make room" for one of them —
+    // then costliest-misplaced (largest footprint suffers the hot device
+    // most), then context id for a total, replay-stable order.
+    let mut candidates: Vec<(u8, u64, CtxId)> = healthy[hot]
+        .bound
+        .iter()
+        .map(|&c| (rt.policy().priority_of(c), rt.memory().mem_usage(c), c))
+        .collect();
+    candidates.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+    for (_, _, ctx_id) in candidates {
+        let footprint = rt.memory().resident_bytes(ctx_id);
+        for &t in &targets {
+            // Hysteresis: score the *destination as it would look with this
+            // context on it*. A move happens only if the context would still
+            // be markedly better off after it lands — which also rules out
+            // ping-ponging between equally-loaded devices.
+            let projected = pressure_score_with(rt, healthy[t], 1, footprint, max_flops);
+            if scores[hot] < projected.max(f64::MIN_POSITIVE) * REBALANCE_MARGIN {
+                continue;
+            }
+            let to = healthy[t].id;
+            rt.tracer().record(TraceEvent::RebalancePicked {
+                ctx: ctx_id,
+                from,
+                to,
+                score: ((scores[hot] - projected) * 1000.0) as i64,
+            });
+            if rt.migrate_ctx(ctx_id, to).is_ok() {
+                RuntimeMetrics::bump(&rt.metrics_ref().rebalance_migrations);
+                return;
+            }
+        }
+    }
+}
+
+/// One device's placement-pressure score (higher = worse place to be),
+/// optionally projected with `extra_ctxs` more contexts carrying
+/// `extra_bytes` of device-resident data (the rebalancer's "what would the
+/// destination look like after the move" probe).
+fn pressure_score_with(
+    rt: &NodeRuntime,
+    v: &DeviceView,
+    extra_ctxs: u32,
+    extra_bytes: u64,
+    max_flops: f64,
+) -> f64 {
+    let resident: u64 =
+        v.bound.iter().map(|&c| rt.memory().resident_bytes(c)).sum::<u64>() + extra_bytes;
+    let (swap_in, swap_out) = rt.memory().device_swap_traffic(v.id);
+    let mem_frac = resident as f64 / v.gpu.mem_capacity().max(1) as f64;
+    let occupancy = if v.total_vgpus > 0 {
+        (v.bound.len() as u32 + extra_ctxs) as f64 / v.total_vgpus as f64
+    } else {
+        0.0
+    };
+    let queue = v.gpu.compute_queue_depth() as f64;
+    // Swap traffic as a fraction of the PCIe link, per virtual second —
+    // the thrashing signal. Clamped so one pathological device cannot
+    // flatten every other term.
+    let elapsed = rt.clock().now().since_epoch().as_secs_f64().max(1e-9);
+    let swap_frac = (((swap_in + swap_out) as f64 / elapsed)
+        / v.gpu.spec().pcie_bytes_per_sec.max(1.0))
+    .min(4.0);
+    let speed = (v.effective_flops / max_flops).max(f64::MIN_POSITIVE);
+    (mem_frac + occupancy + queue + swap_frac) / speed
 }
 
 /// Migrates one idle context from `slow` to `fast`. Returns `true` on

@@ -2,9 +2,9 @@
 //! dispatcher, virtual GPUs, memory manager and monitors (Figure 3).
 
 use crate::config::RuntimeConfig;
-use crate::ctx::{AppContext, CtxId};
+use crate::ctx::{AppContext, CtxId, VGpuId};
 use crate::memory::{MemoryConfig, MemoryManager};
-use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
+use crate::metrics::{DeviceUtilization, MetricsSnapshot, RuntimeMetrics};
 use crate::monitor;
 use crate::policy::LeaseBook;
 use crate::sched::BindingManager;
@@ -72,6 +72,9 @@ pub struct NodeRuntime {
     /// Tenant leases + admission control (no-op when the policy layer is
     /// not configured).
     policy: LeaseBook,
+    /// Serializes live migrations ([`Self::migrate_ctx`]): one context's
+    /// PTE rewrite at a time per node.
+    migration: RankedMutex<()>,
 }
 
 impl NodeRuntime {
@@ -123,6 +126,7 @@ impl NodeRuntime {
             local_slots: std::sync::atomic::AtomicI64::new(local_slots),
             tracer,
             policy,
+            migration: RankedMutex::new(lock_rank::MIGRATION, ()),
             driver,
         });
         for (id, gpu) in rt.driver.devices() {
@@ -149,7 +153,9 @@ impl NodeRuntime {
     pub fn monitor_tick(&self) {
         monitor::reap_expired_leases(self);
         monitor::recover_failed_devices(self);
-        if self.cfg.dynamic_load_balancing {
+        if self.cfg.utilization_rebalancer {
+            monitor::rebalance_once(self);
+        } else if self.cfg.dynamic_load_balancing {
             monitor::balance_once(self);
         }
         self.observe_lock_contention();
@@ -186,9 +192,20 @@ impl NodeRuntime {
         &self.driver
     }
 
-    /// The memory manager.
-    pub(crate) fn memory(&self) -> &MemoryManager {
+    /// The memory manager (public for diagnostics and fault batteries:
+    /// `flags_of`, `resident_bytes`, `device_swap_traffic`).
+    pub fn memory(&self) -> &MemoryManager {
         &self.mm
+    }
+
+    /// The migration turnstile ([`crate::migrate`]).
+    pub(crate) fn migration_turnstile(&self) -> &RankedMutex<()> {
+        &self.migration
+    }
+
+    /// Where a context is currently bound, if anywhere (diagnostics).
+    pub fn binding_of(&self, id: CtxId) -> Option<VGpuId> {
+        self.context(id).and_then(|c| c.binding()).map(|b| b.vgpu)
     }
 
     /// The binding manager.
@@ -216,9 +233,30 @@ impl NodeRuntime {
         self.tracer.events()
     }
 
-    /// Snapshot of the runtime counters.
+    /// Snapshot of the runtime counters, including per-device utilization
+    /// samples in device-id order (the rebalancer's pressure signals —
+    /// resident bytes, swap traffic, bound contexts, queue depth).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.per_device = self
+            .bm
+            .device_views()
+            .into_iter()
+            .map(|view| {
+                let resident_bytes =
+                    view.bound.iter().map(|&c| self.mm.resident_bytes(c)).sum::<u64>();
+                let (swap_in_bytes, swap_out_bytes) = self.mm.device_swap_traffic(view.id);
+                DeviceUtilization {
+                    device: view.id,
+                    resident_bytes,
+                    swap_in_bytes,
+                    swap_out_bytes,
+                    bound_contexts: view.bound.len() as u32,
+                    queue_depth: view.gpu.compute_queue_depth(),
+                }
+            })
+            .collect();
+        snap
     }
 
     /// Whether shutdown has been requested.

@@ -36,6 +36,17 @@ pub enum TraceEvent {
     TransferPlan { ctx: CtxId, ops: u32, lanes: u32, bytes: u64 },
     /// A context migrated between devices (§5.3.4 dynamic binding).
     Migrated { ctx: CtxId, from: DeviceId, to: DeviceId },
+    /// A live migration (`migrate_ctx`) moved `p2p_bytes` of working set
+    /// device-to-device over `lanes` peer-DMA lanes and dropped
+    /// `skipped_bytes` of slab-authoritative pages (rematerialized lazily
+    /// on the destination).
+    MigrationTransferred { ctx: CtxId, p2p_bytes: u64, skipped_bytes: u64, lanes: u32 },
+    /// A live migration aborted at `phase` and rolled back; the context
+    /// remains fully on its source device.
+    MigrationAborted { ctx: CtxId, phase: String },
+    /// The rebalancer picked `ctx` as the costliest-misplaced context on a
+    /// hot device (`score` is the deterministic pressure-score delta ×1000).
+    RebalancePicked { ctx: CtxId, from: DeviceId, to: DeviceId, score: i64 },
     /// A checkpoint synchronized the context's dirty data (§4.6).
     Checkpointed { ctx: CtxId, explicit: bool },
     /// A device failure/removal was detected by the monitor or inline.

@@ -541,6 +541,84 @@ impl Gpu {
         Ok(())
     }
 
+    /// Peer-to-peer copy between two *different* devices: a single PCIe
+    /// hop (peer DMA), not a host-staged round trip. Validates both
+    /// endpoints up front, charges the transfer against the **source**
+    /// device's copy engine (lane-pinned so plan executors get canonical
+    /// placement), then moves the materialized bytes. The two
+    /// `DEVICE_STATE` locks share a rank, so they are only ever taken
+    /// sequentially — never nested.
+    #[allow(clippy::too_many_arguments)]
+    pub fn memcpy_p2p(
+        src_dev: &Gpu,
+        src_ctx: GpuContextId,
+        src: DeviceAddr,
+        dst_dev: &Gpu,
+        dst_ctx: GpuContextId,
+        dst: DeviceAddr,
+        declared_len: u64,
+        lane: usize,
+    ) -> Result<()> {
+        src_dev.check_alive()?;
+        dst_dev.check_alive()?;
+        if declared_len == 0 {
+            return Err(GpuError::InvalidValue);
+        }
+        {
+            let st = src_dev.state.lock();
+            if !st.contexts.contains_key(&src_ctx) {
+                return Err(GpuError::InvalidContext);
+            }
+            let (_, offset, alloc_len) = Self::resolve(&st, src_dev.addr_salt, Some(src_ctx), src)?;
+            if offset + declared_len > alloc_len {
+                return Err(GpuError::OutOfBounds {
+                    addr: src.0,
+                    len: declared_len,
+                    alloc_size: alloc_len,
+                });
+            }
+        }
+        {
+            let st = dst_dev.state.lock();
+            if !st.contexts.contains_key(&dst_ctx) {
+                return Err(GpuError::InvalidContext);
+            }
+            let (_, offset, alloc_len) = Self::resolve(&st, dst_dev.addr_salt, Some(dst_ctx), dst)?;
+            if offset + declared_len > alloc_len {
+                return Err(GpuError::OutOfBounds {
+                    addr: dst.0,
+                    len: declared_len,
+                    alloc_size: alloc_len,
+                });
+            }
+        }
+        // One hop: the slower of the two PCIe links bounds the transfer.
+        let dur = src_dev.copy_duration(declared_len).max(dst_dev.copy_duration(declared_len));
+        src_dev.copy.occupy_on(lane, dur);
+        src_dev.check_alive()?;
+        dst_dev.check_alive()?;
+        let bytes = {
+            let st = src_dev.state.lock();
+            let (base, offset, _) = Self::resolve(&st, src_dev.addr_salt, Some(src_ctx), src)?;
+            let alloc = st.allocs.get(&base).expect("resolved allocation vanished");
+            let start = (offset as usize).min(alloc.data.len());
+            let end = ((offset + declared_len) as usize).min(alloc.data.len());
+            alloc.data[start..end].to_vec()
+        };
+        let mut st = dst_dev.state.lock();
+        let (base, offset, _) = Self::resolve(&st, dst_dev.addr_salt, Some(dst_ctx), dst)?;
+        let alloc = st.allocs.get_mut(&base).expect("resolved allocation vanished");
+        alloc.ensure_len(offset + bytes.len() as u64);
+        let start = offset as usize;
+        if start < alloc.data.len() {
+            let n = bytes.len().min(alloc.data.len() - start);
+            alloc.data[start..start + n].copy_from_slice(&bytes[..n]);
+        }
+        DeviceStats::add(&src_dev.stats.p2p_bytes_out, declared_len);
+        DeviceStats::add(&dst_dev.stats.p2p_bytes_in, declared_len);
+        Ok(())
+    }
+
     /// Computes the simulated execution time of `work` on this device.
     pub fn kernel_duration(&self, work: crate::kernel::Work) -> SimDuration {
         let compute = work.flops / self.spec.effective_flops();
@@ -932,5 +1010,76 @@ mod stress_tests {
         assert_eq!(gpu.mem_available(), before, "memory leaked under concurrency");
         assert_eq!(gpu.context_count(), 0);
         assert_eq!(gpu.stats().snapshot().kernels_launched, 48);
+    }
+
+    fn test_gpu() -> Arc<Gpu> {
+        Gpu::new(GpuSpec::test_small(), Clock::with_scale(1e-7), 0)
+    }
+
+    #[test]
+    fn p2p_copies_bytes_and_charges_both_devices() {
+        let a = test_gpu();
+        let b = test_gpu();
+        let actx = a.create_context().unwrap();
+        let bctx = b.create_context().unwrap();
+        let src = a.malloc(actx, 4096).unwrap();
+        let dst = b.malloc(bctx, 4096).unwrap();
+        a.memcpy_h2d(actx, src, 512, &[0xABu8; 512]).unwrap();
+
+        Gpu::memcpy_p2p(&a, actx, src, &b, bctx, dst, 512, 3).unwrap();
+        assert_eq!(b.memcpy_d2h(bctx, dst, 512).unwrap(), vec![0xABu8; 512]);
+        assert_eq!(a.stats().snapshot().p2p_bytes_out, 512);
+        assert_eq!(a.stats().snapshot().p2p_bytes_in, 0);
+        assert_eq!(b.stats().snapshot().p2p_bytes_in, 512);
+        assert_eq!(b.stats().snapshot().p2p_bytes_out, 0);
+    }
+
+    #[test]
+    fn p2p_validates_both_endpoints_before_moving_bytes() {
+        let a = test_gpu();
+        let b = test_gpu();
+        let actx = a.create_context().unwrap();
+        let bctx = b.create_context().unwrap();
+        let src = a.malloc(actx, 1024).unwrap();
+        let dst = b.malloc(bctx, 256).unwrap();
+
+        assert_eq!(
+            Gpu::memcpy_p2p(&a, actx, src, &b, bctx, dst, 0, 0),
+            Err(GpuError::InvalidValue)
+        );
+        // Source overflow and destination overflow both reject; a foreign
+        // context on either side rejects too. None of these move a byte.
+        assert!(matches!(
+            Gpu::memcpy_p2p(&a, actx, src, &b, bctx, dst, 2048, 0),
+            Err(GpuError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            Gpu::memcpy_p2p(&a, actx, src, &b, bctx, dst, 512, 0),
+            Err(GpuError::OutOfBounds { .. })
+        ));
+        let foreign = b.create_context().unwrap(); // id never created on `a`
+        assert_eq!(
+            Gpu::memcpy_p2p(&a, foreign, src, &b, bctx, dst, 128, 0),
+            Err(GpuError::InvalidContext)
+        );
+        assert_eq!(a.stats().snapshot().p2p_bytes_out, 0);
+        assert_eq!(b.stats().snapshot().p2p_bytes_in, 0);
+    }
+
+    #[test]
+    fn p2p_fails_when_either_device_is_dead() {
+        let a = test_gpu();
+        let b = test_gpu();
+        let actx = a.create_context().unwrap();
+        let bctx = b.create_context().unwrap();
+        let src = a.malloc(actx, 256).unwrap();
+        let dst = b.malloc(bctx, 256).unwrap();
+
+        b.fail();
+        assert_eq!(
+            Gpu::memcpy_p2p(&a, actx, src, &b, bctx, dst, 128, 0),
+            Err(GpuError::DeviceFailed)
+        );
+        assert_eq!(a.stats().snapshot().p2p_bytes_out, 0);
     }
 }

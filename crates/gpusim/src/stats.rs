@@ -12,6 +12,11 @@ pub struct DeviceStats {
     /// Bytes moved device-internally (same-device `memcpy_d2d`), over the
     /// memory bus rather than PCIe.
     pub d2d_bytes: AtomicU64,
+    /// Bytes this device sourced for peer-to-peer copies (`memcpy_p2p`
+    /// with this device as the read side).
+    pub p2p_bytes_out: AtomicU64,
+    /// Bytes this device received from peer-to-peer copies.
+    pub p2p_bytes_in: AtomicU64,
     pub allocs: AtomicU64,
     pub frees: AtomicU64,
     pub failed_allocs: AtomicU64,
@@ -26,6 +31,8 @@ pub struct DeviceStatsSnapshot {
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
     pub d2d_bytes: u64,
+    pub p2p_bytes_out: u64,
+    pub p2p_bytes_in: u64,
     pub allocs: u64,
     pub frees: u64,
     pub failed_allocs: u64,
@@ -41,6 +48,8 @@ impl DeviceStats {
             h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
             d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
             d2d_bytes: self.d2d_bytes.load(Ordering::Relaxed),
+            p2p_bytes_out: self.p2p_bytes_out.load(Ordering::Relaxed),
+            p2p_bytes_in: self.p2p_bytes_in.load(Ordering::Relaxed),
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
             failed_allocs: self.failed_allocs.load(Ordering::Relaxed),

@@ -20,12 +20,19 @@
 //! honest p99 across the passes and `--max-degradation F` turns the ratio
 //! into an exit-code gate (as does any over-quota grant).
 //!
+//! `--profile skewed` runs the migration benchmark: a churned 4-device
+//! mix played twice, with the utilization rebalancer off then on.
+//! `--min-speedup F` gates the rebalanced/static throughput ratio (the
+//! structural checks — clean passes, a live migration, p99 no worse —
+//! always gate).
+//!
 //! Runs a load pass against a private in-process node daemon, prints a
 //! one-line summary, writes the JSON report (default `results/`), and
 //! exits non-zero if any request failed or a gate was breached.
 
 use mtgpu_loadgen::{
-    run_det, run_isolation, run_load, DetLoadConfig, IsolationConfig, LoadgenConfig, Mode,
+    run_det, run_isolation, run_load, run_migration_load, DetLoadConfig, IsolationConfig,
+    LoadgenConfig, MigrationLoadConfig, Mode,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,6 +40,8 @@ use std::process::ExitCode;
 struct Args {
     cfg: LoadgenConfig,
     hostile: bool,
+    skewed: bool,
+    min_speedup: Option<f64>,
     hostile_clients: Option<usize>,
     hostile_iterations: Option<usize>,
     max_degradation: Option<f64>,
@@ -44,11 +53,11 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--profile normal|hostile] [--mode closed|open] \
+        "usage: loadgen [--profile normal|hostile|skewed] [--mode closed|open] \
          [--clients N] [--requests N] [--rate R] [--seed S] [--devices D] \
          [--vgpus V] [--virtual-clock] [--persistent] [--connections N] \
          [--hostile N] [--hostile-iters N] [--max-degradation F] \
-         [--quick] [--max-fairness F] [--out PATH]"
+         [--min-speedup F] [--quick] [--max-fairness F] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -58,6 +67,8 @@ fn parse_args() -> Args {
     let mut mode_open = false;
     let mut rate = 100.0f64;
     let mut hostile = false;
+    let mut skewed = false;
+    let mut min_speedup = None;
     let mut hostile_clients = None;
     let mut hostile_iterations = None;
     let mut max_degradation = None;
@@ -77,11 +88,15 @@ fn parse_args() -> Args {
             "--profile" => match value("--profile").as_str() {
                 "normal" => hostile = false,
                 "hostile" => hostile = true,
+                "skewed" => skewed = true,
                 other => {
                     eprintln!("unknown profile {other:?}");
                     usage()
                 }
             },
+            "--min-speedup" => {
+                min_speedup = Some(value("--min-speedup").parse().unwrap_or_else(|_| usage()))
+            }
             "--mode" => match value("--mode").as_str() {
                 "closed" => mode_open = false,
                 "open" => mode_open = true,
@@ -140,6 +155,8 @@ fn parse_args() -> Args {
     Args {
         cfg,
         hostile,
+        skewed,
+        min_speedup,
         hostile_clients,
         hostile_iterations,
         max_degradation,
@@ -187,10 +204,55 @@ fn main_hostile(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The skewed migration benchmark (`--profile skewed`): static placement
+/// against the utilization rebalancer on a churned 4-device mix.
+fn main_skewed(args: &Args) -> ExitCode {
+    let cfg = MigrationLoadConfig {
+        seed: args.cfg.seed,
+        long_rounds: if args.quick { 4 } else { 6 },
+        ..MigrationLoadConfig::default()
+    };
+    let report = run_migration_load(&cfg);
+    println!(
+        "skewed: static {:.1} jobs/vsec, rebalanced {:.1} jobs/vsec ({:.2}x), \
+         p99 ratio {:.3}, {} live migration(s)",
+        report.static_pass.throughput_jps,
+        report.rebalanced_pass.throughput_jps,
+        report.speedup,
+        report.p99_ratio,
+        report.rebalanced_pass.live_migrations,
+    );
+    let path = match &args.out {
+        Some(path) => path.clone(),
+        None => PathBuf::from("results").join("BENCH_migration.json"),
+    };
+    let written = path
+        .parent()
+        .map_or(Ok(()), std::fs::create_dir_all)
+        .and_then(|()| std::fs::write(&path, serde_json::to_string(&report).expect("serialize")));
+    match written {
+        Ok(()) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Structural checks (clean passes, a live migration, no aborts) always
+    // gate; `--min-speedup` adds the throughput bound on top.
+    if let Err(reason) = report.gate(args.min_speedup.unwrap_or(0.0)) {
+        eprintln!("migration gate failed: {reason}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.hostile {
         return main_hostile(&args);
+    }
+    if args.skewed {
+        return main_skewed(&args);
     }
     let report = if args.virtual_clock {
         let det = DetLoadConfig {

@@ -232,7 +232,7 @@ pub fn run_det(cfg: &DetLoadConfig) -> (LoadReport, DetLoadFingerprint) {
         p99_nanos: summary.p99_nanos,
         per_tenant_latency_nanos: per_tenant_latency,
         final_virtual_nanos,
-        metrics,
+        metrics: metrics.clone(),
     };
     let basis: Vec<u64> = tenants.iter().map(|t| t.makespan_nanos).collect();
     let report = LoadReport {

@@ -21,10 +21,14 @@ pub mod det;
 pub mod driver;
 pub mod hist;
 pub mod isolation;
+pub mod migration;
 pub mod report;
 
 pub use det::{run_det, DetLoadConfig, DetLoadFingerprint, DetTransport};
 pub use driver::{run_load, LoadgenConfig, Mode};
 pub use hist::{LatencyHistogram, LatencySummary};
 pub use isolation::{run_isolation, IsolationConfig, IsolationReport};
+pub use migration::{
+    run_migration_load, MigrationBenchReport, MigrationLoadConfig, MigrationPassReport,
+};
 pub use report::{fairness_ratio, LoadReport, TenantReport, FAIRNESS_STARVED};

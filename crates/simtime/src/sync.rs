@@ -59,6 +59,11 @@ pub mod lock_rank {
     pub const MUX_WAITERS: LockRank = LockRank { value: 9, name: "MUX_WAITERS" };
     /// A context's service lock: held for the duration of one CUDA call.
     pub const CTX_SERVICE: LockRank = LockRank { value: 10, name: "CTX_SERVICE" };
+    /// The node-wide migration turnstile: serializes live context
+    /// migrations. Outer to every scheduler/memory lock so a migration may
+    /// reserve slots and rewrite page tables while holding it, but inner to
+    /// the service lock (migration quiesces a context first).
+    pub const MIGRATION: LockRank = LockRank { value: 20, name: "MIGRATION" };
     /// The dispatcher's device→shard map (readers bind, writers hotplug).
     pub const SHARD_MAP: LockRank = LockRank { value: 30, name: "SHARD_MAP" };
     /// One per-device shard's slot state.
@@ -106,6 +111,7 @@ pub mod lock_rank {
         CHAN_QUEUE,
         MUX_WAITERS,
         CTX_SERVICE,
+        MIGRATION,
         SHARD_MAP,
         SHARD_STATE,
         SCHED_GLOBAL,

@@ -24,3 +24,47 @@ cargo bench -q -p mtgpu-bench --bench dispatch -- --gate-rank 1.02 \
 # p99 cost — plus an ungated 1000-connection sustain case (full runs).
 cargo bench -q -p mtgpu-bench --bench loadgen -- --gate-throughput 1.3 \
     --out "$PWD/results/BENCH_loadgen.json" "$@"
+# Migration gate: on the churned 4-device skewed mix the utilization
+# rebalancer must deliver ≥1.3x static-placement throughput at no p99
+# cost, with at least one live migration and no aborts. Virtual-clock
+# deterministic: the ratio is exact, not sampled.
+cargo bench -q -p mtgpu-bench --bench migration -- --gate 1.3 \
+    --out "$PWD/results/BENCH_migration.json" "$@"
+# Consolidated trajectory index: one results/BENCH_trajectory.json row
+# per BENCH_*.json gate, so a PR's whole gate surface reads at a glance.
+python3 - "$PWD/results" <<'PYEOF'
+import json, os, sys
+results = sys.argv[1]
+rows = []
+for name in sorted(os.listdir(results)):
+    if not (name.startswith("BENCH_") and name.endswith(".json")):
+        continue
+    if name == "BENCH_trajectory.json":
+        continue
+    path = os.path.join(results, name)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        rows.append({"file": name, "error": str(e)})
+        continue
+    row = {"file": name, "bench": doc.get("bench", name[6:-5])}
+    # A report may carry several gate objects (e.g. dispatch's rank_gate
+    # next to memory's makespan gate); index every dict with a "pass".
+    gates = {
+        k: v
+        for k, v in doc.items()
+        if isinstance(v, dict) and ("gate" in k or "pass" in v)
+    }
+    if gates:
+        row["gates"] = gates
+        passes = [v["pass"] for v in gates.values() if "pass" in v]
+        if passes:
+            row["pass"] = all(bool(p) for p in passes)
+    rows.append(row)
+out = os.path.join(results, "BENCH_trajectory.json")
+with open(out, "w") as f:
+    json.dump({"benches": rows}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"trajectory index: {out} ({len(rows)} gates)")
+PYEOF

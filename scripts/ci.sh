@@ -36,6 +36,14 @@
 #                                over-quota grants) with honest p99 within
 #                                2x of the hostile-free baseline
 #                                (results/BENCH_isolation.json)
+#   tier 7  live migration       the migration fault battery (device death
+#                                at each protocol phase leaves every PTE
+#                                classifiable, the context all-or-nothing),
+#                                the det-harness 3-run migration+rebalancer
+#                                fingerprint, cross-node staging, then a
+#                                --quick skewed-profile smoke (rebalanced
+#                                must at least match static placement; the
+#                                full 1.3x gate runs via bench.sh)
 #
 # Usage: scripts/ci.sh [tier]   (default: all tiers)
 
@@ -44,9 +52,9 @@ cd "$(dirname "$0")/.."
 
 tier="${1:-all}"
 case "$tier" in
-all | 0 | 1 | 2 | 3 | 4 | 5 | 6) ;;
+all | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7) ;;
 *)
-    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4, 5, 6 or all)" >&2
+    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4, 5, 6, 7 or all)" >&2
     exit 2
     ;;
 esac
@@ -88,7 +96,12 @@ if [[ "$tier" == "all" || "$tier" == "3" ]]; then
     # the seed policy on the same shape.
     cargo test -q --test deterministic_repro eviction_policy -- --exact \
         eviction_policy_fingerprints_stable_and_divergent > /dev/null
-    echo "fig7 smoke + seed-42 det replay + pipelined/policy fingerprints: ok"
+    # Live migration + rebalancer must replay bit-for-bit: three runs of
+    # the churned migration shape collapse to one fingerprint (and the
+    # knob off means zero migrations and a diverging fingerprint).
+    cargo test -q --test deterministic_repro migration_rebalancer -- --exact \
+        migration_rebalancer_fingerprint_stable_across_three_runs > /dev/null
+    echo "fig7 smoke + seed-42 det replay + pipelined/policy/migration fingerprints: ok"
 fi
 
 if [[ "$tier" == "all" || "$tier" == "4" ]]; then
@@ -159,6 +172,27 @@ if [[ "$tier" == "all" || "$tier" == "6" ]]; then
     ./target/release/loadgen --profile hostile --quick --max-degradation 2.0 \
         --out results/BENCH_isolation.json > /dev/null
     echo "quota-pressure replay + hostile wire/fault battery + isolation gate: ok"
+fi
+
+if [[ "$tier" == "all" || "$tier" == "7" ]]; then
+    run_tier 7 "live-migration fault battery + replay + skewed smoke"
+    cargo build -q --release -p mtgpu-loadgen --bin loadgen
+    # Device death at every protocol phase (quiesce/transfer/rebind/
+    # resume, source and destination) must leave all PTEs classifiable,
+    # the lease book balanced, and the context fully on one side.
+    cargo test -q --test fault_matrix \
+        live_migration_fault_battery_each_phase_leaves_state_classifiable > /dev/null
+    # Migration + rebalancer replay: three runs, one fingerprint.
+    cargo test -q --test deterministic_repro migration_rebalancer -- --exact \
+        migration_rebalancer_fingerprint_stable_across_three_runs > /dev/null
+    # Cross-node staging: pointers intact on the new node, failed import
+    # leaves the source runnable.
+    cargo test -q -p mtgpu-cluster --test stage_migration > /dev/null
+    # Skewed smoke: the rebalanced pass must migrate, keep p99, and at
+    # least match static placement (the full 1.3x gate runs via bench.sh).
+    ./target/release/loadgen --profile skewed --quick --min-speedup 1.0 \
+        --out target/ci-migration-quick.json > /dev/null
+    echo "migration fault battery + replay fingerprint + staging + skewed smoke: ok"
 fi
 
 echo "CI: all requested tiers passed"

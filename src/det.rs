@@ -68,6 +68,12 @@ pub struct DetScenario {
     pub clients: usize,
     /// Kernel rounds per client (each round launches once per buffer).
     pub rounds: usize,
+    /// Per-client round-count overrides; client `i` runs
+    /// `rounds_per_client[i]` rounds when set, `rounds` otherwise. Uneven
+    /// script lengths make clients *exit at different steps* — the churn
+    /// that strands long-running contexts on whatever device was free when
+    /// they bound.
+    pub rounds_per_client: Vec<usize>,
     /// The node's devices.
     pub devices: Vec<GpuSpec>,
     /// vGPUs spawned per device. Must be sized so every client can hold a
@@ -112,6 +118,10 @@ pub struct DetScenario {
     pub async_prefetch: bool,
     /// Enable the two-wave double-buffered launch path.
     pub double_buffer_launch: bool,
+    /// Enable the utilization rebalancer (DESIGN.md §15): each
+    /// `monitor_tick` may live-migrate one context off the
+    /// highest-pressure device.
+    pub utilization_rebalancer: bool,
 }
 
 impl DetScenario {
@@ -123,6 +133,7 @@ impl DetScenario {
             seed,
             clients: 9,
             rounds: 4,
+            rounds_per_client: Vec::new(),
             devices: vec![GpuSpec::test_small(), GpuSpec::test_small(), GpuSpec::test_small()],
             vgpus_per_device: 4,
             buffers_per_client: 2,
@@ -138,6 +149,7 @@ impl DetScenario {
             eviction_policy: EvictionPolicyKind::SeedOrder,
             async_prefetch: false,
             double_buffer_launch: false,
+            utilization_rebalancer: false,
         }
     }
 
@@ -160,6 +172,30 @@ impl DetScenario {
     /// device is lost, and a quiet window for faults to land in.
     pub fn fault_shape(seed: u64) -> Self {
         DetScenario { clients: 6, rounds: 2, quiet_steps: 6, ..Self::fig7_shape(seed) }
+    }
+
+    /// A churn-skewed node for the live-migration rebalancer: two
+    /// full-speed devices and two at quarter clock, one vGPU each. At bind
+    /// time the two short-lived clients grab the fast devices (lowest
+    /// `(bound+1)/speed` placement cost), so the two long-running clients
+    /// are stranded on the slow pair — a placement that is *correct when
+    /// made* and wrong two steps later, when the short clients exit. From
+    /// then on each `monitor_tick` can live-migrate one stranded context
+    /// slow→fast over peer DMA, which is exactly the regime the rebalancer
+    /// exists for.
+    pub fn migration_shape(seed: u64) -> Self {
+        let mut slow = GpuSpec::test_small();
+        slow.name = "TestGPU-slow".to_string();
+        slow.clock_ghz = 0.25;
+        DetScenario {
+            clients: 4,
+            rounds: 6,
+            rounds_per_client: vec![1, 1, 6, 6],
+            devices: vec![GpuSpec::test_small(), GpuSpec::test_small(), slow.clone(), slow],
+            vgpus_per_device: 1,
+            utilization_rebalancer: true,
+            ..Self::fig7_shape(seed)
+        }
     }
 
     /// A quota-pressure scenario for the tenant-policy layer: six clients
@@ -303,7 +339,8 @@ fn build_client(scenario: &DetScenario, i: usize) -> (Vec<BufState>, Vec<Op>) {
         script.push(Op::Malloc { buf });
         script.push(Op::Upload { buf });
     }
-    for _ in 0..scenario.rounds {
+    let rounds = scenario.rounds_per_client.get(i).copied().unwrap_or(scenario.rounds);
+    for _ in 0..rounds {
         for buf in 0..scenario.buffers_per_client {
             script.push(Op::Launch {
                 buf,
@@ -354,7 +391,8 @@ pub fn run(scenario: DetScenario) -> DetFingerprint {
         .with_background_monitor(false)
         .with_eviction_policy(scenario.eviction_policy)
         .with_async_prefetch(scenario.async_prefetch)
-        .with_double_buffer_launch(scenario.double_buffer_launch);
+        .with_double_buffer_launch(scenario.double_buffer_launch)
+        .with_utilization_rebalancer(scenario.utilization_rebalancer);
     if let Some(policy) = scenario.tenant_policy.clone() {
         cfg = cfg.with_tenant_policy(policy);
     }

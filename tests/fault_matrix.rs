@@ -505,3 +505,188 @@ fn device_failure_mid_swap_never_trips_lock_checker() {
     assert_eq!(m.on_device_lost(CTX), Recovery::LostDirtyData);
     assert!(held_ranks().is_empty(), "recovery leaked ranks: {:?}", held_ranks());
 }
+
+#[test]
+fn live_migration_fault_battery_each_phase_leaves_state_classifiable() {
+    // The migration tentpole's fault matrix (DESIGN.md §15): a device dies
+    // at the start of each protocol phase — quiesce, transfer, rebind,
+    // resume — on either end of the move. Whatever the phase, three
+    // invariants must hold when `migrate_ctx` returns: (1) the context is
+    // fully on its source or fully on its destination, never split;
+    // (2) every page-table entry is classifiable — still allocated, or
+    // host-authoritative with a pending re-upload; (3) the lease book's
+    // global balance never moves (admission charges are per-context, not
+    // per-device). Where a *surviving* device holds the context, the
+    // application must keep computing with intact data.
+    use mtgpu::api::{CudaCall, CudaClient, DeviceAddr, HostBuf, ReplyValue};
+    use mtgpu::core::{
+        CtxId, GpuLease, MigrationError, MigrationPhase, RuntimeConfig, TenantPolicyConfig,
+    };
+    use mtgpu::det::{register_det_kernels, DET_KERNEL};
+    use mtgpu::gpusim::{
+        DeviceId, Driver, GpuSpec, KernelArg, KernelDesc, LaunchConfig, LaunchSpec, Work,
+    };
+    use mtgpu::simtime::Clock;
+    use std::sync::Arc;
+
+    const DECLARED: u64 = 4 << 20;
+    const PAYLOAD: usize = 2048;
+
+    fn launch(client: &mut dyn CudaClient, buf: DeviceAddr, xor: u8) -> Result<(), String> {
+        let spec = LaunchSpec {
+            kernel: DET_KERNEL.to_string(),
+            config: LaunchConfig::default(),
+            args: vec![
+                KernelArg::Ptr(buf),
+                KernelArg::Scalar(xor as u64),
+                KernelArg::Scalar(PAYLOAD as u64),
+            ],
+            work: Work::flops(1e8),
+        };
+        client
+            .call(CudaCall::ConfigureCall { config: spec.config })
+            .map_err(|e| format!("{e:?}"))?;
+        match client.call(CudaCall::Launch { spec }).map_err(|e| format!("{e:?}"))? {
+            ReplyValue::LaunchDone { .. } => Ok(()),
+            other => Err(format!("unexpected launch reply {other:?}")),
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Dies {
+        Src,
+        Dst,
+    }
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Lands {
+        Src,
+        Dst,
+    }
+    // (phase to kill at, which end dies, where the context must land).
+    let matrix = [
+        (MigrationPhase::Quiesce, Dies::Src, Lands::Src),
+        (MigrationPhase::Quiesce, Dies::Dst, Lands::Src),
+        (MigrationPhase::Transfer, Dies::Src, Lands::Src),
+        (MigrationPhase::Transfer, Dies::Dst, Lands::Src),
+        (MigrationPhase::Rebind, Dies::Src, Lands::Dst),
+        (MigrationPhase::Rebind, Dies::Dst, Lands::Dst),
+        (MigrationPhase::Resume, Dies::Src, Lands::Dst),
+    ];
+
+    for (phase, dies, lands) in matrix {
+        let tag = format!("kill {dies:?} at {}", phase.name());
+        register_det_kernels();
+        let clock = Clock::with_scale(1e-6);
+        let driver =
+            Driver::with_devices(clock.clone(), vec![GpuSpec::test_small(), GpuSpec::test_small()]);
+        let cfg = RuntimeConfig::default()
+            .with_vgpus(2)
+            .with_background_monitor(false)
+            .with_tenant_policy(
+                TenantPolicyConfig::default()
+                    .with_default_lease(GpuLease::unlimited().with_priority(50)),
+            );
+        let rt = mtgpu::core::NodeRuntime::start(Arc::clone(&driver), cfg);
+        let mut client = rt.local_client();
+        let module = client.register_fat_binary().unwrap();
+        client.register_function(module, KernelDesc::plain(DET_KERNEL)).unwrap();
+        let model = vec![0x5Au8; PAYLOAD];
+        let bufs = [client.malloc(DECLARED).unwrap(), client.malloc(DECLARED).unwrap()];
+        for &b in &bufs {
+            client.memcpy_h2d(b, HostBuf::with_shadow(DECLARED, model.clone())).unwrap();
+        }
+        // Bind the context and make both buffers device-current (dirty) on
+        // the source device.
+        for &b in &bufs {
+            launch(&mut client, b, 0x0F).unwrap();
+        }
+        let expected: Vec<u8> = model.iter().map(|&v| v ^ 0x0F).collect();
+
+        let ctx =
+            (1..=8).map(CtxId).find(|&c| rt.binding_of(c).is_some()).expect("a bound context");
+        let src = rt.binding_of(ctx).unwrap().device;
+        let dst = if src == DeviceId(0) { DeviceId(1) } else { DeviceId(0) };
+        let dying =
+            driver.device(if dies == Dies::Src { src } else { dst }).expect("device handle");
+        let used_before = rt.policy().global_used();
+        assert!(used_before > 0, "{tag}: lease book must carry real charges");
+
+        let mut killed = false;
+        let res = rt.migrate_ctx_probed(ctx, dst, &mut |p| {
+            if p == phase && !killed {
+                dying.fail();
+                killed = true;
+            }
+        });
+        assert!(killed, "{tag}: probe never reached phase {}", phase.name());
+
+        // (3) Lease balance is invariant across success, abort and death.
+        assert_eq!(rt.policy().global_used(), used_before, "{tag}: lease book moved");
+        // (1) All-or-nothing placement.
+        let bound = rt.binding_of(ctx).expect("context still bound");
+        match lands {
+            Lands::Src => {
+                assert!(res.is_err(), "{tag}: expected an aborted migration, got {res:?}");
+                assert_eq!(bound.device, src, "{tag}: aborted migration moved the binding");
+            }
+            Lands::Dst => {
+                assert!(res.is_ok(), "{tag}: migration should have committed: {res:?}");
+                assert_eq!(bound.device, dst, "{tag}: committed migration left the binding");
+            }
+        }
+        // Pin the abort paths' error taxonomy: a dead destination discovered
+        // at reservation is NoSlot; anything that dies during the copy is
+        // TransferFailed.
+        match (phase, dies) {
+            (MigrationPhase::Quiesce, Dies::Dst) => {
+                assert_eq!(res.unwrap_err(), MigrationError::NoSlot, "{tag}");
+            }
+            (MigrationPhase::Quiesce | MigrationPhase::Transfer, _) => {
+                assert_eq!(res.unwrap_err(), MigrationError::TransferFailed, "{tag}");
+            }
+            _ => {}
+        }
+        // (2) Every page-table entry is classifiable: still allocated, or
+        // host-authoritative with a pending re-upload.
+        for (i, &b) in bufs.iter().enumerate() {
+            let f = rt.memory().flags_of(ctx, b).unwrap();
+            assert!(
+                f.allocated || (f.to_dev && !f.to_swap),
+                "{tag}: entry {i} unclassifiable: {f:?}"
+            );
+        }
+
+        // Let the monitor's recovery pass classify the dead device's
+        // contexts; the invariants must survive it too.
+        rt.monitor_tick();
+        assert_eq!(rt.policy().global_used(), used_before, "{tag}: recovery moved the book");
+        for (i, &b) in bufs.iter().enumerate() {
+            let f = rt.memory().flags_of(ctx, b).unwrap();
+            assert!(
+                f.allocated || (f.to_dev && !f.to_swap),
+                "{tag}: entry {i} unclassifiable after recovery: {f:?}"
+            );
+        }
+
+        // Where the context landed on a *surviving* device, the application
+        // must keep computing and the data must be intact end to end.
+        let survived = matches!((lands, dies), (Lands::Src, Dies::Dst) | (Lands::Dst, Dies::Src));
+        if survived {
+            launch(&mut client, bufs[0], 0xF0).unwrap_or_else(|e| {
+                panic!("{tag}: post-migration launch failed: {e}");
+            });
+            let got = client.memcpy_d2h(bufs[0], DECLARED).unwrap();
+            let want: Vec<u8> = expected.iter().map(|&v| v ^ 0xF0).collect();
+            assert_eq!(got.payload, want, "{tag}: payload corrupted across migration");
+            let got1 = client.memcpy_d2h(bufs[1], DECLARED).unwrap();
+            assert_eq!(got1.payload, expected, "{tag}: untouched buffer corrupted");
+            client.exit().unwrap();
+        } else {
+            // The context's device is gone and its kernel results were
+            // dirty: the loss must be explicit, never a silent wrong answer.
+            let r = launch(&mut client, bufs[0], 0xF0);
+            assert!(r.is_err(), "{tag}: launch on a lost context must fail explicitly");
+        }
+        rt.shutdown();
+    }
+}

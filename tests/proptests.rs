@@ -919,3 +919,102 @@ proptest! {
         prop_assert!(snap.unbindings >= snap.bindings, "missing unbind accounting");
     }
 }
+
+// ---------------------------------------------------------------------
+// SwapOutcome clean-page elision accounting
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `swap_out_ctx` accounting closes exactly, whatever interleaving of
+    /// host touches and launches preceded it: every freed byte is either a
+    /// written-back dirty byte or an elided clean byte
+    /// (`freed == writeback_bytes + clean_bytes`), the split matches the
+    /// entry flags at the swap boundary, and `swap_bytes_skipped_clean`
+    /// records precisely the elided bytes.
+    #[test]
+    fn swap_outcome_clean_elision_accounts_every_byte(
+        blocks in prop::collection::vec(1u64..256, 1..8),
+        ops in prop::collection::vec((0usize..8usize, any::<bool>()), 0..24),
+    ) {
+        use mtgpu::api::protocol::AllocKind;
+        use mtgpu::api::HostBuf;
+
+        let metrics = Arc::new(RuntimeMetrics::default());
+        let mm = MemoryManager::new(MemoryConfig::default(), Arc::clone(&metrics));
+        let ctx = CtxId(1);
+        mm.register_ctx(ctx);
+        let gpu = Gpu::new(GpuSpec::test_small(), Clock::with_scale(1e-9), 0);
+        let gpu_ctx = gpu.create_context().unwrap();
+        let binding = Binding {
+            vgpu: VGpuId { device: DeviceId(0), index: 0 },
+            gpu: Arc::clone(&gpu),
+            gpu_ctx,
+        };
+
+        let sizes: Vec<u64> = blocks.iter().map(|&k| k * ALIGN).collect();
+        let bases: Vec<DeviceAddr> = sizes
+            .iter()
+            .map(|&s| {
+                let v = mm.malloc(ctx, s, AllocKind::Linear).unwrap();
+                mm.copy_h2d(ctx, v, &HostBuf::from_slice(&[0xAB; 16]), None).unwrap();
+                v
+            })
+            .collect();
+        for (i, launch) in ops {
+            let b = bases[i % bases.len()];
+            if launch {
+                // Materialize and run a kernel over it: device-dirty.
+                mm.materialize(ctx, &[b], &binding).unwrap();
+                mm.mark_launched(ctx, &[b]);
+            } else {
+                // Host write: a dirty device copy syncs down first, then
+                // the slab is authoritative again.
+                mm.copy_h2d(ctx, b, &HostBuf::from_slice(&[1, 2, 3]), Some(&binding)).unwrap();
+            }
+        }
+
+        // Classify every entry from its flags at the swap boundary: a
+        // resident entry writes back iff its device copy is the only
+        // authority (to_swap), is elided otherwise.
+        let mut want_freed = 0u64;
+        let mut want_writeback = 0u64;
+        let mut want_clean = 0u64;
+        for (i, &b) in bases.iter().enumerate() {
+            let f = mm.flags_of(ctx, b).unwrap();
+            if !f.allocated {
+                continue;
+            }
+            want_freed += sizes[i];
+            if f.to_swap {
+                want_writeback += sizes[i];
+            } else {
+                want_clean += sizes[i];
+            }
+        }
+
+        let out = mm.swap_out_ctx(ctx, &binding, SwapReason::Unbind).unwrap();
+        prop_assert_eq!(out.freed, out.writeback_bytes + out.clean_bytes,
+            "freed bytes must split exactly into writeback + clean");
+        prop_assert_eq!(out.freed, want_freed);
+        prop_assert_eq!(out.writeback_bytes, want_writeback);
+        prop_assert_eq!(out.clean_bytes, want_clean);
+        let snap = metrics.snapshot();
+        prop_assert_eq!(snap.swap_bytes_skipped_clean, want_clean,
+            "elision metric must record exactly the clean bytes");
+        // `swap_bytes` also counts the dirty-entry D2H syncs that host
+        // touches forced along the way, so it can only exceed the final
+        // writeback total.
+        prop_assert!(snap.swap_bytes >= want_writeback,
+            "swap traffic metric lost written-back bytes: {} < {}",
+            snap.swap_bytes, want_writeback);
+
+        // Post-swap: every previously-resident entry is host-authoritative
+        // with a pending re-upload.
+        for &b in &bases {
+            let f = mm.flags_of(ctx, b).unwrap();
+            prop_assert!(!f.allocated && !f.to_swap, "entry not swapped clean: {:?}", f);
+        }
+    }
+}
