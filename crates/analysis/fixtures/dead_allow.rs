@@ -1,0 +1,18 @@
+//! Fixture: stale allow annotations. The first allow vouches for a hazard
+//! that is still present (live, not a violation); the other two suppress
+//! nothing and must be flagged as `dead-allow`.
+
+pub fn live_allow(d: std::time::Duration) {
+    // mtlint: allow(thread-sleep, reason = "fixture: hazard still present")
+    std::thread::sleep(d);
+}
+
+pub fn stale_allow_nothing_below() {
+    // mtlint: allow(wall-clock, reason = "fixture: the Instant::now call was removed")
+    let _x = 1 + 1;
+}
+
+// mtlint: allow(notify-all, reason = "fixture: broadcast was converted to notify_one")
+pub fn stale_allow_wrong_rule(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::Release);
+}

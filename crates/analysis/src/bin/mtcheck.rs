@@ -1,0 +1,217 @@
+//! mtcheck — happens-before race detector + DPOR-lite schedule explorer
+//! over the mtgpu ranked-lock layer.
+//!
+//! ```text
+//! mtcheck list
+//! mtcheck explore [--scenario NAME] [--budget N] [--min-distinct N] [--deny] [--out DIR]
+//! mtcheck replay --scenario NAME --schedule ID [--fingerprint HEX]
+//! ```
+//!
+//! `explore` runs the scenario matrix (all workspace scenarios by default;
+//! the seeded `fixture-race` control only when named explicitly), persists
+//! explored-schedule fingerprints and violations to `<out>/mtcheck.json`,
+//! and under `--deny` exits non-zero when any scenario misses its
+//! expectation — a violation in a workspace scenario, or the fixture race
+//! going *undetected*. `replay` re-executes one schedule id bit-for-bit
+//! and prints its fingerprint (optionally verified against a recorded one).
+//!
+//! The vector-clock instrumentation lives only in debug builds; a release
+//! build of this binary refuses to run rather than silently observing
+//! nothing.
+
+use mtgpu_analysis::check::{explore, json, parse_schedule_id, scenarios};
+use mtgpu_simtime::mtcheck;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_BUDGET: usize = 200;
+const DEFAULT_MIN_DISTINCT: usize = 50;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    if !mtcheck::instrumentation_active() {
+        eprintln!(
+            "mtcheck: this is a release build: the vector-clock instrumentation is \
+             compiled out (zero-cost in production). Rebuild with a debug profile."
+        );
+        return ExitCode::from(2);
+    }
+    match cmd.as_str() {
+        "list" => {
+            for s in scenarios::all() {
+                println!(
+                    "{:<22} {} ({})",
+                    s.name,
+                    s.about,
+                    if s.expect_clean { "expect clean" } else { "expect race" }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "explore" => explore_cmd(args),
+        "replay" => replay_cmd(args),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mtcheck list\n       \
+         mtcheck explore [--scenario NAME] [--budget N] [--min-distinct N] [--deny] [--out DIR]\n       \
+         mtcheck replay --scenario NAME --schedule ID [--fingerprint HEX]"
+    );
+    ExitCode::FAILURE
+}
+
+fn explore_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut deny = false;
+    let mut budget = DEFAULT_BUDGET;
+    let mut min_distinct = DEFAULT_MIN_DISTINCT;
+    let mut out_dir = PathBuf::from("results");
+    let mut only: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--budget" => budget = parse_num(args.next(), "--budget"),
+            "--min-distinct" => min_distinct = parse_num(args.next(), "--min-distinct"),
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a directory")),
+            "--scenario" => only = Some(args.next().expect("--scenario needs a name")),
+            other => {
+                eprintln!("mtcheck explore: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let matrix: Vec<&scenarios::Scenario> = match &only {
+        Some(name) => match scenarios::find(name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("mtcheck: unknown scenario `{name}` (see `mtcheck list`)");
+                return ExitCode::FAILURE;
+            }
+        },
+        // The seeded fixture is a detector self-test, not part of the
+        // clean matrix; it only runs when named.
+        None => scenarios::all().iter().filter(|s| s.expect_clean).collect(),
+    };
+
+    let mut failed = false;
+    let mut reports = Vec::new();
+    for scn in matrix {
+        let report = explore::explore_scenario(scn, budget);
+        let enough = report.distinct() >= min_distinct;
+        // `--deny` is strictly violation-driven: a schedule that races,
+        // deadlocks, panics, or stalls fails the run even for the seeded
+        // fixture — that nonzero exit is exactly how CI proves the
+        // detector fires. Exhausting the space below the distinct target
+        // also fails: it means the scenario lost its coverage.
+        let passed = report.violations.is_empty() && enough;
+        println!(
+            "{:<22} {} runs, {} distinct schedule(s), {} pruned branch(es), {} violation(s){}{}",
+            report.name,
+            report.runs,
+            report.distinct(),
+            report.pruned,
+            report.violations.len(),
+            if passed { " — ok" } else { " — FAIL" },
+            if enough { String::new() } else { format!(" (needed >={min_distinct} distinct)") },
+        );
+        for v in &report.violations {
+            println!("  [{}] {}: {}", report.name, v.schedule, v.detail);
+        }
+        failed |= !passed;
+        reports.push(report);
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("mtcheck: create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join("mtcheck.json");
+    if let Err(e) = std::fs::write(&path, json::mtcheck_json(&reports)) {
+        eprintln!("mtcheck: write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    if deny && failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn replay_cmd(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut name: Option<String> = None;
+    let mut schedule: Option<String> = None;
+    let mut expect_fp: Option<u64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => name = args.next(),
+            "--schedule" => schedule = args.next(),
+            "--fingerprint" => {
+                let hex = args.next().expect("--fingerprint needs a hex value");
+                match u64::from_str_radix(hex.trim_start_matches("0x"), 16) {
+                    Ok(v) => expect_fp = Some(v),
+                    Err(_) => {
+                        eprintln!("mtcheck replay: bad fingerprint `{hex}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("mtcheck replay: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(name), Some(schedule)) = (name, schedule) else {
+        eprintln!("mtcheck replay: --scenario and --schedule are required");
+        return ExitCode::FAILURE;
+    };
+    let Some(scn) = scenarios::find(&name) else {
+        eprintln!("mtcheck: unknown scenario `{name}` (see `mtcheck list`)");
+        return ExitCode::FAILURE;
+    };
+    let prefix = match parse_schedule_id(&schedule) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mtcheck replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = explore::replay(scn, &prefix);
+    println!(
+        "{name} {schedule}: fingerprint {:016x}, {} decision(s), {} event(s), {}",
+        run.fingerprint,
+        run.decisions.len(),
+        run.events,
+        if run.clean() { "clean" } else { "VIOLATIONS" }
+    );
+    for race in &run.races {
+        println!("  race: {}", race.describe());
+    }
+    if let Some(dead) = &run.deadlock {
+        println!("  deadlock: {dead}");
+    }
+    for (tid, p) in &run.panics {
+        println!("  panic (thread {tid}): {p}");
+    }
+    if let Some(expect) = expect_fp {
+        if expect != run.fingerprint {
+            eprintln!(
+                "mtcheck replay: fingerprint mismatch: expected {expect:016x}, got {:016x}",
+                run.fingerprint
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_num(arg: Option<String>, flag: &str) -> usize {
+    arg.and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a positive integer"))
+}

@@ -22,7 +22,7 @@ use std::process::ExitCode;
 
 /// Crates whose sources the workspace walk lints. `simtime` is exempt: it
 /// *implements* the clock and the ranked locks the rules steer code toward.
-const LINT_CRATES: &[&str] = &["cluster", "core", "gpusim", "loadgen"];
+const LINT_CRATES: &[&str] = &["api", "cluster", "core", "gpusim", "loadgen"];
 
 /// Crates that must construct every lock through the ranked wrappers; also
 /// the crates the lock-graph sites are harvested from.

@@ -1,0 +1,173 @@
+//! The DPOR-lite schedule explorer.
+//!
+//! Depth-first over decision prefixes: run the scenario under a prefix,
+//! look at every decision the cooperative scheduler recorded past that
+//! prefix, and enqueue each unexplored alternative choice — *unless* the
+//! dependence footprint of the chosen segment is disjoint from every later
+//! segment's footprint, in which case reordering that decision cannot
+//! change any happens-before relation and the whole branch is pruned
+//! (the "lite" part of dynamic partial-order reduction: footprints are
+//! per-segment lock/cell sets, not full vector-clock dependence).
+//!
+//! Replays are bit-for-bit: the same schedule id always yields the same
+//! event trace and fingerprint, which the explorer relies on to dedup
+//! converging prefixes.
+
+use super::scenarios::Scenario;
+use super::schedule_id;
+use mtgpu_simtime::mtcheck::{self, Decision, RunReport};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One distinct explored schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    pub id: String,
+    pub fingerprint: u64,
+    pub decisions: usize,
+    pub events: u64,
+    pub clean: bool,
+}
+
+/// One violation, pinned to the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub schedule: String,
+    pub kind: &'static str,
+    pub detail: String,
+}
+
+/// Everything the explorer learned about one scenario.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    pub name: String,
+    pub expect_clean: bool,
+    /// Total runs spent (distinct + converged duplicates).
+    pub runs: usize,
+    /// Branches skipped by the footprint-disjointness pruning.
+    pub pruned: usize,
+    pub schedules: Vec<ScheduleOutcome>,
+    pub violations: Vec<Violation>,
+}
+
+impl ScenarioReport {
+    /// Distinct schedules (by fingerprint) actually exercised.
+    pub fn distinct(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Whether the scenario met its expectation: clean everywhere for the
+    /// workspace scenarios, at least one detected race for the fixture.
+    pub fn passed(&self) -> bool {
+        if self.expect_clean {
+            self.violations.is_empty()
+        } else {
+            self.violations.iter().any(|v| v.kind == "race")
+        }
+    }
+}
+
+/// Runs one scenario under a single pinned schedule (the replay entry
+/// point — also what the regression tests use).
+pub fn replay(scn: &Scenario, prefix: &[u32]) -> RunReport {
+    mtcheck::explore(prefix, scn.participants())
+}
+
+/// Explores up to `budget` schedules of `scn`, breadth-first from the
+/// empty prefix.
+pub fn explore_scenario(scn: &Scenario, budget: usize) -> ScenarioReport {
+    let mut report = ScenarioReport {
+        name: scn.name.to_string(),
+        expect_clean: scn.expect_clean,
+        runs: 0,
+        pruned: 0,
+        schedules: Vec::new(),
+        violations: Vec::new(),
+    };
+    let mut frontier: VecDeque<Vec<u32>> = VecDeque::from([Vec::new()]);
+    let mut queued: BTreeSet<Vec<u32>> = BTreeSet::from([Vec::new()]);
+    let mut seen: BTreeMap<u64, String> = BTreeMap::new();
+
+    while let Some(prefix) = frontier.pop_front() {
+        if report.runs >= budget {
+            break;
+        }
+        let run = mtcheck::explore(&prefix, scn.participants());
+        report.runs += 1;
+        let id = schedule_id(&prefix);
+        record_violations(&mut report, &id, &run);
+        if seen.insert(run.fingerprint, id.clone()).is_none() {
+            report.schedules.push(ScheduleOutcome {
+                id,
+                fingerprint: run.fingerprint,
+                decisions: run.decisions.len(),
+                events: run.events,
+                clean: run.clean(),
+            });
+        }
+        // Branch generation: flip every under-determined decision past the
+        // prefix whose segment can actually interfere with a later one.
+        for (i, d) in run.decisions.iter().enumerate().skip(prefix.len()) {
+            if d.enabled.len() <= 1 {
+                continue;
+            }
+            if !conflicts_later(&run.decisions, i) {
+                report.pruned += d.enabled.len() - 1;
+                continue;
+            }
+            for alt in 0..d.enabled.len() as u32 {
+                if alt == d.chosen {
+                    continue;
+                }
+                let mut flipped: Vec<u32> = run.decisions[..i].iter().map(|d| d.chosen).collect();
+                flipped.push(alt);
+                if queued.insert(flipped.clone()) {
+                    frontier.push_back(flipped);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Whether decision `i`'s segment footprint intersects any later segment's:
+/// the DPOR dependence test. Disjoint segments commute, so alternatives at
+/// `i` are sound to prune.
+fn conflicts_later(decisions: &[Decision], i: usize) -> bool {
+    let fp: BTreeSet<u64> = decisions[i].footprint.iter().copied().collect();
+    if fp.is_empty() {
+        return false;
+    }
+    decisions[i + 1..].iter().any(|d| d.footprint.iter().any(|w| fp.contains(w)))
+}
+
+fn record_violations(report: &mut ScenarioReport, id: &str, run: &RunReport) {
+    for race in &run.races {
+        report.violations.push(Violation {
+            schedule: id.to_string(),
+            kind: "race",
+            detail: race.describe(),
+        });
+    }
+    for (tid, payload) in &run.panics {
+        report.violations.push(Violation {
+            schedule: id.to_string(),
+            kind: "panic",
+            detail: format!("thread {tid} panicked: {payload}"),
+        });
+    }
+    if let Some(dead) = &run.deadlock {
+        report.violations.push(Violation {
+            schedule: id.to_string(),
+            kind: "deadlock",
+            detail: dead.clone(),
+        });
+    }
+    if run.stalled {
+        report.violations.push(Violation {
+            schedule: id.to_string(),
+            kind: "stall",
+            detail: "watchdog fired: a granted thread never reached its next sync point"
+                .to_string(),
+        });
+    }
+}

@@ -1,0 +1,53 @@
+//! `results/mtcheck.json` emission: explored-schedule fingerprints and
+//! violations, hand-assembled like the rest of this dependency-free crate
+//! (see [`crate::report`] for the escaping rules).
+
+use super::explore::ScenarioReport;
+use crate::report::json_escape;
+
+/// Serializes the whole exploration matrix.
+pub fn mtcheck_json(reports: &[ScenarioReport]) -> String {
+    let mut s = String::from("{\n  \"scenarios\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str(&scenario_json(r, "    "));
+        s.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn scenario_json(r: &ScenarioReport, pad: &str) -> String {
+    let mut s = format!("{pad}{{\n");
+    s.push_str(&format!("{pad}  \"name\": \"{}\",\n", json_escape(&r.name)));
+    s.push_str(&format!("{pad}  \"expect_clean\": {},\n", r.expect_clean));
+    s.push_str(&format!("{pad}  \"passed\": {},\n", r.passed()));
+    s.push_str(&format!("{pad}  \"runs\": {},\n", r.runs));
+    s.push_str(&format!("{pad}  \"distinct_schedules\": {},\n", r.distinct()));
+    s.push_str(&format!("{pad}  \"pruned_branches\": {},\n", r.pruned));
+    s.push_str(&format!("{pad}  \"schedules\": [\n"));
+    for (i, sched) in r.schedules.iter().enumerate() {
+        s.push_str(&format!(
+            "{pad}    {{\"id\": \"{}\", \"fingerprint\": \"{:016x}\", \"decisions\": {}, \"events\": {}, \"clean\": {}}}",
+            json_escape(&sched.id),
+            sched.fingerprint,
+            sched.decisions,
+            sched.events,
+            sched.clean
+        ));
+        s.push_str(if i + 1 < r.schedules.len() { ",\n" } else { "\n" });
+    }
+    s.push_str(&format!("{pad}  ],\n"));
+    s.push_str(&format!("{pad}  \"violations\": [\n"));
+    for (i, v) in r.violations.iter().enumerate() {
+        s.push_str(&format!(
+            "{pad}    {{\"schedule\": \"{}\", \"kind\": \"{}\", \"detail\": \"{}\"}}",
+            json_escape(&v.schedule),
+            v.kind,
+            json_escape(&v.detail)
+        ));
+        s.push_str(if i + 1 < r.violations.len() { ",\n" } else { "\n" });
+    }
+    s.push_str(&format!("{pad}  ]\n"));
+    s.push_str(&format!("{pad}}}"));
+    s
+}

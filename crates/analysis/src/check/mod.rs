@@ -1,0 +1,59 @@
+//! mtcheck — dynamic concurrency analysis over the ranked-lock layer.
+//!
+//! Complements the static mtlint half of this crate with two runtime
+//! checks built on `mtgpu_simtime::mtcheck` (the debug-build vector-clock
+//! instrumentation inside the ranked locks):
+//!
+//! 1. **Happens-before race detection** — every scenario run maintains
+//!    per-thread vector clocks and flags unordered conflicting accesses to
+//!    [`mtgpu_simtime::Shadow`] cells, annotated with the lock ranks each
+//!    side held.
+//! 2. **DPOR-lite schedule exploration** ([`explore`]) — small seeded
+//!    scenarios ([`scenarios`]) run under a cooperative scheduler that
+//!    records every lock-acquisition sync point; the explorer then
+//!    systematically permutes the decision prefix, pruning branches whose
+//!    dependence footprints cannot conflict, and replays any schedule id
+//!    bit-for-bit.
+//!
+//! Schedule ids are the decision prefix rendered as dot-separated indices
+//! into the sorted enabled set (`s:1.0.2`; the empty prefix is `s:-`).
+//! Results are persisted to `results/mtcheck.json` by the `mtcheck` CLI.
+
+pub mod explore;
+pub mod json;
+pub mod scenarios;
+
+/// Renders a schedule prefix as a stable, greppable id.
+pub fn schedule_id(prefix: &[u32]) -> String {
+    if prefix.is_empty() {
+        return "s:-".to_string();
+    }
+    let digits: Vec<String> = prefix.iter().map(|c| c.to_string()).collect();
+    format!("s:{}", digits.join("."))
+}
+
+/// Parses a schedule id back into the choice prefix. Accepts both the
+/// `s:`-prefixed form and bare dotted digits.
+pub fn parse_schedule_id(id: &str) -> Result<Vec<u32>, String> {
+    let body = id.strip_prefix("s:").unwrap_or(id);
+    if body.is_empty() || body == "-" {
+        return Ok(Vec::new());
+    }
+    body.split('.')
+        .map(|d| d.parse::<u32>().map_err(|_| format!("bad schedule id component `{d}` in `{id}`")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_ids_round_trip() {
+        for prefix in [vec![], vec![0], vec![1, 0, 2], vec![3, 3, 3, 3]] {
+            assert_eq!(parse_schedule_id(&schedule_id(&prefix)).unwrap(), prefix);
+        }
+        assert_eq!(parse_schedule_id("1.2.3").unwrap(), vec![1, 2, 3]);
+        assert!(parse_schedule_id("s:1.x").is_err());
+    }
+}

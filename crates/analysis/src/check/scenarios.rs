@@ -1,0 +1,227 @@
+//! The mtcheck scenario matrix: small, seeded, two-thread workloads over
+//! the real runtime components, each hammering one of the shadowed state
+//! cells the ISSUE's race detector audits:
+//!
+//! | scenario            | component          | shadow cell               |
+//! |---------------------|--------------------|---------------------------|
+//! | `dispatcher-churn`  | [`BindingManager`] | `sched.shard.free`        |
+//! | `swap-vs-free`      | [`MemoryManager`]  | `mm.swap`                 |
+//! | `lease-admit-vs-reap` | [`LeaseBook`]    | `policy.lease.global_used`|
+//! | `migrate-vs-launch` | [`MemoryManager`]  | `mm.swap` (migration path)|
+//! | `fixture-race`      | seeded fixture     | `fixture.check.cell`      |
+//!
+//! Every builder constructs *fresh* component state on the (unregistered)
+//! setup thread, so the session only observes the participants, and the
+//! participants only use public runtime APIs. `fixture-race` is the
+//! deliberately broken control: two threads mutate a shadow cell under two
+//! *different* ranked locks, which the detector must flag.
+
+use mtgpu_core::memory::AllocKind;
+use mtgpu_core::{
+    BindingManager, CtxId, GpuLease, LeaseBook, MemoryConfig, MemoryManager, RuntimeMetrics,
+    SchedulerPolicy, TenantPolicyConfig,
+};
+use mtgpu_gpusim::{DeviceId, Gpu, GpuSpec, KernelArg};
+use mtgpu_simtime::mtcheck::Participant;
+use mtgpu_simtime::{Clock, LockRank, RankedMutex, Shadow, SimDuration};
+use std::sync::Arc;
+
+/// One named scenario of the matrix.
+pub struct Scenario {
+    pub name: &'static str,
+    pub about: &'static str,
+    /// Whether a clean exploration is the pass criterion. The seeded
+    /// fixture inverts this: it exists to prove the detector fires.
+    pub expect_clean: bool,
+    builder: fn() -> Vec<Participant>,
+}
+
+impl Scenario {
+    /// Builds fresh participants for one run.
+    pub fn participants(&self) -> Vec<Participant> {
+        (self.builder)()
+    }
+}
+
+/// The full matrix, in report order.
+pub fn all() -> &'static [Scenario] {
+    &MATRIX
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    MATRIX.iter().find(|s| s.name == name)
+}
+
+static MATRIX: [Scenario; 5] = [
+    Scenario {
+        name: "dispatcher-churn",
+        about: "two contexts churn try_acquire_on/release against one \
+                2-vGPU device (shard free-list under SHARD_STATE)",
+        expect_clean: true,
+        builder: dispatcher_churn,
+    },
+    Scenario {
+        name: "swap-vs-free",
+        about: "one context mallocs (swap reserve) while another frees \
+                pre-staged allocations (swap release) under MM_STATE",
+        expect_clean: true,
+        builder: swap_vs_free,
+    },
+    Scenario {
+        name: "lease-admit-vs-reap",
+        about: "admission charges race the TTL reaper over the lease \
+                book's global-used cell under TENANT_POLICY",
+        expect_clean: true,
+        builder: lease_admit_vs_reap,
+    },
+    Scenario {
+        name: "migrate-vs-launch",
+        about: "migration planning + context teardown race a launch-\
+                closure walk over the same memory-manager state",
+        expect_clean: true,
+        builder: migrate_vs_launch,
+    },
+    Scenario {
+        name: "fixture-race",
+        about: "seeded control: two threads mutate one shadow cell under \
+                two different ranked locks — must be detected",
+        expect_clean: false,
+        builder: fixture_race,
+    },
+];
+
+fn metrics() -> Arc<RuntimeMetrics> {
+    Arc::new(RuntimeMetrics::default())
+}
+
+fn dispatcher_churn() -> Vec<Participant> {
+    let bm =
+        Arc::new(BindingManager::new_seeded(SchedulerPolicy::FcfsRoundRobin, metrics(), 0x5eed));
+    let gpu = Gpu::new(GpuSpec::tesla_c2050(), Clock::virtual_clock(), 0);
+    bm.add_device(DeviceId(0), gpu, 2).expect("attach scenario device");
+    (0..2u64)
+        .map(|t| {
+            let bm = Arc::clone(&bm);
+            Box::new(move || {
+                let ctx = CtxId(100 + t);
+                for _ in 0..3 {
+                    if let Some(binding) = bm.try_acquire_on(ctx, DeviceId(0)) {
+                        bm.release(ctx, binding.vgpu);
+                    }
+                }
+            }) as Participant
+        })
+        .collect()
+}
+
+fn swap_vs_free() -> Vec<Participant> {
+    let mm = Arc::new(MemoryManager::new(MemoryConfig::default(), metrics()));
+    mm.register_ctx(CtxId(1));
+    mm.register_ctx(CtxId(2));
+    // Pre-stage the allocations thread B frees, so both sides are inside
+    // the session from their first lock acquisition.
+    let staged: Vec<_> = (0..4)
+        .map(|_| mm.malloc(CtxId(2), 4096, AllocKind::Linear).expect("stage allocation"))
+        .collect();
+    let (ma, mb) = (Arc::clone(&mm), mm);
+    vec![
+        Box::new(move || {
+            for _ in 0..4 {
+                ma.malloc(CtxId(1), 4096, AllocKind::Linear).expect("scenario malloc");
+            }
+        }),
+        Box::new(move || {
+            for vaddr in staged {
+                mb.free(CtxId(2), vaddr, None).expect("scenario free");
+            }
+        }),
+    ]
+}
+
+fn lease_admit_vs_reap() -> Vec<Participant> {
+    let lease = GpuLease { mem_mb: 4, max_contexts: 0, ttl_s: 1, priority: 100 };
+    let cfg = TenantPolicyConfig::default().with_default_lease(lease);
+    let book = Arc::new(LeaseBook::new(Some(cfg)));
+    let clock = Clock::virtual_clock();
+    let t0 = clock.now();
+    book.register_ctx(CtxId(1), t0);
+    book.register_ctx(CtxId(2), t0);
+    // Advance past the TTL on the setup thread: expiry is then purely a
+    // question of whether the reaper's tick runs before an admit.
+    clock.advance(SimDuration::from_secs(2));
+    let reap_now = clock.now();
+    let (admit, reaper) = (Arc::clone(&book), book);
+    vec![
+        Box::new(move || {
+            for _ in 0..3 {
+                // May legitimately fail once the reaper expired the lease;
+                // the point is the lock/cell traffic, not the verdict.
+                if admit.try_charge(CtxId(1), 64 << 10).is_ok() {
+                    admit.uncharge(CtxId(1), 64 << 10);
+                }
+            }
+        }),
+        Box::new(move || {
+            let (_expired, _doomed) = reaper.tick(reap_now);
+            reaper.release_ctx(CtxId(2));
+        }),
+    ]
+}
+
+fn migrate_vs_launch() -> Vec<Participant> {
+    let mm = Arc::new(MemoryManager::new(MemoryConfig::default(), metrics()));
+    mm.register_ctx(CtxId(1));
+    mm.register_ctx(CtxId(2));
+    let launch_args: Vec<KernelArg> = (0..2)
+        .map(|_| KernelArg::Ptr(mm.malloc(CtxId(1), 4096, AllocKind::Linear).expect("stage arg")))
+        .collect();
+    for _ in 0..2 {
+        mm.malloc(CtxId(2), 4096, AllocKind::Linear).expect("stage migration source");
+    }
+    let (launcher, migrator) = (Arc::clone(&mm), mm);
+    vec![
+        Box::new(move || {
+            for _ in 0..3 {
+                let bases =
+                    launcher.launch_closure(CtxId(1), &launch_args).expect("launch closure");
+                launcher.mark_launched(CtxId(1), &bases);
+            }
+        }),
+        Box::new(move || {
+            let _plan = migrator.migration_plan(CtxId(2));
+            let _plan_again = migrator.migration_plan(CtxId(2));
+            migrator.remove_ctx(CtxId(2), None);
+        }),
+    ]
+}
+
+const CHK_A: LockRank = LockRank { value: 240, name: "CHK_A" };
+const CHK_B: LockRank = LockRank { value: 241, name: "CHK_B" };
+
+/// The deliberately seeded race: the shadow cell sits behind a raw shim
+/// mutex (physically synchronized, no UB) while each thread "protects" it
+/// with a *different* ranked lock — so the model sees no ordering edge.
+fn fixture_race() -> Vec<Participant> {
+    struct Fx {
+        a: RankedMutex<()>,
+        b: RankedMutex<()>,
+        cell: parking_lot::Mutex<Shadow<u64>>,
+    }
+    let fx = Arc::new(Fx {
+        a: RankedMutex::new(CHK_A, ()),
+        b: RankedMutex::new(CHK_B, ()),
+        cell: parking_lot::Mutex::new(Shadow::new("fixture.check.cell", 0)),
+    });
+    let (f1, f2) = (Arc::clone(&fx), fx);
+    vec![
+        Box::new(move || {
+            let _g = f1.a.lock();
+            **f1.cell.lock() += 1;
+        }),
+        Box::new(move || {
+            let _g = f2.b.lock();
+            **f2.cell.lock() += 1;
+        }),
+    ]
+}

@@ -16,6 +16,8 @@
 //! rule set whose patterns are robust at the token level.
 
 pub mod allow;
+#[cfg(feature = "check")]
+pub mod check;
 pub mod lexer;
 pub mod lock_graph;
 pub mod report;
@@ -33,6 +35,26 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     for f in &mut findings {
         if allows.permits(&f.rule, f.line) {
             f.allowed = true;
+        }
+    }
+    // Dead-allow audit: a well-formed allow whose target line no longer
+    // trips its rule is stale — the hazard it vouched for is gone, and a
+    // lingering allow would silently mask a future regression. Surface it
+    // as its own violation so `--deny` forces the cleanup.
+    for a in allows.all() {
+        let live =
+            findings.iter().any(|f| f.rule == a.rule && (f.line == a.line || f.line == a.line + 1));
+        if !live {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: a.line,
+                rule: "dead-allow".to_string(),
+                message: format!(
+                    "allow({}) suppresses nothing: neither this line nor the next triggers the rule; delete the stale annotation",
+                    a.rule
+                ),
+                allowed: false,
+            });
         }
     }
     findings.extend(allows.bad);
@@ -117,6 +139,16 @@ mod fixture_tests {
     fn bad_allow_fixture_is_refused() {
         let v = violations(&fixture("bad_allow.rs"));
         assert!(v.iter().filter(|(r, _)| r == "bad-allow").count() >= 2, "{v:?}");
+    }
+
+    #[test]
+    fn dead_allow_fixture_flags_only_the_stale_allows() {
+        let v = violations(&fixture("dead_allow.rs"));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|(r, _)| r == "dead-allow"));
+        // The live allow (thread-sleep over an actual sleep) stays allowed.
+        let f = fixture("dead_allow.rs");
+        assert!(f.iter().any(|f| f.allowed && f.rule == "thread-sleep"));
     }
 
     #[test]

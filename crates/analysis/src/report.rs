@@ -33,6 +33,7 @@ pub fn lint_json(files_scanned: usize, findings: &[Finding]) -> String {
     s.push_str("  \"by_rule\": {");
     let mut rules: Vec<&str> = crate::rules::RULES.to_vec();
     rules.push("bad-allow");
+    rules.push("dead-allow");
     for (i, rule) in rules.iter().enumerate() {
         let n = findings.iter().filter(|f| f.rule == *rule && !f.allowed).count();
         s.push_str(&format!("\"{rule}\": {n}"));

@@ -55,9 +55,15 @@ const ITER_METHODS: &[&str] = &[
 const RNG_IDENTS: &[&str] = &["thread_rng", "from_entropy", "StdRng", "SmallRng", "RandomState"];
 
 /// Whether the `unranked-lock` rule applies to `path`: the ranked-lock
-/// contract covers the runtime crates (and the lint's own fixtures).
+/// contract covers the runtime crates — core, gpusim, and since the
+/// mtcheck work also the client-facing `api` and workload `loadgen`
+/// crates (their locks sit on the same call paths the race detector
+/// audits) — plus the lint's own fixtures.
 fn ranked_lock_scope(path: &str) -> bool {
-    path.contains("crates/core/") || path.contains("crates/gpusim/") || path.contains("fixtures")
+    ["crates/core/", "crates/gpusim/", "crates/api/", "crates/loadgen/"]
+        .iter()
+        .any(|p| path.contains(p))
+        || path.contains("fixtures")
 }
 
 /// Runs every rule over one file's (test-stripped) token stream.

@@ -22,7 +22,7 @@ use crossbeam::channel::{bounded, Sender};
 use mtgpu_simtime::{lock_rank, RankedMutex};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -109,7 +109,7 @@ impl FrameBuf {
 /// Pending-reply demux state of one multiplexed connection.
 struct PendingReplies {
     /// Request ID → the waiting caller's one-shot channel.
-    waiters: HashMap<u64, Sender<CudaReply>>,
+    waiters: BTreeMap<u64, Sender<CudaReply>>,
     /// Set once the reader thread observed a transport failure; later
     /// registrations fail fast instead of waiting forever.
     dead: bool,
@@ -137,7 +137,7 @@ impl MuxConnInner {
         self.dead.store(true, Ordering::SeqCst);
         let mut pending = self.pending.lock();
         pending.dead = true;
-        for (_, tx) in pending.waiters.drain() {
+        for (_, tx) in std::mem::take(&mut pending.waiters) {
             let _ = tx.send(Err(CudaError::Disconnected));
         }
     }
@@ -172,7 +172,7 @@ impl MuxConnection {
             writer: RankedMutex::new(lock_rank::CONN_WRITE, stream),
             pending: RankedMutex::new(
                 lock_rank::MUX_PENDING,
-                PendingReplies { waiters: HashMap::new(), dead: false },
+                PendingReplies { waiters: BTreeMap::new(), dead: false },
             ),
             next_id: AtomicU64::new(1),
             next_chan: AtomicU64::new(1),

@@ -428,6 +428,7 @@ fn read_conn(
 fn update_partial(conn: &mut Conn) -> isize {
     if conn.framebuf.has_partial() {
         if conn.partial_since.is_none() {
+            // mtlint: allow(wall-clock, reason = "slow-loris shedding deadline is a real network-I/O timeout, not simulated control flow")
             conn.partial_since = Some(Instant::now());
             return 1;
         }
@@ -693,6 +694,7 @@ fn sweep_loop(
                     // Every sink is gone: nothing can ever reply again. Keep
                     // sweeping reads (teardown may still be in progress) but
                     // avoid a hot spin.
+                    // mtlint: allow(thread-sleep, reason = "teardown backoff in the real-time reactor thread; no simulated durations flow here")
                     std::thread::sleep(cfg.idle_wait);
                 }
             }

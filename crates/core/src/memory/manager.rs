@@ -29,7 +29,7 @@ use mtgpu_api::protocol::AllocKind;
 use mtgpu_api::{CudaError, CudaResult, HostBuf};
 use mtgpu_gpusim::device::DEFAULT_MATERIALIZE_CAP;
 use mtgpu_gpusim::{DeviceAddr, DeviceId, KernelArg};
-use mtgpu_simtime::{lock_rank, Clock, RankedMutex};
+use mtgpu_simtime::{lock_rank, Clock, RankedMutex, Shadow};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -144,7 +144,9 @@ const SPECULATIVE_LANE_OFFSET: usize = 1;
 
 struct MmState {
     tables: HashMap<CtxId, PageTable>,
-    swap: SwapArea,
+    /// Host swap accounting. Shadowed so mtcheck's happens-before detector
+    /// audits every reserve/release against the memory-manager lock.
+    swap: Shadow<SwapArea>,
     next_vaddr: u64,
     /// Monotone touch sequence shared by every table; assigned under this
     /// lock so stamps are totally ordered and replay-stable.
@@ -208,7 +210,7 @@ pub struct MemoryManager {
 impl MemoryManager {
     /// Creates a manager.
     pub fn new(cfg: MemoryConfig, metrics: Arc<RuntimeMetrics>) -> Self {
-        let swap = SwapArea::new(cfg.swap_capacity);
+        let swap = Shadow::new("mm.swap", SwapArea::new(cfg.swap_capacity));
         MemoryManager {
             cfg,
             metrics,

@@ -13,4 +13,7 @@ pub use manager::{
 };
 pub use page_table::{Flags, PageTable, PageTableEntry, SwapSlab};
 pub use swap::SwapArea;
+// The allocation-kind tag travels with the wire protocol; re-exported so
+// tooling that drives the manager (mtcheck scenarios) needs no api dep.
+pub use mtgpu_api::protocol::AllocKind;
 pub use transfer::{PlanShape, TransferOp, TransferOutcome};

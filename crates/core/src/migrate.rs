@@ -136,9 +136,10 @@ impl NodeRuntime {
         // One migration at a time per node: the turnstile serializes PTE
         // rewrites against each other (rank order: CTX_SERVICE → MIGRATION
         // → scheduler/memory locks).
-        let _turnstile = self.migration_turnstile().lock();
-        // Reserve the destination slot *before* touching anything, so a
-        // full destination can never strand the context.
+        let mut turnstile = self.migration_turnstile().lock();
+        **turnstile += 1; // shadowed sequence: each migration is an audited write
+                          // Reserve the destination slot *before* touching anything, so a
+                          // full destination can never strand the context.
         let new = self.bindings().try_acquire_on(ctx_id, dst).ok_or(MigrationError::NoSlot)?;
 
         // Phase 2 — transfer. Device-current entries are copied peer-to-

@@ -20,7 +20,7 @@
 
 use crate::ctx::CtxId;
 use mtgpu_api::{CudaError, CudaResult};
-use mtgpu_simtime::{lock_rank, RankedMutex, SimDuration, SimInstant};
+use mtgpu_simtime::{lock_rank, RankedMutex, Shadow, SimDuration, SimInstant};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -183,11 +183,23 @@ impl TenantState {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Book {
     tenants: BTreeMap<TenantKey, TenantState>,
     by_ctx: BTreeMap<CtxId, TenantKey>,
-    global_used: u64,
+    /// Cluster-wide charged bytes. Shadowed so mtcheck's happens-before
+    /// detector audits every read/write against the lease-book lock.
+    global_used: Shadow<u64>,
+}
+
+impl Default for Book {
+    fn default() -> Self {
+        Book {
+            tenants: BTreeMap::new(),
+            by_ctx: BTreeMap::new(),
+            global_used: Shadow::new("policy.lease.global_used", 0),
+        }
+    }
 }
 
 /// A snapshot of one tenant's standing, for tests and reports.
@@ -304,7 +316,7 @@ impl LeaseBook {
             Some(k) => *k,
             None => return Err(CudaError::LeaseExpired),
         };
-        let global_used = book.global_used;
+        let global_used = *book.global_used;
         let tenant = book.tenants.get_mut(&key).expect("tenant of registered ctx");
         if tenant.expired {
             return Err(CudaError::LeaseExpired);
@@ -325,7 +337,7 @@ impl LeaseBook {
             }
         }
         *tenant.charges.entry(ctx).or_insert(0) += bytes;
-        book.global_used += bytes;
+        *book.global_used += bytes;
         Ok(())
     }
 
@@ -339,7 +351,7 @@ impl LeaseBook {
         if let Some(c) = book.tenants.get_mut(&key).and_then(|t| t.charges.get_mut(&ctx)) {
             let credited = bytes.min(*c);
             *c -= credited;
-            book.global_used = book.global_used.saturating_sub(credited);
+            *book.global_used = book.global_used.saturating_sub(credited);
         }
     }
 
@@ -378,7 +390,7 @@ impl LeaseBook {
         let mut book = self.state.lock();
         let Some(key) = book.by_ctx.remove(&ctx) else { return 0 };
         let freed = book.tenants.get_mut(&key).and_then(|t| t.charges.remove(&ctx)).unwrap_or(0);
-        book.global_used = book.global_used.saturating_sub(freed);
+        *book.global_used = book.global_used.saturating_sub(freed);
         if matches!(key, TenantKey::Anon(_))
             && book.tenants.get(&key).is_some_and(|t| t.charges.is_empty())
         {
@@ -435,7 +447,7 @@ impl LeaseBook {
         if self.cfg.is_none() {
             return 0;
         }
-        self.state.lock().global_used
+        *self.state.lock().global_used
     }
 }
 

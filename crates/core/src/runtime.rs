@@ -13,7 +13,7 @@ use crate::trace::{TraceEvent, Tracer};
 use mtgpu_api::transport::{channel_pair, ChannelTransport, FrontendClient, ServerConn};
 use mtgpu_api::{CudaError, CudaReply, Transport};
 use mtgpu_gpusim::{DeviceId, Driver, GpuSpec};
-use mtgpu_simtime::{lock_rank, Clock, RankedMutex};
+use mtgpu_simtime::{lock_rank, Clock, RankedMutex, Shadow};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -74,7 +74,9 @@ pub struct NodeRuntime {
     policy: LeaseBook,
     /// Serializes live migrations ([`Self::migrate_ctx`]): one context's
     /// PTE rewrite at a time per node.
-    migration: RankedMutex<()>,
+    /// Migration turnstile; carries a shadowed migration-sequence counter
+    /// so mtcheck audits turnstile discipline on the migration path.
+    migration: RankedMutex<Shadow<u64>>,
 }
 
 impl NodeRuntime {
@@ -126,7 +128,10 @@ impl NodeRuntime {
             local_slots: std::sync::atomic::AtomicI64::new(local_slots),
             tracer,
             policy,
-            migration: RankedMutex::new(lock_rank::MIGRATION, ()),
+            migration: RankedMutex::new(
+                lock_rank::MIGRATION,
+                Shadow::new("migrate.turnstile.seq", 0),
+            ),
             driver,
         });
         for (id, gpu) in rt.driver.devices() {
@@ -199,7 +204,7 @@ impl NodeRuntime {
     }
 
     /// The migration turnstile ([`crate::migrate`]).
-    pub(crate) fn migration_turnstile(&self) -> &RankedMutex<()> {
+    pub(crate) fn migration_turnstile(&self) -> &RankedMutex<Shadow<u64>> {
         &self.migration
     }
 

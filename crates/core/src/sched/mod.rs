@@ -49,7 +49,7 @@ use crate::config::SchedulerPolicy;
 use crate::ctx::{AppContext, Binding, CtxId, VGpuId};
 use crate::metrics::RuntimeMetrics;
 use mtgpu_gpusim::{DeviceId, Gpu, GpuContextId};
-use mtgpu_simtime::{lock_rank, DetRng, RankedCondvar, RankedMutex, RankedRwLock};
+use mtgpu_simtime::{lock_rank, DetRng, RankedCondvar, RankedMutex, RankedRwLock, Shadow};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -131,7 +131,9 @@ struct Waiter {
 
 struct ShardState {
     vgpus: Vec<VGpu>,
-    free: Vec<u32>,
+    /// Free vGPU slot indices. Shadowed so mtcheck's happens-before
+    /// detector audits every read/write against the shard lock.
+    free: Shadow<Vec<u32>>,
     /// Ordered by vGPU index so every walk over the bound set is
     /// deterministic without a defensive sort at each consumer.
     bound: BTreeMap<u32, (CtxId, Option<u64>)>,
@@ -254,7 +256,7 @@ impl BindingManager {
                 lock_rank::SHARD_STATE,
                 ShardState {
                     vgpus,
-                    free: (0..count).collect(),
+                    free: Shadow::new("sched.shard.free", (0..count).collect()),
                     bound: BTreeMap::new(),
                     queue: Vec::new(),
                     defunct: false,

@@ -25,12 +25,14 @@
 
 mod clock;
 mod duration;
+pub mod mtcheck;
 mod rng;
 mod stopwatch;
 pub mod sync;
 
 pub use clock::{Clock, SimInstant};
 pub use duration::SimDuration;
+pub use mtcheck::Shadow;
 pub use rng::DetRng;
 pub use stopwatch::Stopwatch;
 pub use sync::{

@@ -207,6 +207,10 @@ pub struct RankedMutex<T> {
 pub struct RankedMutexGuard<'a, T> {
     #[cfg(debug_assertions)]
     rank: LockRank,
+    /// The owning mutex's address: the mtcheck hooks key lock identity and
+    /// condvar/mutex association off it.
+    #[cfg(debug_assertions)]
+    addr: usize,
     inner: MutexGuard<'a, T>,
 }
 
@@ -226,12 +230,16 @@ impl<T> RankedMutex<T> {
         self.rank
     }
 
-    /// Acquires the lock, enforcing the rank order in debug builds.
+    /// Acquires the lock, enforcing the rank order in debug builds. In an
+    /// armed mtcheck session this is a sync point: the explorer may park
+    /// the thread here until the schedule grants it the turn.
     #[inline]
     pub fn lock(&self) -> RankedMutexGuard<'_, T> {
         #[cfg(debug_assertions)]
         {
+            let addr = self as *const Self as usize;
             check_order(self.rank);
+            crate::mtcheck::hook_before_lock(addr, self.rank, crate::mtcheck::AcqKind::Mutex);
             let inner = match self.inner.try_lock() {
                 Some(guard) => guard,
                 None => {
@@ -243,7 +251,8 @@ impl<T> RankedMutex<T> {
                 }
             };
             push_rank(self.rank);
-            RankedMutexGuard { rank: self.rank, inner }
+            crate::mtcheck::hook_acquired(addr, crate::mtcheck::AcqKind::Mutex);
+            RankedMutexGuard { rank: self.rank, addr, inner }
         }
         #[cfg(not(debug_assertions))]
         {
@@ -255,18 +264,25 @@ impl<T> RankedMutex<T> {
     /// a failed `try_lock` cannot participate in a deadlock cycle, and the
     /// runtime's swapper/migrator legitimately probe low-ranked service
     /// locks opportunistically. A successful try still records the rank so
-    /// later blocking acquisitions are checked against it.
+    /// later blocking acquisitions are checked against it. Not a schedule
+    /// sync point either (it never blocks, so its outcome is already a pure
+    /// function of the schedule), though both outcomes enter the trace.
     #[inline]
     pub fn try_lock(&self) -> Option<RankedMutexGuard<'_, T>> {
-        let inner = self.inner.try_lock()?;
         #[cfg(debug_assertions)]
         {
+            let addr = self as *const Self as usize;
+            let Some(inner) = self.inner.try_lock() else {
+                crate::mtcheck::hook_try_failed(addr);
+                return None;
+            };
             push_rank(self.rank);
-            Some(RankedMutexGuard { rank: self.rank, inner })
+            crate::mtcheck::hook_acquired(addr, crate::mtcheck::AcqKind::Mutex);
+            Some(RankedMutexGuard { rank: self.rank, addr, inner })
         }
         #[cfg(not(debug_assertions))]
         {
-            Some(RankedMutexGuard { inner })
+            Some(RankedMutexGuard { inner: self.inner.try_lock()? })
         }
     }
 
@@ -315,6 +331,9 @@ impl<T> std::ops::DerefMut for RankedMutexGuard<'_, T> {
 impl<T> Drop for RankedMutexGuard<'_, T> {
     fn drop(&mut self) {
         pop_rank(self.rank);
+        // Runs before the inner guard's own drop releases the mutex, so a
+        // competing acquire always observes this release event first.
+        crate::mtcheck::hook_released(self.addr);
     }
 }
 
@@ -337,6 +356,8 @@ pub struct RankedRwLock<T> {
 pub struct RankedRwLockReadGuard<'a, T> {
     #[cfg(debug_assertions)]
     rank: LockRank,
+    #[cfg(debug_assertions)]
+    addr: usize,
     inner: RwLockReadGuard<'a, T>,
 }
 
@@ -344,6 +365,8 @@ pub struct RankedRwLockReadGuard<'a, T> {
 pub struct RankedRwLockWriteGuard<'a, T> {
     #[cfg(debug_assertions)]
     rank: LockRank,
+    #[cfg(debug_assertions)]
+    addr: usize,
     inner: RwLockWriteGuard<'a, T>,
 }
 
@@ -368,10 +391,13 @@ impl<T> RankedRwLock<T> {
     pub fn read(&self) -> RankedRwLockReadGuard<'_, T> {
         #[cfg(debug_assertions)]
         {
+            let addr = self as *const Self as usize;
             check_order(self.rank);
+            crate::mtcheck::hook_before_lock(addr, self.rank, crate::mtcheck::AcqKind::Read);
             let inner = self.inner.read();
             push_rank(self.rank);
-            RankedRwLockReadGuard { rank: self.rank, inner }
+            crate::mtcheck::hook_acquired(addr, crate::mtcheck::AcqKind::Read);
+            RankedRwLockReadGuard { rank: self.rank, addr, inner }
         }
         #[cfg(not(debug_assertions))]
         {
@@ -385,14 +411,17 @@ impl<T> RankedRwLock<T> {
     pub fn write(&self) -> RankedRwLockWriteGuard<'_, T> {
         #[cfg(debug_assertions)]
         {
+            let addr = self as *const Self as usize;
             check_order(self.rank);
+            crate::mtcheck::hook_before_lock(addr, self.rank, crate::mtcheck::AcqKind::Write);
             // std's RwLock has no try_write on the shim; approximate
             // contention as "a reader or writer was active": not needed —
             // writes on converted locks are rare (hotplug), so skip the
             // probe and count nothing here.
             let inner = self.inner.write();
             push_rank(self.rank);
-            RankedRwLockWriteGuard { rank: self.rank, inner }
+            crate::mtcheck::hook_acquired(addr, crate::mtcheck::AcqKind::Write);
+            RankedRwLockWriteGuard { rank: self.rank, addr, inner }
         }
         #[cfg(not(debug_assertions))]
         {
@@ -442,6 +471,7 @@ impl<T> std::ops::DerefMut for RankedRwLockWriteGuard<'_, T> {
 impl<T> Drop for RankedRwLockReadGuard<'_, T> {
     fn drop(&mut self) {
         pop_rank(self.rank);
+        crate::mtcheck::hook_released(self.addr);
     }
 }
 
@@ -449,6 +479,7 @@ impl<T> Drop for RankedRwLockReadGuard<'_, T> {
 impl<T> Drop for RankedRwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
         pop_rank(self.rank);
+        crate::mtcheck::hook_released(self.addr);
     }
 }
 
@@ -472,20 +503,79 @@ impl RankedCondvar {
 
     /// Blocks until notified, releasing the guard's mutex while parked.
     pub fn wait<T>(&self, guard: &mut RankedMutexGuard<'_, T>) {
+        #[cfg(debug_assertions)]
+        {
+            use crate::mtcheck;
+            let cv = self as *const Self as usize;
+            match mtcheck::hook_cv_wait_begin(cv, guard.addr) {
+                None => self.inner.wait(&mut guard.inner),
+                Some(mtcheck::Mode::Observe) => {
+                    self.inner.wait(&mut guard.inner);
+                    mtcheck::hook_cv_wait_end(cv, guard.addr, guard.rank);
+                }
+                Some(mtcheck::Mode::Explore) => {
+                    // Under the explorer, the *model* decides who a notify
+                    // wakes: re-park until designated. The short tick bounds
+                    // the window where a broadcast lands before this thread
+                    // is physically parked.
+                    while !mtcheck::hook_cv_should_resume(cv) {
+                        let _ = self.inner.wait_until(
+                            &mut guard.inner,
+                            Instant::now() + std::time::Duration::from_millis(5),
+                        );
+                    }
+                    mtcheck::hook_cv_wait_end(cv, guard.addr, guard.rank);
+                }
+            }
+        }
+        #[cfg(not(debug_assertions))]
         self.inner.wait(&mut guard.inner);
     }
 
-    /// Blocks until notified or `deadline` passes.
+    /// Blocks until notified or `deadline` passes. Under the explorer the
+    /// real deadline is ignored (scenario time is logical): the wait
+    /// behaves like [`RankedCondvar::wait`] and reports "notified".
     pub fn wait_until<T>(
         &self,
         guard: &mut RankedMutexGuard<'_, T>,
         deadline: Instant,
     ) -> WaitTimeoutResult {
+        #[cfg(debug_assertions)]
+        {
+            use crate::mtcheck;
+            let cv = self as *const Self as usize;
+            match mtcheck::hook_cv_wait_begin(cv, guard.addr) {
+                None => self.inner.wait_until(&mut guard.inner, deadline),
+                Some(mtcheck::Mode::Observe) => {
+                    let res = self.inner.wait_until(&mut guard.inner, deadline);
+                    mtcheck::hook_cv_wait_end(cv, guard.addr, guard.rank);
+                    res
+                }
+                Some(mtcheck::Mode::Explore) => {
+                    while !mtcheck::hook_cv_should_resume(cv) {
+                        let _ = self.inner.wait_until(
+                            &mut guard.inner,
+                            Instant::now() + std::time::Duration::from_millis(5),
+                        );
+                    }
+                    mtcheck::hook_cv_wait_end(cv, guard.addr, guard.rank);
+                    WaitTimeoutResult::new(false)
+                }
+            }
+        }
+        #[cfg(not(debug_assertions))]
         self.inner.wait_until(&mut guard.inner, deadline)
     }
 
     /// Wakes one parked waiter.
     pub fn notify_one(&self) {
+        #[cfg(debug_assertions)]
+        if crate::mtcheck::hook_cv_notify(self as *const Self as usize, false) {
+            // The explorer designated the winner in the model; broadcast so
+            // the designation — not the OS queue order — decides who runs.
+            self.inner.notify_all();
+            return;
+        }
         self.inner.notify_one();
     }
 
@@ -493,6 +583,10 @@ impl RankedCondvar {
     /// `mtlint` (`// mtlint: allow(notify-all, reason = "...")`): targeted
     /// wakeups are the default discipline.
     pub fn notify_all(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let _ = crate::mtcheck::hook_cv_notify(self as *const Self as usize, true);
+        }
         self.inner.notify_all();
     }
 }

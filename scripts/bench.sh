@@ -17,6 +17,10 @@ cargo bench -q -p mtgpu-bench --bench memory -- --gate 1.4 \
 # Dispatcher throughput plus the ranked-lock overhead gate: in release
 # builds RankedMutex must cost no more than 1.02x the raw shim mutex (the
 # rank bookkeeping is #[cfg(debug_assertions)] and must compile out).
+# Since the mtcheck work this same 1.02x gate also covers the race-
+# detector instrumentation: every vector-clock hook call site in the
+# ranked locks, and the Shadow cell bookkeeping, is likewise
+# #[cfg(debug_assertions)] and must vanish from release builds.
 cargo bench -q -p mtgpu-bench --bench dispatch -- --gate-rank 1.02 \
     --out "$PWD/results/BENCH_dispatch.json" "$@"
 # Transport gate: persistent multiplexed connections must beat the

@@ -44,6 +44,15 @@
 #                                --quick skewed-profile smoke (rebalanced
 #                                must at least match static placement; the
 #                                full 1.3x gate runs via bench.sh)
+#   tier 8  race detection       mtcheck (debug build, instrumentation
+#                                armed): the DPOR-lite explorer over the
+#                                workspace scenario matrix must pass clean
+#                                with >=50 distinct schedules per scenario
+#                                under a watchdog timeout, the seeded race
+#                                fixture must be *detected* (nonzero exit
+#                                under --deny), and the engine's fixture
+#                                corpus + pinned-schedule regressions +
+#                                replay property must pass
 #
 # Usage: scripts/ci.sh [tier]   (default: all tiers)
 
@@ -52,9 +61,9 @@ cd "$(dirname "$0")/.."
 
 tier="${1:-all}"
 case "$tier" in
-all | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7) ;;
+all | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8) ;;
 *)
-    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4, 5, 6, 7 or all)" >&2
+    echo "unknown tier '$tier' (expected 0, 1, 2, 3, 4, 5, 6, 7, 8 or all)" >&2
     exit 2
     ;;
 esac
@@ -193,6 +202,31 @@ if [[ "$tier" == "all" || "$tier" == "7" ]]; then
     ./target/release/loadgen --profile skewed --quick --min-speedup 1.0 \
         --out target/ci-migration-quick.json > /dev/null
     echo "migration fault battery + replay fingerprint + staging + skewed smoke: ok"
+fi
+
+if [[ "$tier" == "all" || "$tier" == "8" ]]; then
+    run_tier 8 "mtcheck race detection + schedule exploration"
+    # Debug build on purpose: the vector-clock hooks are compiled out of
+    # release binaries (mtcheck refuses to run there).
+    cargo build -q -p mtgpu-analysis --bin mtcheck
+    # The workspace matrix must explore clean — >=50 distinct schedules
+    # per scenario, no races/deadlocks/stalls — inside the watchdog.
+    timeout 300 ./target/debug/mtcheck explore --deny
+    # The seeded fixture is the detector's self-test: its race must be
+    # found, which under --deny is a nonzero exit. Artifacts go to a
+    # scratch dir so the matrix report in results/ stays authoritative.
+    if timeout 120 ./target/debug/mtcheck explore --deny --scenario fixture-race \
+        --min-distinct 1 --out target/ci-mtcheck-fixture > /dev/null; then
+        echo "mtcheck failed to detect the seeded race fixture" >&2
+        exit 1
+    fi
+    # Engine fixture corpus (true race / lock-ordered / condvar handoff /
+    # lost wakeup / bit-for-bit replay), then the explorer's pinned
+    # schedules and the generative replay-determinism property.
+    cargo test -q -p mtgpu-simtime --test mtcheck > /dev/null
+    cargo test -q -p mtgpu-analysis --test check > /dev/null
+    cargo test -q -p mtgpu-analysis --test replay_prop > /dev/null
+    echo "mtcheck matrix clean + fixture detected + regressions + replay property: ok"
 fi
 
 echo "CI: all requested tiers passed"

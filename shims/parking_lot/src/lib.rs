@@ -155,6 +155,13 @@ pub struct WaitTimeoutResult {
 }
 
 impl WaitTimeoutResult {
+    /// Builds a result directly. Not part of the real parking_lot API;
+    /// used by instrumentation layers (mtcheck's schedule explorer) that
+    /// model the wait themselves and must report its outcome.
+    pub fn new(timed_out: bool) -> Self {
+        WaitTimeoutResult { timed_out }
+    }
+
     pub fn timed_out(&self) -> bool {
         self.timed_out
     }
